@@ -1,0 +1,32 @@
+//! State-of-the-art baselines the MAMUT paper compares against (§V-A).
+//!
+//! * [`MonoAgentController`] — the mono-agent Q-learning approach adapted
+//!   from Iranfar et al. (the paper's reference \[8\]): a single agent over
+//!   the **joint** action space. Because the full combinatorial space
+//!   (7·12·6 = 504 actions) is untrainable in reasonable time, the paper
+//!   uses "a representative subset … ranging the same interval as the
+//!   original actions, but with less granularity"; our default grid is
+//!   4 × 4 × 4 = 64 joint actions, acting every 6 frames (the cadence of
+//!   MAMUT's fastest agent).
+//! * [`HeuristicController`] — the rule-based scheme adapted from Grellert
+//!   et al. (reference \[19\]): threads chase the FPS target, QP chases a
+//!   PSNR set-point, and DVFS backs off only on power-cap violations —
+//!   which is why it parks at maximum frequency with few threads
+//!   (Table I) and pays for it in power.
+//! * `FixedController` (re-exported from `mamut-core`) — pinned knobs, the
+//!   control group used for characterization sweeps.
+//!
+//! All baselines implement the same [`Controller`] trait as MAMUT, so the
+//! simulator and benches treat them interchangeably.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod heuristic;
+mod monoagent;
+
+pub use heuristic::{HeuristicConfig, HeuristicController};
+pub use mamut_core::FixedController;
+pub use monoagent::{MonoAgentConfig, MonoAgentController};
+
+pub use mamut_core::Controller;

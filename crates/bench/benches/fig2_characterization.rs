@@ -1,0 +1,63 @@
+//! **E1 — Figure 2**: RD curves, power and throughput vs. thread count and
+//! QP for one 1080p stream at 3.2 GHz with the ultrafast preset.
+//!
+//! The paper's Fig. 2 plots, for threads ∈ {1, 2, 4, 6, 8, 10} and
+//! QP ∈ {22, 27, 32, 37}: (a) power vs. FPS and (b) PSNR vs. bandwidth.
+//! This target prints both series from the calibrated models so the
+//! envelope (≈5–45 FPS, ≈52–82 W, 32–40 dB, up to ≈1.5 MB/s) can be
+//! compared against the paper's axes.
+
+use mamut_core::{FixedController, KnobSettings};
+use mamut_encoder::wpp;
+use mamut_metrics::{Align, Table};
+use mamut_transcode::{ServerSim, SessionConfig};
+use mamut_video::catalog;
+
+fn main() {
+    let threads_sweep = [1u32, 2, 4, 6, 8, 10];
+    let qp_sweep = [22u8, 27, 32, 37];
+
+    let mut table = Table::new(
+        ["threads", "qp", "fps", "power_w", "psnr_db", "mbps", "MB/s"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    table.set_alignments(vec![Align::Right; 7]);
+
+    for &threads in &threads_sweep {
+        for &qp in &qp_sweep {
+            // Fresh single-session run per operating point, fixed knobs.
+            let spec = catalog::by_name("Cactus")
+                .expect("catalog entry")
+                .with_frame_count(200)
+                .expect("non-zero frames");
+            let mut server = ServerSim::with_default_platform();
+            server.add_session(
+                SessionConfig::single_video(spec, 7),
+                Box::new(FixedController::new(KnobSettings::new(qp, threads, 3.2))),
+            );
+            let summary = server
+                .run_to_completion(1_000_000)
+                .expect("characterization run completes");
+            let s = &summary.sessions[0];
+            table.add_row(vec![
+                threads.to_string(),
+                qp.to_string(),
+                format!("{:.1}", s.mean_fps),
+                format!("{:.1}", summary.mean_power_w),
+                format!("{:.1}", s.mean_psnr_db),
+                format!("{:.2}", s.mean_bitrate_mbps),
+                format!("{:.3}", s.mean_bitrate_mbps / 8.0),
+            ]);
+        }
+    }
+
+    println!("Figure 2 — 1080p (ultrafast) @ 3.2 GHz characterization");
+    println!("{table}");
+    println!(
+        "WPP saturation: HR = {} threads, LR = {} threads (paper: 12 / 5)",
+        wpp::saturation_threads(mamut_video::Resolution::FULL_HD),
+        wpp::saturation_threads(mamut_video::Resolution::WVGA),
+    );
+}

@@ -1,0 +1,51 @@
+//! **E2 — Figure 4**: Scenario I — ∆-QoS and power for the heuristic,
+//! mono-agent and MAMUT across homogeneous workloads (1–5 HR, 1–8 LR).
+//!
+//! The paper sweeps simultaneous same-resolution videos and reports, per
+//! workload, the percentage of frames under the 24 FPS target (∆) and the
+//! server power. Expected shape: MAMUT consistently draws the least power;
+//! its ∆ advantage grows with load until the machine saturates.
+
+use mamut_bench::{aggregate_mix, f1, ControllerKind, RunPlan};
+use mamut_metrics::{Align, Table};
+use mamut_transcode::MixSpec;
+
+fn main() {
+    let plan = RunPlan::default();
+    let reps = 5;
+
+    let mut mixes: Vec<MixSpec> = (1..=5).map(|n| MixSpec::new(n, 0)).collect();
+    mixes.extend((1..=8).map(|n| MixSpec::new(0, n)));
+
+    let mut table = Table::new(
+        [
+            "workload", "heur dP%", "heur W", "mono dP%", "mono W", "MAMUT dP%", "MAMUT W",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+    );
+    table.set_alignments(vec![
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+
+    for mix in mixes {
+        let mut cells = vec![mix.label()];
+        for kind in ControllerKind::ALL {
+            let agg = aggregate_mix(kind, mix, plan, reps);
+            cells.push(f1(agg.delta.mean()));
+            cells.push(f1(agg.watts.mean()));
+        }
+        eprintln!("fig4: finished {}", cells.join("  "));
+        table.add_row(cells);
+    }
+
+    println!("Figure 4 — Scenario I: delta-QoS (dP) and power per workload ({reps} seeds)");
+    println!("{table}");
+}

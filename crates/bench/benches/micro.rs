@@ -1,0 +1,111 @@
+//! **E7 — controller-overhead claim (§V-A)**: "the measured overhead
+//! introduced by the system is negligible (less than 0.05 % of the
+//! encoding time)".
+//!
+//! Criterion micro-benchmarks of the hot paths. At a 24 FPS target the
+//! frame budget is ≈41.7 ms, so 0.05 % is ≈20 µs — every per-frame
+//! operation below must land well under that.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mamut_core::{
+    Constraints, Controller, MamutConfig, MamutController, Observation, State,
+};
+use mamut_encoder::{HevcEncoder, Preset};
+use mamut_transcode::{homogeneous_sessions, MixSpec, ServerSim};
+use mamut_video::{FrameInfo, Resolution};
+
+fn trained_controller() -> MamutController {
+    let mut ctl = MamutController::new(MamutConfig::paper_hr().with_seed(3))
+        .expect("paper config is valid");
+    let c = Constraints::paper_defaults();
+    let mut obs = Observation {
+        fps: 25.0,
+        psnr_db: 34.0,
+        bitrate_mbps: 4.0,
+        power_w: 80.0,
+    };
+    for f in 0..30_000u64 {
+        obs.fps = 24.0 + ((f % 13) as f64) * 0.5;
+        ctl.begin_frame(f, &obs, &c);
+        ctl.end_frame(f, &obs, &c);
+    }
+    ctl
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let constraints = Constraints::paper_defaults();
+    let obs = Observation {
+        fps: 25.0,
+        psnr_db: 34.0,
+        bitrate_mbps: 4.0,
+        power_w: 80.0,
+    };
+
+    c.bench_function("mamut_frame_callback_pair", |b| {
+        let mut ctl = trained_controller();
+        let mut frame = 0u64;
+        b.iter(|| {
+            let k = ctl.begin_frame(black_box(frame), &obs, &constraints);
+            ctl.end_frame(frame, &obs, &constraints);
+            frame += 1;
+            black_box(k)
+        });
+    });
+
+    c.bench_function("state_from_observation", |b| {
+        b.iter(|| State::from_observation(black_box(&obs), black_box(&constraints)));
+    });
+}
+
+fn bench_encoder_model(c: &mut Criterion) {
+    let enc = HevcEncoder::new(Resolution::FULL_HD, Preset::Ultrafast);
+    let frame = FrameInfo {
+        index: 0,
+        complexity: 1.1,
+        scene_cut: false,
+    };
+    c.bench_function("encoder_model_encode", |b| {
+        b.iter(|| enc.encode(black_box(32), black_box(&frame)));
+    });
+}
+
+fn bench_server_step(c: &mut Criterion) {
+    c.bench_function("server_step_4_sessions", |b| {
+        b.iter_batched(
+            || {
+                let mut server = ServerSim::with_default_platform();
+                for (i, cfg) in homogeneous_sessions(MixSpec::new(2, 2), 100_000, 5)
+                    .into_iter()
+                    .enumerate()
+                {
+                    let is_hr = cfg
+                        .playlist
+                        .get(0)
+                        .expect("non-empty")
+                        .resolution()
+                        .is_high_resolution();
+                    let constraints = cfg.constraints;
+                    server.add_session(
+                        cfg,
+                        mamut_bench::ControllerKind::Mamut.build(is_hr, constraints, i as u64),
+                    );
+                }
+                server
+            },
+            |mut server| {
+                for _ in 0..64 {
+                    server.step();
+                }
+                black_box(server.time())
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(30);
+    targets = bench_controller, bench_encoder_model, bench_server_step
+);
+criterion_main!(micro);

@@ -1,0 +1,68 @@
+//! **E4 — Table I**: number of threads and frequency used on average, per
+//! controller and per resolution class.
+//!
+//! The paper's Table I (HR row / LR row, three controllers):
+//!
+//! ```text
+//!            MULTI-AGENT     MONO-AGENT      HEURISTIC
+//!            Nth   Freq      Nth   Freq      Nth   Freq
+//!   HR       10.1  2.8       9.2   2.9       5.9   3.2
+//!   LR       3.7   2.8       3.2   2.7       2.6   3.2
+//! ```
+//!
+//! Expected shape: MAMUT (and mono-agent) use *more threads at lower
+//! frequency*; the heuristic parks at maximum frequency with fewer
+//! threads. Averages are taken across the Scenario-I workloads.
+
+use mamut_bench::{aggregate_mix, f1, Aggregate, ControllerKind, RunPlan};
+use mamut_metrics::{Align, Table};
+use mamut_transcode::MixSpec;
+
+fn main() {
+    let plan = RunPlan::default();
+    let reps = 5;
+
+    // Same workload family as Fig. 4, restricted to moderate loads (the
+    // paper measures resource usage where real-time operation is feasible).
+    let hr_mixes: Vec<MixSpec> = (1..=3).map(|n| MixSpec::new(n, 0)).collect();
+    let lr_mixes: Vec<MixSpec> = (1..=5).map(|n| MixSpec::new(0, n)).collect();
+
+    let mut table = Table::new(
+        ["class", "ctrl", "Nth", "Freq (GHz)"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    table.set_alignments(vec![Align::Left, Align::Left, Align::Right, Align::Right]);
+
+    for (class, mixes, hr) in [("HR", &hr_mixes, true), ("LR", &lr_mixes, false)] {
+        for kind in ControllerKind::ALL {
+            let mut total = Aggregate::default();
+            for &mix in mixes {
+                let agg = aggregate_mix(kind, mix, plan, reps);
+                if hr {
+                    total.nth_hr.merge(&agg.nth_hr);
+                    total.freq_hr.merge(&agg.freq_hr);
+                } else {
+                    total.nth_lr.merge(&agg.nth_lr);
+                    total.freq_lr.merge(&agg.freq_lr);
+                }
+            }
+            let (nth, freq) = if hr {
+                (total.nth_hr.mean(), total.freq_hr.mean())
+            } else {
+                (total.nth_lr.mean(), total.freq_lr.mean())
+            };
+            table.add_row(vec![
+                class.to_string(),
+                kind.label().to_string(),
+                f1(nth),
+                format!("{freq:.1}"),
+            ]);
+            eprintln!("table1: {} {} done", class, kind.label());
+        }
+    }
+
+    println!("Table I — average threads and frequency ({reps} seeds per mix)");
+    println!("{table}");
+}

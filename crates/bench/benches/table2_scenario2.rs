@@ -1,0 +1,60 @@
+//! **E5 — Table II**: Scenario II — serving transcoding-request batches of
+//! variable resolution requirements.
+//!
+//! Each stream transcodes an initial video followed by four randomly
+//! selected same-resolution videos; mixes sweep 1HR1LR … 3HR3LR. The
+//! paper's Table II reports Watts / Nth / FPS / ∆ per controller. Expected
+//! shape: MAMUT draws the least power and keeps the lowest ∆; the
+//! mono-agent degrades fastest as the machine approaches saturation
+//! (3HR…) because its reduced action grid cannot adapt.
+
+use mamut_bench::{aggregate_scenario_ii, f1, ControllerKind, RunPlan};
+use mamut_metrics::{Align, Table};
+use mamut_transcode::MixSpec;
+
+fn main() {
+    let plan = RunPlan::default();
+    let reps = 5;
+    let followers = 4;
+
+    let mixes = [
+        MixSpec::new(1, 1),
+        MixSpec::new(1, 2),
+        MixSpec::new(2, 1),
+        MixSpec::new(2, 2),
+        MixSpec::new(2, 3),
+        MixSpec::new(2, 4),
+        MixSpec::new(3, 1),
+        MixSpec::new(3, 2),
+        MixSpec::new(3, 3),
+    ];
+
+    let mut headers = vec!["mix".to_string()];
+    for kind in ControllerKind::ALL {
+        for col in ["W", "Nth", "FPS", "dP%"] {
+            headers.push(format!("{} {col}", kind.label()));
+        }
+    }
+    let mut table = Table::new(headers);
+    let mut aligns = vec![Align::Left];
+    aligns.extend(vec![Align::Right; 12]);
+    table.set_alignments(aligns);
+
+    for mix in mixes {
+        let mut cells = vec![mix.label()];
+        for kind in ControllerKind::ALL {
+            let agg = aggregate_scenario_ii(kind, mix, followers, plan, reps);
+            cells.push(f1(agg.watts.mean()));
+            cells.push(f1(agg.nth.mean()));
+            cells.push(f1(agg.fps.mean()));
+            cells.push(f1(agg.delta.mean()));
+        }
+        eprintln!("table2: finished {}", cells.join("  "));
+        table.add_row(cells);
+    }
+
+    println!(
+        "Table II — Scenario II batches (initial + {followers} followers, {reps} seeds)"
+    );
+    println!("{table}");
+}

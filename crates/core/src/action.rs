@@ -1,0 +1,378 @@
+use std::fmt;
+
+use crate::CoreError;
+
+/// Which agent a value belongs to.
+///
+/// The three specialist kinds are MAMUT's agents; [`AgentKind::Joint`]
+/// identifies the mono-agent baseline's single agent whose actions are
+/// full knob combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AgentKind {
+    /// `AGqp` — tunes the HEVC quantization parameter.
+    Qp,
+    /// `AGthread` — sets the number of WPP encoding threads.
+    Thread,
+    /// `AGdvfs` — sets the per-core DVFS frequency.
+    Dvfs,
+    /// The mono-agent baseline's joint-action agent (not part of MAMUT).
+    Joint,
+}
+
+impl AgentKind {
+    /// MAMUT's agents in schedule-priority order (slowest first, Fig. 3).
+    pub const ALL: [AgentKind; 3] = [AgentKind::Qp, AgentKind::Thread, AgentKind::Dvfs];
+
+    /// Stable index (0 = QP, 1 = threads, 2 = DVFS, 3 = joint).
+    pub fn index(self) -> usize {
+        match self {
+            AgentKind::Qp => 0,
+            AgentKind::Thread => 1,
+            AgentKind::Dvfs => 2,
+            AgentKind::Joint => 3,
+        }
+    }
+
+    /// Inverse of [`AgentKind::index`] for MAMUT's three agents.
+    /// `Joint` is not addressable by index (it never sits in the chain).
+    pub fn from_index(index: usize) -> Option<AgentKind> {
+        AgentKind::ALL.get(index).copied()
+    }
+}
+
+impl fmt::Display for AgentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AgentKind::Qp => "AGqp",
+            AgentKind::Thread => "AGthread",
+            AgentKind::Dvfs => "AGdvfs",
+            AgentKind::Joint => "AGjoint",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The full knob vector a controller actuates on its stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnobSettings {
+    /// HEVC quantization parameter.
+    pub qp: u8,
+    /// Number of WPP encoding threads.
+    pub threads: u32,
+    /// Per-core DVFS frequency in GHz.
+    pub freq_ghz: f64,
+}
+
+impl KnobSettings {
+    /// Creates a knob vector.
+    pub fn new(qp: u8, threads: u32, freq_ghz: f64) -> Self {
+        KnobSettings {
+            qp,
+            threads,
+            freq_ghz,
+        }
+    }
+}
+
+impl fmt::Display for KnobSettings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "qp={} threads={} freq={:.1}GHz",
+            self.qp, self.threads, self.freq_ghz
+        )
+    }
+}
+
+/// The decomposed action space: one disjoint value set per agent
+/// (paper §III: `A = A1 ∪ A2 ∪ A3`, pairwise disjoint).
+///
+/// # Example
+///
+/// ```
+/// use mamut_core::{ActionSpace, AgentKind, KnobSettings};
+///
+/// let space = ActionSpace::paper_hr().unwrap();
+/// assert_eq!(space.len(AgentKind::Qp), 7);
+/// assert_eq!(space.len(AgentKind::Thread), 12);
+/// assert_eq!(space.len(AgentKind::Dvfs), 6);
+///
+/// let mut knobs = KnobSettings::new(32, 8, 2.6);
+/// space.apply(AgentKind::Qp, 0, &mut knobs);
+/// assert_eq!(knobs.qp, 22); // first QP action
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionSpace {
+    qp_values: Vec<u8>,
+    thread_values: Vec<u32>,
+    dvfs_values_ghz: Vec<f64>,
+}
+
+impl ActionSpace {
+    /// Creates an action space, validating that each set is non-empty and
+    /// strictly increasing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyActionSet`] or
+    /// [`CoreError::UnsortedActionSet`].
+    pub fn new(
+        qp_values: Vec<u8>,
+        thread_values: Vec<u32>,
+        dvfs_values_ghz: Vec<f64>,
+    ) -> Result<Self, CoreError> {
+        fn check_sorted<T: PartialOrd>(v: &[T], name: &'static str) -> Result<(), CoreError> {
+            if v.is_empty() {
+                return Err(CoreError::EmptyActionSet(name));
+            }
+            for pair in v.windows(2) {
+                if pair[1] <= pair[0] {
+                    return Err(CoreError::UnsortedActionSet(name));
+                }
+            }
+            Ok(())
+        }
+        check_sorted(&qp_values, "qp")?;
+        check_sorted(&thread_values, "threads")?;
+        check_sorted(&dvfs_values_ghz, "dvfs")?;
+        Ok(ActionSpace {
+            qp_values,
+            thread_values,
+            dvfs_values_ghz,
+        })
+    }
+
+    /// The paper's HR action space: QP {22,25,27,29,32,35,37},
+    /// threads 1..=12, DVFS {1.6,1.9,2.3,2.6,2.9,3.2} GHz.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the signature keeps construction uniform.
+    pub fn paper_hr() -> Result<Self, CoreError> {
+        ActionSpace::new(
+            vec![22, 25, 27, 29, 32, 35, 37],
+            (1..=12).collect(),
+            vec![1.6, 1.9, 2.3, 2.6, 2.9, 3.2],
+        )
+    }
+
+    /// The paper's LR action space (threads capped at the 832×480 WPP
+    /// saturation point of 5).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; the signature keeps construction uniform.
+    pub fn paper_lr() -> Result<Self, CoreError> {
+        ActionSpace::new(
+            vec![22, 25, 27, 29, 32, 35, 37],
+            (1..=5).collect(),
+            vec![1.6, 1.9, 2.3, 2.6, 2.9, 3.2],
+        )
+    }
+
+    /// Number of actions available to an agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`AgentKind::Joint`] — the joint grid lives in the
+    /// mono-agent baseline, not in the decomposed space.
+    pub fn len(&self, kind: AgentKind) -> usize {
+        match kind {
+            AgentKind::Qp => self.qp_values.len(),
+            AgentKind::Thread => self.thread_values.len(),
+            AgentKind::Dvfs => self.dvfs_values_ghz.len(),
+            AgentKind::Joint => panic!("ActionSpace holds decomposed sets, not the joint grid"),
+        }
+    }
+
+    /// Whether an agent's action set is empty (never true once constructed).
+    pub fn is_empty(&self, kind: AgentKind) -> bool {
+        self.len(kind) == 0
+    }
+
+    /// Total number of actions across all agents.
+    pub fn total_len(&self) -> usize {
+        self.qp_values.len() + self.thread_values.len() + self.dvfs_values_ghz.len()
+    }
+
+    /// QP values.
+    pub fn qp_values(&self) -> &[u8] {
+        &self.qp_values
+    }
+
+    /// Thread-count values.
+    pub fn thread_values(&self) -> &[u32] {
+        &self.thread_values
+    }
+
+    /// DVFS frequency values (GHz).
+    pub fn dvfs_values_ghz(&self) -> &[f64] {
+        &self.dvfs_values_ghz
+    }
+
+    /// Applies action `index` of agent `kind` to a knob vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the agent's action set, or for
+    /// [`AgentKind::Joint`].
+    pub fn apply(&self, kind: AgentKind, index: usize, knobs: &mut KnobSettings) {
+        match kind {
+            AgentKind::Qp => knobs.qp = self.qp_values[index],
+            AgentKind::Thread => knobs.threads = self.thread_values[index],
+            AgentKind::Dvfs => knobs.freq_ghz = self.dvfs_values_ghz[index],
+            AgentKind::Joint => panic!("ActionSpace holds decomposed sets, not the joint grid"),
+        }
+    }
+
+    /// Index of the action whose value is closest to the current knob
+    /// setting — used to seed agents at their initial configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`AgentKind::Joint`].
+    pub fn nearest_index(&self, kind: AgentKind, knobs: &KnobSettings) -> usize {
+        match kind {
+            AgentKind::Joint => panic!("ActionSpace holds decomposed sets, not the joint grid"),
+            AgentKind::Qp => nearest(&self.qp_values, knobs.qp, |v| f64::from(*v)),
+            AgentKind::Thread => nearest(&self.thread_values, knobs.threads, |v| f64::from(*v)),
+            AgentKind::Dvfs => {
+                let target = knobs.freq_ghz;
+                self.dvfs_values_ghz
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        (*a - target)
+                            .abs()
+                            .partial_cmp(&(*b - target).abs())
+                            .expect("frequencies are finite")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("action set is non-empty")
+            }
+        }
+    }
+
+    /// Human-readable description of an action (for traces and logs).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`AgentKind::Joint`].
+    pub fn describe(&self, kind: AgentKind, index: usize) -> String {
+        match kind {
+            AgentKind::Qp => format!("qp={}", self.qp_values[index]),
+            AgentKind::Thread => format!("threads={}", self.thread_values[index]),
+            AgentKind::Dvfs => format!("freq={:.1}GHz", self.dvfs_values_ghz[index]),
+            AgentKind::Joint => panic!("ActionSpace holds decomposed sets, not the joint grid"),
+        }
+    }
+}
+
+fn nearest<T, F: Fn(&T) -> f64>(values: &[T], target: T, to_f64: F) -> usize
+where
+    T: Copy,
+{
+    let t = to_f64(&target);
+    values
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            (to_f64(a) - t)
+                .abs()
+                .partial_cmp(&(to_f64(b) - t).abs())
+                .expect("values are finite")
+        })
+        .map(|(i, _)| i)
+        .expect("action set is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_hr_sets_match_section_iii() {
+        let s = ActionSpace::paper_hr().unwrap();
+        assert_eq!(s.qp_values(), &[22, 25, 27, 29, 32, 35, 37]);
+        assert_eq!(s.thread_values().len(), 12);
+        assert_eq!(s.thread_values()[0], 1);
+        assert_eq!(s.thread_values()[11], 12);
+        assert_eq!(s.dvfs_values_ghz(), &[1.6, 1.9, 2.3, 2.6, 2.9, 3.2]);
+        assert_eq!(s.total_len(), 7 + 12 + 6);
+    }
+
+    #[test]
+    fn paper_lr_thread_cap_is_five() {
+        let s = ActionSpace::paper_lr().unwrap();
+        assert_eq!(s.thread_values(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_and_unsorted_sets_rejected() {
+        assert_eq!(
+            ActionSpace::new(vec![], vec![1], vec![1.6]).unwrap_err(),
+            CoreError::EmptyActionSet("qp")
+        );
+        assert_eq!(
+            ActionSpace::new(vec![22, 22], vec![1], vec![1.6]).unwrap_err(),
+            CoreError::UnsortedActionSet("qp")
+        );
+        assert_eq!(
+            ActionSpace::new(vec![22], vec![2, 1], vec![1.6]).unwrap_err(),
+            CoreError::UnsortedActionSet("threads")
+        );
+        assert_eq!(
+            ActionSpace::new(vec![22], vec![1], vec![3.2, 1.6]).unwrap_err(),
+            CoreError::UnsortedActionSet("dvfs")
+        );
+    }
+
+    #[test]
+    fn apply_changes_only_the_owned_knob() {
+        let s = ActionSpace::paper_hr().unwrap();
+        let mut k = KnobSettings::new(32, 8, 2.6);
+        s.apply(AgentKind::Thread, 11, &mut k);
+        assert_eq!(k, KnobSettings::new(32, 12, 2.6));
+        s.apply(AgentKind::Dvfs, 0, &mut k);
+        assert_eq!(k, KnobSettings::new(32, 12, 1.6));
+        s.apply(AgentKind::Qp, 6, &mut k);
+        assert_eq!(k, KnobSettings::new(37, 12, 1.6));
+    }
+
+    #[test]
+    fn nearest_index_snaps_each_knob() {
+        let s = ActionSpace::paper_hr().unwrap();
+        let k = KnobSettings::new(33, 9, 2.7);
+        assert_eq!(s.qp_values()[s.nearest_index(AgentKind::Qp, &k)], 32);
+        assert_eq!(s.thread_values()[s.nearest_index(AgentKind::Thread, &k)], 9);
+        assert_eq!(
+            s.dvfs_values_ghz()[s.nearest_index(AgentKind::Dvfs, &k)],
+            2.6
+        );
+    }
+
+    #[test]
+    fn agent_kind_index_round_trips() {
+        for k in AgentKind::ALL {
+            assert_eq!(AgentKind::from_index(k.index()), Some(k));
+        }
+        assert_eq!(AgentKind::from_index(3), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AgentKind::Qp.to_string(), "AGqp");
+        assert_eq!(AgentKind::Thread.to_string(), "AGthread");
+        assert_eq!(AgentKind::Dvfs.to_string(), "AGdvfs");
+        let k = KnobSettings::new(32, 8, 2.6);
+        assert_eq!(k.to_string(), "qp=32 threads=8 freq=2.6GHz");
+    }
+
+    #[test]
+    fn describe_actions() {
+        let s = ActionSpace::paper_hr().unwrap();
+        assert_eq!(s.describe(AgentKind::Qp, 0), "qp=22");
+        assert_eq!(s.describe(AgentKind::Thread, 3), "threads=4");
+        assert_eq!(s.describe(AgentKind::Dvfs, 5), "freq=3.2GHz");
+    }
+}

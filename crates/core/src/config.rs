@@ -1,0 +1,250 @@
+use crate::learning::LearningRateParams;
+use crate::reward::RewardWeights;
+use crate::{ActionSpace, AgentSchedule, Constraints, CoreError, KnobSettings, Sequencer};
+
+/// Full configuration of a [`MamutController`](crate::MamutController).
+///
+/// [`MamutConfig::paper_hr`] and [`MamutConfig::paper_lr`] reproduce the
+/// paper's setup for 1080p and 832×480 streams respectively; builder-style
+/// `with_*` methods adjust individual fields for experiments and ablations.
+///
+/// # Example
+///
+/// ```
+/// use mamut_core::MamutConfig;
+///
+/// let cfg = MamutConfig::paper_hr()
+///     .with_seed(7)
+///     .with_gamma(0.5)
+///     .unwrap();
+/// assert_eq!(cfg.gamma, 0.5);
+/// assert_eq!(cfg.actions.thread_values().len(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MamutConfig {
+    /// Decomposed action sets for the three agents.
+    pub actions: ActionSpace,
+    /// Acting schedules (QP, threads, DVFS) — Fig. 3.
+    pub schedules: [AgentSchedule; 3],
+    /// Discount factor γ (0.6 in the paper).
+    pub gamma: f64,
+    /// Eq. 3 learning-rate parameters and phase thresholds.
+    pub learning: LearningRateParams,
+    /// Default constraints (scenarios may override per call).
+    pub constraints: Constraints,
+    /// Reward weights (1.0 each in the paper).
+    pub reward_weights: RewardWeights,
+    /// Knobs in force before the first decision.
+    pub initial_knobs: KnobSettings,
+    /// RNG seed for exploration.
+    pub seed: u64,
+    /// Ablation: average observations over NULL slots (§IV-A). `false`
+    /// bootstraps from the single next-frame observation instead.
+    pub null_averaging: bool,
+    /// Ablation: use Algorithm 1's cooperative look-ahead. `false` makes
+    /// exploitation greedy on each agent's own Q-table.
+    pub cooperative_lookahead: bool,
+}
+
+impl MamutConfig {
+    /// Paper configuration for HR (1080p) streams: threads 1..=12.
+    pub fn paper_hr() -> Self {
+        MamutConfig::paper_with_actions(
+            ActionSpace::paper_hr().expect("paper HR action space is valid"),
+            KnobSettings::new(32, 6, 2.6),
+        )
+    }
+
+    /// Paper configuration for LR (832×480) streams: threads 1..=5.
+    pub fn paper_lr() -> Self {
+        MamutConfig::paper_with_actions(
+            ActionSpace::paper_lr().expect("paper LR action space is valid"),
+            KnobSettings::new(32, 3, 2.6),
+        )
+    }
+
+    fn paper_with_actions(actions: ActionSpace, initial: KnobSettings) -> Self {
+        MamutConfig {
+            actions,
+            schedules: [
+                AgentSchedule { period: 24, offset: 0 },
+                AgentSchedule { period: 12, offset: 1 },
+                AgentSchedule { period: 6, offset: 2 },
+            ],
+            gamma: 0.6,
+            learning: LearningRateParams::paper_defaults(),
+            constraints: Constraints::paper_defaults(),
+            reward_weights: RewardWeights::default(),
+            initial_knobs: initial,
+            seed: 0,
+            null_averaging: true,
+            cooperative_lookahead: true,
+        }
+    }
+
+    /// Replaces the action space.
+    pub fn with_actions(mut self, actions: ActionSpace) -> Self {
+        self.actions = actions;
+        self
+    }
+
+    /// Replaces the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces γ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParam`] unless `0 ≤ γ < 1`.
+    pub fn with_gamma(mut self, gamma: f64) -> Result<Self, CoreError> {
+        if !(gamma.is_finite() && (0.0..1.0).contains(&gamma)) {
+            return Err(CoreError::InvalidParam {
+                name: "gamma",
+                value: gamma,
+            });
+        }
+        self.gamma = gamma;
+        Ok(self)
+    }
+
+    /// Replaces the constraints.
+    pub fn with_constraints(mut self, constraints: Constraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Replaces the learning-rate parameters.
+    pub fn with_learning(mut self, learning: LearningRateParams) -> Self {
+        self.learning = learning;
+        self
+    }
+
+    /// Replaces the reward weights.
+    pub fn with_reward_weights(mut self, weights: RewardWeights) -> Self {
+        self.reward_weights = weights;
+        self
+    }
+
+    /// Replaces the initial knob settings.
+    pub fn with_initial_knobs(mut self, knobs: KnobSettings) -> Self {
+        self.initial_knobs = knobs;
+        self
+    }
+
+    /// Toggles NULL-slot averaging (ablation).
+    pub fn with_null_averaging(mut self, on: bool) -> Self {
+        self.null_averaging = on;
+        self
+    }
+
+    /// Toggles the cooperative look-ahead (ablation).
+    pub fn with_cooperative_lookahead(mut self, on: bool) -> Self {
+        self.cooperative_lookahead = on;
+        self
+    }
+
+    /// Validates the whole configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CoreError`] found: invalid learning parameters,
+    /// γ out of `[0, 1)`, or colliding schedules.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.learning.validate()?;
+        if !(self.gamma.is_finite() && (0.0..1.0).contains(&self.gamma)) {
+            return Err(CoreError::InvalidParam {
+                name: "gamma",
+                value: self.gamma,
+            });
+        }
+        if !(self.constraints.target_fps.is_finite() && self.constraints.target_fps > 0.0) {
+            return Err(CoreError::InvalidParam {
+                name: "target_fps",
+                value: self.constraints.target_fps,
+            });
+        }
+        // Sequencer::new re-validates collision freedom.
+        Sequencer::new(self.schedules.to_vec())?;
+        Ok(())
+    }
+
+    /// Builds the sequencer described by `schedules`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSchedule`] if the schedules collide.
+    pub fn sequencer(&self) -> Result<Sequencer, CoreError> {
+        Sequencer::new(self.schedules.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_validate() {
+        assert!(MamutConfig::paper_hr().validate().is_ok());
+        assert!(MamutConfig::paper_lr().validate().is_ok());
+    }
+
+    #[test]
+    fn paper_hr_matches_section_iii() {
+        let c = MamutConfig::paper_hr();
+        assert_eq!(c.gamma, 0.6);
+        assert_eq!(c.learning, LearningRateParams::paper_defaults());
+        assert_eq!(c.schedules[0], AgentSchedule { period: 24, offset: 0 });
+        assert_eq!(c.schedules[1], AgentSchedule { period: 12, offset: 1 });
+        assert_eq!(c.schedules[2], AgentSchedule { period: 6, offset: 2 });
+        assert!(c.null_averaging);
+        assert!(c.cooperative_lookahead);
+    }
+
+    #[test]
+    fn lr_config_caps_threads_at_five() {
+        let c = MamutConfig::paper_lr();
+        assert_eq!(c.actions.thread_values().last(), Some(&5));
+    }
+
+    #[test]
+    fn with_gamma_validates() {
+        assert!(MamutConfig::paper_hr().with_gamma(1.0).is_err());
+        assert!(MamutConfig::paper_hr().with_gamma(-0.1).is_err());
+        assert!(MamutConfig::paper_hr().with_gamma(f64::NAN).is_err());
+        assert_eq!(MamutConfig::paper_hr().with_gamma(0.0).unwrap().gamma, 0.0);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = MamutConfig::paper_lr()
+            .with_seed(99)
+            .with_null_averaging(false)
+            .with_cooperative_lookahead(false)
+            .with_initial_knobs(KnobSettings::new(27, 2, 1.9));
+        assert_eq!(c.seed, 99);
+        assert!(!c.null_averaging);
+        assert!(!c.cooperative_lookahead);
+        assert_eq!(c.initial_knobs.qp, 27);
+    }
+
+    #[test]
+    fn invalid_target_fps_rejected() {
+        let mut c = MamutConfig::paper_hr();
+        c.constraints.target_fps = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn colliding_schedules_rejected_by_validate() {
+        let mut c = MamutConfig::paper_hr();
+        c.schedules = [
+            AgentSchedule { period: 6, offset: 0 },
+            AgentSchedule { period: 6, offset: 0 },
+            AgentSchedule { period: 6, offset: 2 },
+        ];
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,134 @@
+use crate::{Constraints, KnobSettings, Observation};
+
+/// A run-time manager for one transcoding session.
+///
+/// The simulator (or a real deployment shim) drives implementations through
+/// two callbacks per frame:
+///
+/// 1. [`Controller::begin_frame`] right before a frame starts — the
+///    controller may return new [`KnobSettings`] to apply to the encoder
+///    and the platform for this and subsequent frames;
+/// 2. [`Controller::end_frame`] when the frame completes, carrying the
+///    measured [`Observation`].
+///
+/// `constraints` are passed on every call so scenarios can change them
+/// mid-run (bandwidth drops, power-cap changes); implementations must pick
+/// up the new values on the next decision.
+///
+/// Implementations in this workspace: [`MamutController`](crate::MamutController)
+/// (the paper's system), plus the mono-agent Q-learning, heuristic and
+/// static baselines in `mamut-baselines`.
+pub trait Controller: std::any::Any {
+    /// Short human-readable name for reports ("mamut", "heuristic", …).
+    fn name(&self) -> &str;
+
+    /// Called right before `frame` starts. Returns `Some(knobs)` to change
+    /// the stream's settings, `None` to keep them.
+    fn begin_frame(
+        &mut self,
+        frame: u64,
+        obs: &Observation,
+        constraints: &Constraints,
+    ) -> Option<KnobSettings>;
+
+    /// Called when `frame` completes with its measured observation.
+    fn end_frame(&mut self, frame: u64, obs: &Observation, constraints: &Constraints);
+
+    /// Upcast for diagnostics (e.g. reading a trained controller's
+    /// Q-tables or maturity report after a run).
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// A trivial controller that never changes the initial knobs.
+///
+/// Useful as a control group in experiments and for characterization
+/// sweeps (Fig. 2) where the knobs must stay fixed.
+///
+/// # Example
+///
+/// ```
+/// use mamut_core::{Controller, FixedController, KnobSettings};
+///
+/// let mut c = FixedController::new(KnobSettings::new(32, 8, 2.6));
+/// assert_eq!(c.name(), "fixed");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedController {
+    knobs: KnobSettings,
+    announced: bool,
+}
+
+impl FixedController {
+    /// Creates a controller pinned to `knobs`.
+    pub fn new(knobs: KnobSettings) -> Self {
+        FixedController {
+            knobs,
+            announced: false,
+        }
+    }
+
+    /// The pinned knob settings.
+    pub fn knobs(&self) -> KnobSettings {
+        self.knobs
+    }
+}
+
+impl Controller for FixedController {
+    fn name(&self) -> &str {
+        "fixed"
+    }
+
+    fn begin_frame(
+        &mut self,
+        _frame: u64,
+        _obs: &Observation,
+        _constraints: &Constraints,
+    ) -> Option<KnobSettings> {
+        if self.announced {
+            None
+        } else {
+            self.announced = true;
+            Some(self.knobs)
+        }
+    }
+
+    fn end_frame(&mut self, _frame: u64, _obs: &Observation, _constraints: &Constraints) {}
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs() -> Observation {
+        Observation {
+            fps: 24.0,
+            psnr_db: 35.0,
+            bitrate_mbps: 4.0,
+            power_w: 80.0,
+        }
+    }
+
+    #[test]
+    fn fixed_controller_announces_once() {
+        let knobs = KnobSettings::new(27, 4, 1.9);
+        let mut c = FixedController::new(knobs);
+        let c0 = c.begin_frame(0, &obs(), &Constraints::paper_defaults());
+        assert_eq!(c0, Some(knobs));
+        for f in 1..10 {
+            assert_eq!(c.begin_frame(f, &obs(), &Constraints::paper_defaults()), None);
+            c.end_frame(f, &obs(), &Constraints::paper_defaults());
+        }
+        assert_eq!(c.knobs(), knobs);
+    }
+
+    #[test]
+    fn controller_trait_is_object_safe() {
+        let c = FixedController::new(KnobSettings::new(32, 8, 2.6));
+        let boxed: Box<dyn Controller> = Box::new(c);
+        assert_eq!(boxed.name(), "fixed");
+    }
+}

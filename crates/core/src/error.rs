@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when configuring the MAMUT controller.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An agent's action set is empty.
+    EmptyActionSet(&'static str),
+    /// An action set is not strictly increasing.
+    UnsortedActionSet(&'static str),
+    /// A scalar parameter is outside its valid range.
+    InvalidParam {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// An agent schedule is invalid (zero period or offset ≥ period).
+    InvalidSchedule(&'static str),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyActionSet(which) => {
+                write!(f, "action set for {which} must not be empty")
+            }
+            CoreError::UnsortedActionSet(which) => {
+                write!(f, "action set for {which} must be strictly increasing")
+            }
+            CoreError::InvalidParam { name, value } => {
+                write!(f, "controller parameter {name} has invalid value {value}")
+            }
+            CoreError::InvalidSchedule(why) => write!(f, "invalid agent schedule: {why}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        assert!(CoreError::EmptyActionSet("qp").to_string().contains("qp"));
+        assert!(CoreError::InvalidParam {
+            name: "gamma",
+            value: 1.5
+        }
+        .to_string()
+        .contains("gamma"));
+    }
+
+    #[test]
+    fn error_bounds() {
+        fn assert_bounds<T: Error + Send + Sync>() {}
+        assert_bounds::<CoreError>();
+    }
+}

@@ -1,0 +1,243 @@
+//! Learning-rate schedule (Eq. 3) and learning-phase machinery (§IV).
+//!
+//! Each agent has a per-state-action learning rate
+//!
+//! ```text
+//! α_i(s, a) = β_i / Num(s, a)  +  β'_i / (1 + Σ_{j≠i} min_{a∈A_j} Num(a))
+//! ```
+//!
+//! The first term is the classic visit-count decay; the second — the
+//! paper's contribution — refuses to fall until **every other agent has
+//! tried all of its actions**, preventing an agent from declaring its
+//! exploration finished while the environment (which includes its peers!)
+//! is still changing its behaviour.
+//!
+//! Phase thresholds (§IV-A/§IV-C): a state leaves *exploration* when every
+//! action's α drops below `α_th1` and enters *exploitation* when every α
+//! drops below `α_th2`. Newly observed states re-enter exploration.
+
+use crate::CoreError;
+
+/// Learning phase of a state (progression is per state, not global).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// Random actions; Q-table and transition model updated.
+    Exploration,
+    /// Greedy actions, still updating (α between the two thresholds).
+    ExplorationExploitation,
+    /// Cooperative exploitation via Algorithm 1.
+    Exploitation,
+}
+
+/// Parameters of Eq. 3 and the phase thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearningRateParams {
+    /// β — visit-count decay numerator.
+    pub beta: f64,
+    /// β′ — peer-exploration term numerator. Set to 0.0 to ablate the
+    /// paper's second term (reducing Eq. 3 to the literature form).
+    pub beta_prime: f64,
+    /// α_th1 — exploration → exploration-exploitation threshold.
+    pub alpha_th1: f64,
+    /// α_th2 — exploration-exploitation → exploitation threshold.
+    pub alpha_th2: f64,
+}
+
+impl LearningRateParams {
+    /// The paper's experimentally chosen values (§IV-B):
+    /// β = 0.3, β′ = 0.2, α_th1 = 0.1, α_th2 = 0.05.
+    pub fn paper_defaults() -> Self {
+        LearningRateParams {
+            beta: 0.3,
+            beta_prime: 0.2,
+            alpha_th1: 0.1,
+            alpha_th2: 0.05,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParam`] for non-positive β, negative β′,
+    /// or thresholds that are non-positive or out of order.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let bad = |name: &'static str, value: f64| CoreError::InvalidParam { name, value };
+        if !(self.beta.is_finite() && self.beta > 0.0) {
+            return Err(bad("beta", self.beta));
+        }
+        if !(self.beta_prime.is_finite() && self.beta_prime >= 0.0) {
+            return Err(bad("beta_prime", self.beta_prime));
+        }
+        if !(self.alpha_th1.is_finite() && self.alpha_th1 > 0.0) {
+            return Err(bad("alpha_th1", self.alpha_th1));
+        }
+        if !(self.alpha_th2.is_finite() && self.alpha_th2 > 0.0) {
+            return Err(bad("alpha_th2", self.alpha_th2));
+        }
+        if self.alpha_th2 >= self.alpha_th1 {
+            return Err(bad("alpha_th2", self.alpha_th2));
+        }
+        Ok(())
+    }
+
+    /// Eq. 3 — the learning rate for a state-action pair.
+    ///
+    /// `num_sa` is `Num(s, a)`; `peer_min_sum` is
+    /// `Σ_{j≠i} min_{a∈A_j} Num(a)`. An unvisited pair (`num_sa == 0`)
+    /// yields `f64::INFINITY`, which keeps it firmly in exploration.
+    pub fn alpha(&self, num_sa: u32, peer_min_sum: u32) -> f64 {
+        if num_sa == 0 {
+            return f64::INFINITY;
+        }
+        self.beta / f64::from(num_sa)
+            + self.beta_prime / (1.0 + f64::from(peer_min_sum))
+    }
+
+    /// Classifies a single α against the two thresholds.
+    pub fn phase_of_alpha(&self, alpha: f64) -> Phase {
+        if alpha >= self.alpha_th1 {
+            Phase::Exploration
+        } else if alpha >= self.alpha_th2 {
+            Phase::ExplorationExploitation
+        } else {
+            Phase::Exploitation
+        }
+    }
+}
+
+impl Default for LearningRateParams {
+    fn default() -> Self {
+        LearningRateParams::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> LearningRateParams {
+        LearningRateParams::paper_defaults()
+    }
+
+    #[test]
+    fn paper_defaults_validate() {
+        assert!(p().validate().is_ok());
+    }
+
+    #[test]
+    fn unvisited_pair_is_infinite() {
+        assert_eq!(p().alpha(0, 100), f64::INFINITY);
+        assert_eq!(p().phase_of_alpha(f64::INFINITY), Phase::Exploration);
+    }
+
+    #[test]
+    fn alpha_decreases_with_visits() {
+        let params = p();
+        let mut last = f64::INFINITY;
+        for n in 1..50 {
+            let a = params.alpha(n, 1000);
+            assert!(a < last);
+            last = a;
+        }
+    }
+
+    #[test]
+    fn alpha_decreases_with_peer_exploration() {
+        let params = p();
+        let mut last = f64::INFINITY;
+        for peers in [0, 1, 3, 7, 15, 100] {
+            let a = params.alpha(10, peers);
+            assert!(a < last);
+            last = a;
+        }
+    }
+
+    #[test]
+    fn peer_term_blocks_exploitation_until_peers_have_acted() {
+        // Even with many visits of (s,a), α stays above α_th2 = 0.05 while
+        // peers haven't explored: β'/(1+0) = 0.2 alone exceeds it.
+        let params = p();
+        let a = params.alpha(1000, 0);
+        assert!(a > params.alpha_th2);
+        assert_ne!(params.phase_of_alpha(a), Phase::Exploitation);
+    }
+
+    #[test]
+    fn exploitation_needs_both_terms_small() {
+        let params = p();
+        // β/7 ≈ 0.043 < 0.05 and β'/(1+7) = 0.025 → sum 0.068 > 0.05: not yet.
+        assert_eq!(
+            params.phase_of_alpha(params.alpha(7, 7)),
+            Phase::ExplorationExploitation
+        );
+        // With peers well explored the same visit count exploits.
+        assert_eq!(
+            params.phase_of_alpha(params.alpha(12, 39)),
+            Phase::Exploitation
+        );
+    }
+
+    #[test]
+    fn phase_boundaries_are_half_open() {
+        let params = p();
+        assert_eq!(params.phase_of_alpha(0.1), Phase::Exploration);
+        assert_eq!(
+            params.phase_of_alpha(0.099999),
+            Phase::ExplorationExploitation
+        );
+        assert_eq!(params.phase_of_alpha(0.05), Phase::ExplorationExploitation);
+        assert_eq!(params.phase_of_alpha(0.049999), Phase::Exploitation);
+    }
+
+    #[test]
+    fn literature_ablation_drops_peer_term() {
+        let ablated = LearningRateParams {
+            beta_prime: 0.0,
+            ..p()
+        };
+        assert!(ablated.validate().is_ok());
+        // Without the peer term, exploitation is reachable with zero peer
+        // exploration — the failure mode the paper designs against.
+        assert_eq!(
+            ablated.phase_of_alpha(ablated.alpha(7, 0)),
+            Phase::Exploitation
+        );
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let base = p();
+        assert!(LearningRateParams { beta: 0.0, ..base }.validate().is_err());
+        assert!(LearningRateParams {
+            beta_prime: -0.1,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(LearningRateParams {
+            alpha_th1: 0.0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(LearningRateParams {
+            alpha_th2: 0.2,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(LearningRateParams {
+            beta: f64::NAN,
+            ..base
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn phases_order() {
+        assert!(Phase::Exploration < Phase::ExplorationExploitation);
+        assert!(Phase::ExplorationExploitation < Phase::Exploitation);
+    }
+}

@@ -1,0 +1,86 @@
+//! MAMUT: multi-agent Q-learning for QoS-aware real-time video transcoding.
+//!
+//! This crate is the faithful reimplementation of the paper's contribution
+//! (Costero et al., DATE 2019): three cooperating Q-learning agents that
+//! tune, per video stream,
+//!
+//! * the HEVC **Quantization Parameter** (`AGqp`, every 24 frames),
+//! * the number of **WPP encoding threads** (`AGthread`, every 12 frames,
+//!   offset 1), and
+//! * the per-core **DVFS frequency** (`AGdvfs`, every 6 frames, offset 2),
+//!
+//! observing a shared discrete state — FPS, PSNR, bitrate and power buckets
+//! ([`State`], 180 states) — and maximizing throughput/quality rewards under
+//! bitrate and power constraints ([`reward`], Eq. 1–2 of the paper).
+//!
+//! The multi-agent mechanics follow §IV of the paper:
+//!
+//! * a per-state-action **learning rate** (Eq. 3) whose second term keeps an
+//!   agent exploring until its peers have tried all of their actions
+//!   ([`learning`]);
+//! * an empirical **transition model** `P(s --a--> s')` recorded during
+//!   exploration ([`TransitionModel`]);
+//! * **NULL-slot averaging**: observations on frames where no agent acts are
+//!   averaged into the next-state estimate, filtering content noise;
+//! * cooperative **exploitation** (Algorithm 1): each agent maximizes the
+//!   expected Q-value at the end of the chain of agents that act on the
+//!   following frames, falling back to its own greedy policy while peers
+//!   are still learning ([`exploitation`]).
+//!
+//! The crate is substrate-agnostic: a [`Controller`] consumes
+//! [`Observation`]s and produces [`KnobSettings`]; it neither knows nor
+//! cares whether the environment is the bundled simulator
+//! (`mamut-transcode`) or a real server driving a real encoder.
+//!
+//! # Example
+//!
+//! ```
+//! use mamut_core::{Controller, MamutConfig, MamutController, Observation};
+//!
+//! let config = MamutConfig::paper_hr();
+//! let constraints = config.constraints;
+//! let mut ctl = MamutController::new(config).unwrap();
+//! let mut obs = Observation { fps: 22.0, psnr_db: 34.0, bitrate_mbps: 4.0, power_w: 75.0 };
+//! for frame in 0..48 {
+//!     if let Some(knobs) = ctl.begin_frame(frame, &obs, &constraints) {
+//!         // apply knobs to the encoder/platform here
+//!         let _ = knobs;
+//!     }
+//!     // ... encode the frame, measure ...
+//!     obs.fps = 24.5;
+//!     ctl.end_frame(frame, &obs, &constraints);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+mod agent;
+mod config;
+mod controller;
+mod env;
+mod error;
+mod observation;
+mod qtable;
+mod schedule;
+mod state;
+mod transition;
+
+pub mod exploitation;
+pub mod learning;
+pub mod policy;
+pub mod reward;
+
+pub use action::{ActionSpace, AgentKind, KnobSettings};
+pub use agent::Agent;
+pub use config::MamutConfig;
+pub use controller::{AgentMaturity, MamutController, MaturityReport};
+pub use env::{Controller, FixedController};
+pub use error::CoreError;
+pub use learning::{LearningRateParams, Phase};
+pub use observation::{Constraints, Observation, ObservationAccumulator};
+pub use qtable::QTable;
+pub use schedule::{AgentSchedule, Sequencer};
+pub use state::{State, BITRATE_BUCKETS, FPS_BUCKETS, POWER_BUCKETS, PSNR_BUCKETS, STATE_COUNT};
+pub use transition::TransitionModel;

@@ -1,0 +1,180 @@
+//! Learned-policy introspection: what would each agent do in each state?
+//!
+//! Operators of a learning controller need to audit what it has learned —
+//! both to debug pathologies (e.g. a starvation equilibrium in a
+//! violation state) and to build trust before deployment. This module
+//! extracts a human-readable snapshot of the greedy policy from a trained
+//! [`MamutController`].
+
+use crate::{AgentKind, MamutController, Phase, State, STATE_COUNT};
+
+/// One visited state's entry in a [`PolicySnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyEntry {
+    /// The state (bucketed FPS/PSNR/bitrate/power).
+    pub state: State,
+    /// Visits of this state by the agent (sum of `Num(s, a)` over `a`).
+    pub visits: u32,
+    /// Learning phase of the state for this agent.
+    pub phase: Phase,
+    /// Greedy action index.
+    pub greedy_action: usize,
+    /// Human-readable description of the greedy action ("qp=35", …).
+    pub action_description: String,
+    /// Q-value of the greedy action.
+    pub greedy_q: f64,
+}
+
+/// The greedy policy of one agent over every visited state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicySnapshot {
+    /// Which agent this snapshot describes.
+    pub agent: AgentKind,
+    /// Entries for visited states, ordered by descending visit count.
+    pub entries: Vec<PolicyEntry>,
+}
+
+impl PolicySnapshot {
+    /// Extracts the snapshot of `agent` from a controller.
+    ///
+    /// Only states the agent has actually visited appear; entries are
+    /// sorted by visit count so the operating orbit comes first.
+    pub fn capture(controller: &MamutController, agent: AgentKind) -> PolicySnapshot {
+        let ag = controller.agent(agent);
+        let peer_min = AgentKind::ALL
+            .iter()
+            .filter(|k| **k != agent)
+            .map(|k| controller.agent(*k).min_action_count())
+            .sum();
+        let mut entries = Vec::new();
+        for idx in 0..STATE_COUNT {
+            let visits: u32 = (0..ag.n_actions()).map(|a| ag.visits(idx, a)).sum();
+            if visits == 0 {
+                continue;
+            }
+            let greedy = ag.greedy(idx);
+            entries.push(PolicyEntry {
+                state: State::from_index(idx).expect("index in range"),
+                visits,
+                phase: ag.state_phase(idx, peer_min),
+                greedy_action: greedy,
+                action_description: controller.config().actions.describe(agent, greedy),
+                greedy_q: ag.q_table().get(idx, greedy),
+            });
+        }
+        entries.sort_by(|a, b| b.visits.cmp(&a.visits));
+        PolicySnapshot { agent, entries }
+    }
+
+    /// Number of visited states.
+    pub fn visited_states(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The entry for the most-visited state, if any — "what the agent
+    /// does most of the time".
+    pub fn dominant(&self) -> Option<&PolicyEntry> {
+        self.entries.first()
+    }
+
+    /// Renders the top `limit` entries as aligned plain text.
+    pub fn render(&self, limit: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} policy ({} states visited):",
+            self.agent,
+            self.visited_states()
+        );
+        for e in self.entries.iter().take(limit) {
+            let _ = writeln!(
+                out,
+                "  fps<{} psnr{} br{} pow{}  visits={:5}  {:?}  -> {} (Q={:.2})",
+                e.state.fps_bucket(),
+                e.state.psnr_bucket(),
+                e.state.bitrate_bucket(),
+                e.state.power_bucket(),
+                e.visits,
+                e.phase,
+                e.action_description,
+                e.greedy_q,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Constraints, Controller, MamutConfig, Observation};
+
+    fn trained() -> MamutController {
+        let mut ctl = MamutController::new(MamutConfig::paper_hr().with_seed(4))
+            .expect("paper config is valid");
+        let c = Constraints::paper_defaults();
+        for f in 0..6_000u64 {
+            let obs = Observation {
+                fps: 24.0 + ((f % 7) as f64),
+                psnr_db: 34.0,
+                bitrate_mbps: 4.0,
+                power_w: 80.0,
+            };
+            ctl.begin_frame(f, &obs, &c);
+            ctl.end_frame(f, &obs, &c);
+        }
+        ctl
+    }
+
+    #[test]
+    fn capture_reports_only_visited_states() {
+        let ctl = trained();
+        let snap = PolicySnapshot::capture(&ctl, AgentKind::Dvfs);
+        assert!(snap.visited_states() > 0);
+        assert!(snap.visited_states() < STATE_COUNT);
+        for e in &snap.entries {
+            assert!(e.visits > 0);
+            assert!(e.greedy_action < 6);
+            assert!(e.action_description.starts_with("freq="));
+        }
+    }
+
+    #[test]
+    fn entries_sorted_by_visits() {
+        let ctl = trained();
+        let snap = PolicySnapshot::capture(&ctl, AgentKind::Qp);
+        for pair in snap.entries.windows(2) {
+            assert!(pair[0].visits >= pair[1].visits);
+        }
+        let dom = snap.dominant().expect("visited at least one state");
+        assert_eq!(dom.visits, snap.entries[0].visits);
+    }
+
+    #[test]
+    fn fresh_controller_has_empty_policy() {
+        let ctl = MamutController::new(MamutConfig::paper_hr()).expect("valid");
+        let snap = PolicySnapshot::capture(&ctl, AgentKind::Thread);
+        assert_eq!(snap.visited_states(), 0);
+        assert!(snap.dominant().is_none());
+    }
+
+    #[test]
+    fn render_is_nonempty_and_mentions_agent() {
+        let ctl = trained();
+        let snap = PolicySnapshot::capture(&ctl, AgentKind::Thread);
+        let text = snap.render(5);
+        assert!(text.contains("AGthread"));
+        assert!(text.lines().count() >= 2);
+    }
+
+    #[test]
+    fn all_three_agents_capture() {
+        let ctl = trained();
+        for kind in AgentKind::ALL {
+            let snap = PolicySnapshot::capture(&ctl, kind);
+            assert_eq!(snap.agent, kind);
+            assert!(snap.visited_states() > 0, "{kind} visited nothing");
+        }
+    }
+}

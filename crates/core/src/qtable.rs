@@ -1,0 +1,177 @@
+/// A dense `states × actions` Q-value table.
+///
+/// Values start at 0.0 (the paper gives no optimistic initialization) and
+/// are updated with the standard Q-learning rule
+/// `Q(s,a) ← Q(s,a) + α·(target − Q(s,a))`.
+///
+/// # Example
+///
+/// ```
+/// let mut q = mamut_core::QTable::new(4, 3);
+/// q.update(2, 1, 10.0, 0.5); // move halfway toward a target of 10
+/// assert_eq!(q.get(2, 1), 5.0);
+/// assert_eq!(q.argmax(2), 1);
+/// assert_eq!(q.max_q(2), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QTable {
+    n_states: usize,
+    n_actions: usize,
+    values: Vec<f64>,
+}
+
+impl QTable {
+    /// Creates a zero-initialized table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(n_states: usize, n_actions: usize) -> Self {
+        assert!(n_states > 0, "QTable needs at least one state");
+        assert!(n_actions > 0, "QTable needs at least one action");
+        QTable {
+            n_states,
+            n_actions,
+            values: vec![0.0; n_states * n_actions],
+        }
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Number of actions.
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    #[inline]
+    fn idx(&self, state: usize, action: usize) -> usize {
+        debug_assert!(state < self.n_states, "state {state} out of range");
+        debug_assert!(action < self.n_actions, "action {action} out of range");
+        state * self.n_actions + action
+    }
+
+    /// Q-value of `(state, action)`.
+    #[inline]
+    pub fn get(&self, state: usize, action: usize) -> f64 {
+        self.values[self.idx(state, action)]
+    }
+
+    /// Overwrites the Q-value of `(state, action)`.
+    pub fn set(&mut self, state: usize, action: usize, value: f64) {
+        let i = self.idx(state, action);
+        self.values[i] = value;
+    }
+
+    /// Standard Q-learning move toward `target` with step `alpha`.
+    pub fn update(&mut self, state: usize, action: usize, target: f64, alpha: f64) {
+        let i = self.idx(state, action);
+        self.values[i] += alpha * (target - self.values[i]);
+    }
+
+    /// Row of Q-values for `state`.
+    pub fn row(&self, state: usize) -> &[f64] {
+        let start = state * self.n_actions;
+        &self.values[start..start + self.n_actions]
+    }
+
+    /// Highest Q-value in `state`.
+    pub fn max_q(&self, state: usize) -> f64 {
+        self.row(state)
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Action with the highest Q-value in `state` (lowest index on ties,
+    /// which keeps exploitation deterministic).
+    pub fn argmax(&self, state: usize) -> usize {
+        let row = self.row(state);
+        let mut best = 0;
+        let mut best_v = row[0];
+        for (i, &v) in row.iter().enumerate().skip(1) {
+            if v > best_v {
+                best = i;
+                best_v = v;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let q = QTable::new(3, 2);
+        for s in 0..3 {
+            for a in 0..2 {
+                assert_eq!(q.get(s, a), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn zero_states_panics() {
+        let _ = QTable::new(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one action")]
+    fn zero_actions_panics() {
+        let _ = QTable::new(2, 0);
+    }
+
+    #[test]
+    fn update_moves_toward_target() {
+        let mut q = QTable::new(1, 1);
+        q.update(0, 0, 8.0, 0.25);
+        assert_eq!(q.get(0, 0), 2.0);
+        q.update(0, 0, 8.0, 0.25);
+        assert_eq!(q.get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn update_with_alpha_one_jumps_to_target() {
+        let mut q = QTable::new(1, 1);
+        q.update(0, 0, -3.0, 1.0);
+        assert_eq!(q.get(0, 0), -3.0);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_toward_lowest_index() {
+        let mut q = QTable::new(1, 3);
+        q.set(0, 1, 5.0);
+        q.set(0, 2, 5.0);
+        assert_eq!(q.argmax(0), 1);
+    }
+
+    #[test]
+    fn argmax_of_all_zero_row_is_zero() {
+        let q = QTable::new(2, 4);
+        assert_eq!(q.argmax(1), 0);
+    }
+
+    #[test]
+    fn max_q_matches_argmax() {
+        let mut q = QTable::new(1, 4);
+        q.set(0, 2, 7.5);
+        q.set(0, 3, -1.0);
+        assert_eq!(q.max_q(0), 7.5);
+        assert_eq!(q.argmax(0), 2);
+    }
+
+    #[test]
+    fn row_is_a_contiguous_view() {
+        let mut q = QTable::new(2, 3);
+        q.set(1, 0, 1.0);
+        q.set(1, 2, 3.0);
+        assert_eq!(q.row(1), &[1.0, 0.0, 3.0]);
+        assert_eq!(q.row(0), &[0.0, 0.0, 0.0]);
+    }
+}

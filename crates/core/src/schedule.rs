@@ -1,0 +1,258 @@
+use crate::CoreError;
+
+/// When one agent acts: every `period` frames, at `offset` within the cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AgentSchedule {
+    /// Acting period in frames (≥ 1).
+    pub period: u64,
+    /// Offset within the period (< period).
+    pub offset: u64,
+}
+
+impl AgentSchedule {
+    /// Creates a schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSchedule`] for a zero period or an
+    /// offset not smaller than the period.
+    pub fn new(period: u64, offset: u64) -> Result<Self, CoreError> {
+        if period == 0 {
+            return Err(CoreError::InvalidSchedule("period must be at least 1"));
+        }
+        if offset >= period {
+            return Err(CoreError::InvalidSchedule(
+                "offset must be smaller than the period",
+            ));
+        }
+        Ok(AgentSchedule { period, offset })
+    }
+
+    /// Whether this schedule fires on `frame`.
+    pub fn fires_at(&self, frame: u64) -> bool {
+        frame % self.period == self.offset
+    }
+}
+
+/// The agent sequencer — the paper's Fig. 3.
+///
+/// With the default schedules, a 24-frame cycle looks like
+///
+/// ```text
+/// frame:  0    1    2   3..7  8   9..12  13   14  15..19  20  21..23
+/// agent:  QP   TH   DV  —     DV  —      TH   DV  —       DV  —
+/// ```
+///
+/// `AGqp` acts every 24 frames, `AGthread` every 12 (offset 1), `AGdvfs`
+/// every 6 (offset 2). Frames with no agent are NULL slots; the chain of
+/// agents acting on *consecutive* frames after an action is what
+/// Algorithm 1 looks ahead through (QP → thread → DVFS, thread → DVFS,
+/// DVFS → nothing — the colored arrows of Fig. 3).
+///
+/// # Example
+///
+/// ```
+/// let seq = mamut_core::Sequencer::paper_defaults();
+/// assert_eq!(seq.agent_at(0), Some(0));  // AGqp
+/// assert_eq!(seq.agent_at(1), Some(1));  // AGthread
+/// assert_eq!(seq.agent_at(2), Some(2));  // AGdvfs
+/// assert_eq!(seq.agent_at(3), None);     // NULL
+/// assert_eq!(seq.chain_after(0), vec![1, 2]);
+/// assert_eq!(seq.chain_after(2), Vec::<usize>::new());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sequencer {
+    schedules: Vec<AgentSchedule>,
+}
+
+impl Sequencer {
+    /// Builds a sequencer from one schedule per agent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSchedule`] when empty or when two agents
+    /// would fire on the same frame within the hyper-period (agent actions
+    /// must be unambiguous).
+    pub fn new(schedules: Vec<AgentSchedule>) -> Result<Self, CoreError> {
+        if schedules.is_empty() {
+            return Err(CoreError::InvalidSchedule("at least one agent required"));
+        }
+        // Check for collisions over the hyper-period (lcm of periods).
+        let hyper = schedules
+            .iter()
+            .map(|s| s.period)
+            .fold(1u64, lcm)
+            .min(100_000);
+        for frame in 0..hyper {
+            let firing = schedules.iter().filter(|s| s.fires_at(frame)).count();
+            if firing > 1 {
+                return Err(CoreError::InvalidSchedule(
+                    "two agents fire on the same frame",
+                ));
+            }
+        }
+        Ok(Sequencer { schedules })
+    }
+
+    /// The paper's schedules: QP every 24 frames (offset 0), threads every
+    /// 12 (offset 1), DVFS every 6 (offset 2) — §III-B(d).
+    pub fn paper_defaults() -> Self {
+        Sequencer::new(vec![
+            AgentSchedule { period: 24, offset: 0 },
+            AgentSchedule { period: 12, offset: 1 },
+            AgentSchedule { period: 6, offset: 2 },
+        ])
+        .expect("paper schedules are collision-free")
+    }
+
+    /// Number of agents.
+    pub fn n_agents(&self) -> usize {
+        self.schedules.len()
+    }
+
+    /// Schedule of agent `i`.
+    pub fn schedule(&self, agent: usize) -> AgentSchedule {
+        self.schedules[agent]
+    }
+
+    /// Which agent (by index) acts right before `frame`, if any.
+    pub fn agent_at(&self, frame: u64) -> Option<usize> {
+        self.schedules.iter().position(|s| s.fires_at(frame))
+    }
+
+    /// The agents acting on the consecutive frames after `frame`, stopping
+    /// at the first NULL slot — the Algorithm 1 look-ahead chain.
+    pub fn chain_after(&self, frame: u64) -> Vec<usize> {
+        let mut chain = Vec::new();
+        let mut f = frame + 1;
+        while chain.len() < self.n_agents() {
+            match self.agent_at(f) {
+                Some(agent) => chain.push(agent),
+                None => break,
+            }
+            f += 1;
+        }
+        chain
+    }
+
+    /// The next frame strictly after `frame` on which any agent acts.
+    pub fn next_decision_frame(&self, frame: u64) -> u64 {
+        let mut f = frame + 1;
+        loop {
+            if self.agent_at(f).is_some() {
+                return f;
+            }
+            f += 1;
+        }
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cycle_layout_matches_fig3() {
+        let seq = Sequencer::paper_defaults();
+        let mut layout = Vec::new();
+        for f in 0..24 {
+            layout.push(seq.agent_at(f));
+        }
+        let expect: Vec<Option<usize>> = (0..24)
+            .map(|f| match f {
+                0 => Some(0),
+                1 | 13 => Some(1),
+                2 | 8 | 14 | 20 => Some(2),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(layout, expect);
+    }
+
+    #[test]
+    fn chains_match_fig3_arrows() {
+        let seq = Sequencer::paper_defaults();
+        assert_eq!(seq.chain_after(0), vec![1, 2]); // QP looks through TH, DV
+        assert_eq!(seq.chain_after(1), vec![2]); // TH looks through DV
+        assert_eq!(seq.chain_after(2), Vec::<usize>::new()); // DV → NULL
+        assert_eq!(seq.chain_after(13), vec![2]); // TH at 13 → DV at 14
+        assert_eq!(seq.chain_after(8), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn schedule_repeats_every_hyper_period() {
+        let seq = Sequencer::paper_defaults();
+        for f in 0..24 {
+            assert_eq!(seq.agent_at(f), seq.agent_at(f + 24));
+            assert_eq!(seq.agent_at(f), seq.agent_at(f + 240));
+        }
+    }
+
+    #[test]
+    fn next_decision_frame_skips_null_slots() {
+        let seq = Sequencer::paper_defaults();
+        assert_eq!(seq.next_decision_frame(2), 8);
+        assert_eq!(seq.next_decision_frame(0), 1);
+        assert_eq!(seq.next_decision_frame(20), 24);
+    }
+
+    #[test]
+    fn colliding_schedules_rejected() {
+        let err = Sequencer::new(vec![
+            AgentSchedule { period: 4, offset: 0 },
+            AgentSchedule { period: 8, offset: 4 },
+        ]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn disjoint_schedules_accepted() {
+        let seq = Sequencer::new(vec![
+            AgentSchedule { period: 4, offset: 0 },
+            AgentSchedule { period: 4, offset: 1 },
+        ])
+        .unwrap();
+        assert_eq!(seq.n_agents(), 2);
+        assert_eq!(seq.agent_at(4), Some(0));
+        assert_eq!(seq.agent_at(5), Some(1));
+    }
+
+    #[test]
+    fn invalid_schedules_rejected() {
+        assert!(AgentSchedule::new(0, 0).is_err());
+        assert!(AgentSchedule::new(6, 6).is_err());
+        assert!(AgentSchedule::new(6, 7).is_err());
+        assert!(AgentSchedule::new(6, 5).is_ok());
+        assert!(Sequencer::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn chain_is_bounded_by_agent_count() {
+        // Every frame has an agent: the chain must not loop forever.
+        let seq = Sequencer::new(vec![
+            AgentSchedule { period: 2, offset: 0 },
+            AgentSchedule { period: 2, offset: 1 },
+        ])
+        .unwrap();
+        assert_eq!(seq.chain_after(0).len(), 2);
+    }
+
+    #[test]
+    fn schedule_accessor() {
+        let seq = Sequencer::paper_defaults();
+        assert_eq!(seq.schedule(0), AgentSchedule { period: 24, offset: 0 });
+        assert_eq!(seq.schedule(2), AgentSchedule { period: 6, offset: 2 });
+    }
+}

@@ -1,0 +1,291 @@
+use crate::{Constraints, Observation};
+
+/// Number of FPS buckets (paper §III-C: `<t, <t+2, <t+4, <t+6, ≥t+6`,
+/// instantiated as `<24, <26, <28, <30, ≥30` for the 24 FPS target).
+pub const FPS_BUCKETS: usize = 5;
+
+/// Number of PSNR buckets (`≤30, ≤35, ≤40, ≤45, ≤50, >50` dB).
+pub const PSNR_BUCKETS: usize = 6;
+
+/// Number of bitrate buckets (`<3, 3–6, >6` Mb/s — 3G-class bands).
+pub const BITRATE_BUCKETS: usize = 3;
+
+/// Number of power buckets (`<Pcap, ≥Pcap`).
+pub const POWER_BUCKETS: usize = 2;
+
+/// Total number of discrete states (5·6·3·2 = 180).
+pub const STATE_COUNT: usize = FPS_BUCKETS * PSNR_BUCKETS * BITRATE_BUCKETS * POWER_BUCKETS;
+
+/// A discretized environment state shared by all agents.
+///
+/// The paper's agents all observe the same four signals, bucketed as in
+/// §III-C. `State` stores the four bucket indices and maps to/from a dense
+/// index in `0..STATE_COUNT` for Q-table addressing.
+///
+/// # Example
+///
+/// ```
+/// use mamut_core::{Constraints, Observation, State};
+///
+/// let obs = Observation { fps: 25.0, psnr_db: 34.0, bitrate_mbps: 4.0, power_w: 90.0 };
+/// let s = State::from_observation(&obs, &Constraints::paper_defaults());
+/// assert_eq!(s.fps_bucket(), 1);   // 24 ≤ 25 < 26
+/// assert_eq!(s.psnr_bucket(), 1);  // 30 < 34 ≤ 35
+/// assert_eq!(s.bitrate_bucket(), 1); // 3 ≤ 4 ≤ 6
+/// assert_eq!(s.power_bucket(), 0); // below the cap
+/// assert_eq!(State::from_index(s.index()), Some(s));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct State {
+    fps: u8,
+    psnr: u8,
+    bitrate: u8,
+    power: u8,
+}
+
+impl State {
+    /// Buckets an observation under the given constraints.
+    pub fn from_observation(obs: &Observation, c: &Constraints) -> State {
+        State {
+            fps: fps_bucket(obs.fps, c.target_fps),
+            psnr: psnr_bucket(obs.psnr_db),
+            bitrate: bitrate_bucket(obs.bitrate_mbps),
+            power: power_bucket(obs.power_w, c.power_cap_w),
+        }
+    }
+
+    /// Builds a state from explicit bucket indices.
+    ///
+    /// Returns `None` if any index is out of range.
+    pub fn from_buckets(fps: u8, psnr: u8, bitrate: u8, power: u8) -> Option<State> {
+        if (fps as usize) < FPS_BUCKETS
+            && (psnr as usize) < PSNR_BUCKETS
+            && (bitrate as usize) < BITRATE_BUCKETS
+            && (power as usize) < POWER_BUCKETS
+        {
+            Some(State {
+                fps,
+                psnr,
+                bitrate,
+                power,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Dense index in `0..STATE_COUNT`.
+    pub fn index(&self) -> usize {
+        (((self.fps as usize * PSNR_BUCKETS) + self.psnr as usize) * BITRATE_BUCKETS
+            + self.bitrate as usize)
+            * POWER_BUCKETS
+            + self.power as usize
+    }
+
+    /// Inverse of [`State::index`]. Returns `None` out of range.
+    pub fn from_index(index: usize) -> Option<State> {
+        if index >= STATE_COUNT {
+            return None;
+        }
+        let power = (index % POWER_BUCKETS) as u8;
+        let rest = index / POWER_BUCKETS;
+        let bitrate = (rest % BITRATE_BUCKETS) as u8;
+        let rest = rest / BITRATE_BUCKETS;
+        let psnr = (rest % PSNR_BUCKETS) as u8;
+        let fps = (rest / PSNR_BUCKETS) as u8;
+        State::from_buckets(fps, psnr, bitrate, power)
+    }
+
+    /// FPS bucket index (0 = below target … 4 = target+6 or more).
+    pub fn fps_bucket(&self) -> u8 {
+        self.fps
+    }
+
+    /// PSNR bucket index (0 = ≤30 dB … 5 = >50 dB).
+    pub fn psnr_bucket(&self) -> u8 {
+        self.psnr
+    }
+
+    /// Bitrate bucket index (0 = <3 Mb/s, 1 = 3–6, 2 = >6).
+    pub fn bitrate_bucket(&self) -> u8 {
+        self.bitrate
+    }
+
+    /// Power bucket index (0 = below cap, 1 = at/above cap).
+    pub fn power_bucket(&self) -> u8 {
+        self.power
+    }
+
+    /// Whether the FPS target is met in this state.
+    pub fn meets_fps_target(&self) -> bool {
+        self.fps > 0
+    }
+}
+
+fn fps_bucket(fps: f64, target: f64) -> u8 {
+    if fps < target {
+        0
+    } else if fps < target + 2.0 {
+        1
+    } else if fps < target + 4.0 {
+        2
+    } else if fps < target + 6.0 {
+        3
+    } else {
+        4
+    }
+}
+
+fn psnr_bucket(psnr_db: f64) -> u8 {
+    if psnr_db <= 30.0 {
+        0
+    } else if psnr_db <= 35.0 {
+        1
+    } else if psnr_db <= 40.0 {
+        2
+    } else if psnr_db <= 45.0 {
+        3
+    } else if psnr_db <= 50.0 {
+        4
+    } else {
+        5
+    }
+}
+
+fn bitrate_bucket(mbps: f64) -> u8 {
+    if mbps < 3.0 {
+        0
+    } else if mbps <= 6.0 {
+        1
+    } else {
+        2
+    }
+}
+
+fn power_bucket(power_w: f64, cap_w: f64) -> u8 {
+    if power_w < cap_w {
+        0
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c() -> Constraints {
+        Constraints::paper_defaults()
+    }
+
+    fn obs(fps: f64, psnr: f64, br: f64, p: f64) -> Observation {
+        Observation {
+            fps,
+            psnr_db: psnr,
+            bitrate_mbps: br,
+            power_w: p,
+        }
+    }
+
+    #[test]
+    fn fps_bucket_boundaries_match_paper() {
+        let cases = [
+            (23.99, 0),
+            (24.0, 1),
+            (25.99, 1),
+            (26.0, 2),
+            (27.99, 2),
+            (28.0, 3),
+            (29.99, 3),
+            (30.0, 4),
+            (60.0, 4),
+        ];
+        for (fps, want) in cases {
+            let s = State::from_observation(&obs(fps, 34.0, 4.0, 80.0), &c());
+            assert_eq!(s.fps_bucket(), want, "fps = {fps}");
+        }
+    }
+
+    #[test]
+    fn psnr_bucket_boundaries_match_paper() {
+        let cases = [
+            (29.0, 0),
+            (30.0, 0),
+            (30.01, 1),
+            (35.0, 1),
+            (36.0, 2),
+            (40.0, 2),
+            (44.0, 3),
+            (45.0, 3),
+            (50.0, 4),
+            (50.1, 5),
+        ];
+        for (psnr, want) in cases {
+            let s = State::from_observation(&obs(25.0, psnr, 4.0, 80.0), &c());
+            assert_eq!(s.psnr_bucket(), want, "psnr = {psnr}");
+        }
+    }
+
+    #[test]
+    fn bitrate_bucket_boundaries_match_paper() {
+        let cases = [(2.99, 0), (3.0, 1), (6.0, 1), (6.01, 2)];
+        for (br, want) in cases {
+            let s = State::from_observation(&obs(25.0, 34.0, br, 80.0), &c());
+            assert_eq!(s.bitrate_bucket(), want, "bitrate = {br}");
+        }
+    }
+
+    #[test]
+    fn power_bucket_uses_cap() {
+        let s_lo = State::from_observation(&obs(25.0, 34.0, 4.0, 139.9), &c());
+        let s_hi = State::from_observation(&obs(25.0, 34.0, 4.0, 140.0), &c());
+        assert_eq!(s_lo.power_bucket(), 0);
+        assert_eq!(s_hi.power_bucket(), 1);
+    }
+
+    #[test]
+    fn fps_buckets_track_a_custom_target() {
+        let custom = Constraints {
+            target_fps: 30.0,
+            ..c()
+        };
+        let s = State::from_observation(&obs(29.0, 34.0, 4.0, 80.0), &custom);
+        assert_eq!(s.fps_bucket(), 0);
+        let s = State::from_observation(&obs(31.0, 34.0, 4.0, 80.0), &custom);
+        assert_eq!(s.fps_bucket(), 1);
+    }
+
+    #[test]
+    fn index_round_trips_for_all_states() {
+        let mut seen = vec![false; STATE_COUNT];
+        for i in 0..STATE_COUNT {
+            let s = State::from_index(i).unwrap();
+            assert_eq!(s.index(), i);
+            assert!(!seen[i], "index {i} duplicated");
+            seen[i] = true;
+        }
+        assert!(State::from_index(STATE_COUNT).is_none());
+    }
+
+    #[test]
+    fn from_buckets_validates_ranges() {
+        assert!(State::from_buckets(4, 5, 2, 1).is_some());
+        assert!(State::from_buckets(5, 0, 0, 0).is_none());
+        assert!(State::from_buckets(0, 6, 0, 0).is_none());
+        assert!(State::from_buckets(0, 0, 3, 0).is_none());
+        assert!(State::from_buckets(0, 0, 0, 2).is_none());
+    }
+
+    #[test]
+    fn state_count_is_180_as_in_the_paper() {
+        assert_eq!(STATE_COUNT, 180);
+    }
+
+    #[test]
+    fn meets_fps_target_matches_bucket_zero() {
+        let below = State::from_observation(&obs(20.0, 34.0, 4.0, 80.0), &c());
+        let above = State::from_observation(&obs(24.0, 34.0, 4.0, 80.0), &c());
+        assert!(!below.meets_fps_target());
+        assert!(above.meets_fps_target());
+    }
+}

@@ -1,0 +1,175 @@
+use std::collections::HashMap;
+
+/// Empirical state-transition model `P(s --a--> s')`.
+///
+/// §IV-A of the paper: the environment is stochastic (content varies, other
+/// agents act, other videos share the machine), so every observed transition
+/// is counted and `P(s --a--> s') = Num(s --a--> s') / Num(s, a)` is updated
+/// throughout learning. Algorithm 1 consumes these probabilities to compute
+/// expected Q-values along the agent chain.
+///
+/// # Example
+///
+/// ```
+/// let mut t = mamut_core::TransitionModel::new(4, 2);
+/// t.record(0, 1, 2);
+/// t.record(0, 1, 2);
+/// t.record(0, 1, 3);
+/// assert_eq!(t.count(0, 1), 3);
+/// assert!((t.prob(0, 1, 2) - 2.0 / 3.0).abs() < 1e-12);
+/// assert!((t.prob(0, 1, 3) - 1.0 / 3.0).abs() < 1e-12);
+/// assert_eq!(t.prob(0, 1, 0), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionModel {
+    n_states: usize,
+    n_actions: usize,
+    /// Successor counts per (state, action), sparse.
+    counts: Vec<HashMap<usize, u32>>,
+    /// Total visits per (state, action) — the paper's `Num(s, a)`.
+    totals: Vec<u32>,
+}
+
+impl TransitionModel {
+    /// Creates an empty model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(n_states: usize, n_actions: usize) -> Self {
+        assert!(n_states > 0, "TransitionModel needs at least one state");
+        assert!(n_actions > 0, "TransitionModel needs at least one action");
+        TransitionModel {
+            n_states,
+            n_actions,
+            counts: vec![HashMap::new(); n_states * n_actions],
+            totals: vec![0; n_states * n_actions],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, state: usize, action: usize) -> usize {
+        debug_assert!(state < self.n_states);
+        debug_assert!(action < self.n_actions);
+        state * self.n_actions + action
+    }
+
+    /// Records one observed transition.
+    pub fn record(&mut self, state: usize, action: usize, next_state: usize) {
+        debug_assert!(next_state < self.n_states);
+        let i = self.idx(state, action);
+        *self.counts[i].entry(next_state).or_insert(0) += 1;
+        self.totals[i] += 1;
+    }
+
+    /// `Num(s, a)` — times `action` was taken in `state`.
+    pub fn count(&self, state: usize, action: usize) -> u32 {
+        self.totals[self.idx(state, action)]
+    }
+
+    /// `P(s --a--> s')`, 0.0 if the pair was never visited.
+    pub fn prob(&self, state: usize, action: usize, next_state: usize) -> f64 {
+        let i = self.idx(state, action);
+        let total = self.totals[i];
+        if total == 0 {
+            return 0.0;
+        }
+        let n = self.counts[i].get(&next_state).copied().unwrap_or(0);
+        f64::from(n) / f64::from(total)
+    }
+
+    /// Iterates over `(next_state, probability)` successors of `(s, a)`.
+    ///
+    /// Empty if the pair was never visited. Probabilities sum to 1 otherwise.
+    pub fn successors(
+        &self,
+        state: usize,
+        action: usize,
+    ) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let i = self.idx(state, action);
+        let total = self.totals[i];
+        self.counts[i].iter().map(move |(&s2, &n)| {
+            let p = if total == 0 {
+                0.0
+            } else {
+                f64::from(n) / f64::from(total)
+            };
+            (s2, p)
+        })
+    }
+
+    /// Number of distinct successors observed for `(s, a)`.
+    pub fn successor_count(&self, state: usize, action: usize) -> usize {
+        self.counts[self.idx(state, action)].len()
+    }
+
+    /// Number of states this model covers.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Number of actions this model covers.
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unvisited_pairs_have_zero_probability_everywhere() {
+        let t = TransitionModel::new(3, 2);
+        assert_eq!(t.count(0, 0), 0);
+        assert_eq!(t.prob(0, 0, 1), 0.0);
+        assert_eq!(t.successors(0, 0).count(), 0);
+    }
+
+    #[test]
+    fn probabilities_normalize() {
+        let mut t = TransitionModel::new(5, 1);
+        for s2 in [1usize, 1, 2, 3, 3, 3] {
+            t.record(0, 0, s2);
+        }
+        let sum: f64 = t.successors(0, 0).map(|(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((t.prob(0, 0, 3) - 0.5).abs() < 1e-12);
+        assert_eq!(t.successor_count(0, 0), 3);
+    }
+
+    #[test]
+    fn counts_are_per_state_action_pair() {
+        let mut t = TransitionModel::new(3, 2);
+        t.record(0, 0, 1);
+        t.record(0, 1, 2);
+        t.record(1, 0, 0);
+        assert_eq!(t.count(0, 0), 1);
+        assert_eq!(t.count(0, 1), 1);
+        assert_eq!(t.count(1, 0), 1);
+        assert_eq!(t.count(1, 1), 0);
+    }
+
+    #[test]
+    fn deterministic_transition_has_probability_one() {
+        let mut t = TransitionModel::new(2, 1);
+        for _ in 0..10 {
+            t.record(0, 0, 1);
+        }
+        assert_eq!(t.prob(0, 0, 1), 1.0);
+        assert_eq!(t.prob(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn zero_states_panics() {
+        let _ = TransitionModel::new(0, 1);
+    }
+
+    #[test]
+    fn self_transitions_are_allowed() {
+        let mut t = TransitionModel::new(2, 1);
+        t.record(1, 0, 1);
+        assert_eq!(t.prob(1, 0, 1), 1.0);
+    }
+}

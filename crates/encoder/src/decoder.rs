@@ -1,0 +1,115 @@
+use mamut_video::{FrameInfo, Resolution};
+
+/// Analytic model of the decode half of a transcoder.
+///
+/// The paper motivates focusing on the encoder: HEVC encoding is ≈100×
+/// more complex than decoding (§I, citing Bossen et al.). The simulator
+/// still charges decode work so the pipeline is complete — a transcoder
+/// decodes the source bitstream before re-encoding every frame.
+///
+/// # Example
+///
+/// ```
+/// use mamut_encoder::{HevcDecoder, HevcEncoder, Preset};
+/// use mamut_video::{FrameInfo, Resolution};
+///
+/// let dec = HevcDecoder::new(Resolution::FULL_HD);
+/// let enc = HevcEncoder::new(Resolution::FULL_HD, Preset::Ultrafast);
+/// let frame = FrameInfo { index: 0, complexity: 1.0, scene_cut: false };
+/// let decode = dec.decode_cycles(&frame);
+/// let encode = enc.encode(32, &frame).unwrap().cycles;
+/// assert!(encode / decode > 50.0); // encoder dominates
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HevcDecoder {
+    resolution: Resolution,
+    cycles_per_pixel: f64,
+}
+
+/// Default decode effort: ≈1 % of the ultrafast encode effort, keeping the
+/// paper's ~100× encoder/decoder complexity ratio.
+const DEFAULT_DECODE_CYCLES_PER_PIXEL: f64 = 3.0;
+
+impl HevcDecoder {
+    /// Creates a decoder for the given source resolution.
+    pub fn new(resolution: Resolution) -> Self {
+        HevcDecoder {
+            resolution,
+            cycles_per_pixel: DEFAULT_DECODE_CYCLES_PER_PIXEL,
+        }
+    }
+
+    /// Creates a decoder with explicit per-pixel effort (clamped to ≥ 0).
+    pub fn with_cycles_per_pixel(resolution: Resolution, cycles_per_pixel: f64) -> Self {
+        HevcDecoder {
+            resolution,
+            cycles_per_pixel: cycles_per_pixel.max(0.0),
+        }
+    }
+
+    /// Source resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Decode work for one frame, in cycles. Scene cuts (intra frames)
+    /// decode slightly faster per pixel (no motion compensation), which we
+    /// fold into the same constant — content complexity matters much less
+    /// for decoding than encoding, so only a mild scaling is applied.
+    pub fn decode_cycles(&self, frame: &FrameInfo) -> f64 {
+        let pixels = self.resolution.pixel_count() as f64;
+        let content_factor = 0.8 + 0.2 * frame.complexity;
+        pixels * self.cycles_per_pixel * content_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HevcEncoder, Preset};
+
+    fn frame() -> FrameInfo {
+        FrameInfo {
+            index: 0,
+            complexity: 1.0,
+            scene_cut: false,
+        }
+    }
+
+    #[test]
+    fn decode_is_about_one_percent_of_encode() {
+        let dec = HevcDecoder::new(Resolution::FULL_HD);
+        let enc = HevcEncoder::new(Resolution::FULL_HD, Preset::Ultrafast);
+        let ratio = enc.encode(32, &frame()).unwrap().cycles / dec.decode_cycles(&frame());
+        assert!((50.0..=200.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn decode_scales_with_resolution() {
+        let hr = HevcDecoder::new(Resolution::FULL_HD).decode_cycles(&frame());
+        let lr = HevcDecoder::new(Resolution::WVGA).decode_cycles(&frame());
+        assert!(hr > lr * 4.0);
+    }
+
+    #[test]
+    fn busier_content_decodes_slower() {
+        let dec = HevcDecoder::new(Resolution::WVGA);
+        let calm = dec.decode_cycles(&FrameInfo {
+            index: 0,
+            complexity: 0.5,
+            scene_cut: false,
+        });
+        let busy = dec.decode_cycles(&FrameInfo {
+            index: 0,
+            complexity: 2.0,
+            scene_cut: false,
+        });
+        assert!(busy > calm);
+    }
+
+    #[test]
+    fn negative_effort_clamped() {
+        let dec = HevcDecoder::with_cycles_per_pixel(Resolution::WVGA, -5.0);
+        assert_eq!(dec.decode_cycles(&frame()), 0.0);
+    }
+}

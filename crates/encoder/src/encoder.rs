@@ -1,0 +1,310 @@
+use mamut_video::{FrameInfo, Resolution};
+
+use crate::quality::{self, PsnrParams};
+use crate::ratecontrol::{self, RateParams};
+use crate::{EncoderError, Preset, QP_RANGE};
+
+/// Everything one encoded frame tells the control loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncodeOutcome {
+    /// CPU work of the frame in cycles (to be divided by the session's
+    /// effective compute rate to obtain wall time).
+    pub cycles: f64,
+    /// Output quality in dB.
+    pub psnr_db: f64,
+    /// Output bitrate in Mb/s (at playback speed).
+    pub bitrate_mbps: f64,
+}
+
+/// Tunable constants of the analytic encoder model.
+///
+/// The defaults reproduce the shapes of the paper's Fig. 2 (see the module
+/// tests of [`crate::wpp`], `quality` and `ratecontrol`); change them only
+/// to model a different encoder or platform generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncoderModelParams {
+    /// Cycles multiplier per QP step below 32 (RDO searches more modes at
+    /// low QP; Fig. 2 shows QP 22 visibly slower than QP 37).
+    pub qp_cycles_slope: f64,
+    /// Weight of content complexity in the cycles model:
+    /// `factor = (1 - w) + w·complexity`.
+    pub content_cycles_weight: f64,
+    /// Extra cycles factor for scene-cut (intra) frames.
+    pub scene_cut_cycles_factor: f64,
+    pub(crate) psnr: PsnrParams,
+    pub(crate) rate: RateParams,
+}
+
+impl Default for EncoderModelParams {
+    fn default() -> Self {
+        EncoderModelParams {
+            qp_cycles_slope: 0.035,
+            content_cycles_weight: 0.45,
+            scene_cut_cycles_factor: 1.25,
+            psnr: PsnrParams::default(),
+            rate: RateParams::default(),
+        }
+    }
+}
+
+/// Analytic model of a Kvazaar-style HEVC encoder bound to one stream.
+///
+/// One encoder instance models one transcoding session's encode half: it is
+/// configured with the stream's [`Resolution`] and [`Preset`] and then maps
+/// `(QP, frame)` to an [`EncodeOutcome`] — cycles, PSNR and bitrate. Thread
+/// count and frequency do not change the *work*; they change how fast the
+/// work is retired, which is the simulator's job (cycles ÷ rate).
+///
+/// # Example
+///
+/// ```
+/// use mamut_encoder::{HevcEncoder, Preset};
+/// use mamut_video::{FrameInfo, Resolution};
+///
+/// let enc = HevcEncoder::new(Resolution::WVGA, Preset::Slow);
+/// let frame = FrameInfo { index: 0, complexity: 1.2, scene_cut: false };
+/// let out = enc.encode(27, &frame).unwrap();
+/// // 832×480 at slow preset: modest bitrate, high quality.
+/// assert!(out.bitrate_mbps < 4.0);
+/// assert!(out.psnr_db > 36.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HevcEncoder {
+    resolution: Resolution,
+    preset: Preset,
+    params: EncoderModelParams,
+}
+
+impl HevcEncoder {
+    /// Creates an encoder with default model parameters.
+    pub fn new(resolution: Resolution, preset: Preset) -> Self {
+        HevcEncoder {
+            resolution,
+            preset,
+            params: EncoderModelParams::default(),
+        }
+    }
+
+    /// Creates an encoder with explicit model parameters.
+    pub fn with_params(resolution: Resolution, preset: Preset, params: EncoderModelParams) -> Self {
+        HevcEncoder {
+            resolution,
+            preset,
+            params,
+        }
+    }
+
+    /// Stream resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Effort preset.
+    pub fn preset(&self) -> Preset {
+        self.preset
+    }
+
+    /// Model parameters.
+    pub fn params(&self) -> &EncoderModelParams {
+        &self.params
+    }
+
+    /// Encodes one frame at the given QP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncoderError::QpOutOfRange`] for QP outside `0..=51`.
+    pub fn encode(&self, qp: u8, frame: &FrameInfo) -> Result<EncodeOutcome, EncoderError> {
+        if !QP_RANGE.contains(&qp) {
+            return Err(EncoderError::QpOutOfRange(qp));
+        }
+        Ok(EncodeOutcome {
+            cycles: self.frame_cycles(qp, frame),
+            psnr_db: quality::psnr_db(
+                &self.params.psnr,
+                self.resolution,
+                self.preset,
+                qp,
+                frame.complexity,
+            ),
+            bitrate_mbps: ratecontrol::bitrate_mbps(
+                &self.params.rate,
+                self.resolution,
+                self.preset,
+                qp,
+                frame.complexity,
+            ),
+        })
+    }
+
+    /// CPU work of one frame, in cycles.
+    fn frame_cycles(&self, qp: u8, frame: &FrameInfo) -> f64 {
+        let p = &self.params;
+        let pixels = self.resolution.pixel_count() as f64;
+        let qp_factor = (-p.qp_cycles_slope * (f64::from(qp) - 32.0)).exp();
+        let content_factor =
+            (1.0 - p.content_cycles_weight) + p.content_cycles_weight * frame.complexity;
+        let cut_factor = if frame.scene_cut {
+            p.scene_cut_cycles_factor
+        } else {
+            1.0
+        };
+        pixels * self.preset.cycles_per_pixel() * qp_factor * content_factor * cut_factor
+    }
+
+    /// Convenience: frames per second this encoder achieves at the given
+    /// knob settings on an uncontended machine.
+    ///
+    /// `rate = freq·threads·wpp_efficiency`; used by the Fig. 2
+    /// characterization bench and by capacity planning in examples.
+    pub fn throughput_fps(&self, qp: u8, frame: &FrameInfo, threads: u32, freq_ghz: f64) -> Result<f64, EncoderError> {
+        if threads == 0 {
+            return Err(EncoderError::ZeroThreads);
+        }
+        if !(freq_ghz.is_finite() && freq_ghz > 0.0) {
+            return Err(EncoderError::InvalidParam {
+                name: "freq_ghz",
+                value: freq_ghz,
+            });
+        }
+        let outcome = self.encode(qp, frame)?;
+        let speedup = crate::wpp::speedup_at(self.resolution, threads);
+        Ok(freq_ghz * 1e9 * speedup / outcome.cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(complexity: f64) -> FrameInfo {
+        FrameInfo {
+            index: 0,
+            complexity,
+            scene_cut: false,
+        }
+    }
+
+    fn hr() -> HevcEncoder {
+        HevcEncoder::new(Resolution::FULL_HD, Preset::Ultrafast)
+    }
+
+    fn lr() -> HevcEncoder {
+        HevcEncoder::new(Resolution::WVGA, Preset::Slow)
+    }
+
+    #[test]
+    fn qp_out_of_range_rejected() {
+        assert_eq!(
+            hr().encode(52, &frame(1.0)).unwrap_err(),
+            EncoderError::QpOutOfRange(52)
+        );
+    }
+
+    #[test]
+    fn low_qp_costs_more_cycles() {
+        let e = hr();
+        let c22 = e.encode(22, &frame(1.0)).unwrap().cycles;
+        let c37 = e.encode(37, &frame(1.0)).unwrap().cycles;
+        assert!(c22 > c37 * 1.3, "c22 = {c22}, c37 = {c37}");
+    }
+
+    #[test]
+    fn scene_cuts_cost_more_cycles() {
+        let e = hr();
+        let normal = e.encode(32, &frame(1.0)).unwrap().cycles;
+        let cut = e
+            .encode(
+                32,
+                &FrameInfo {
+                    index: 0,
+                    complexity: 1.0,
+                    scene_cut: true,
+                },
+            )
+            .unwrap()
+            .cycles;
+        assert!((cut / normal - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_content_costs_more_cycles() {
+        let e = hr();
+        let calm = e.encode(32, &frame(0.7)).unwrap().cycles;
+        let busy = e.encode(32, &frame(1.6)).unwrap().cycles;
+        assert!(busy > calm * 1.2);
+    }
+
+    #[test]
+    fn fig2_hr_throughput_envelope() {
+        // Paper Fig. 2: 1080p ultrafast at 3.2 GHz spans ≈5 FPS (1 thread,
+        // QP 22) to ≈40+ FPS (10 threads, QP 37).
+        let e = hr();
+        let slow_corner = e.throughput_fps(22, &frame(1.0), 1, 3.2).unwrap();
+        let fast_corner = e.throughput_fps(37, &frame(1.0), 10, 3.2).unwrap();
+        assert!((2.5..=7.0).contains(&slow_corner), "slow = {slow_corner}");
+        assert!((32.0..=55.0).contains(&fast_corner), "fast = {fast_corner}");
+    }
+
+    #[test]
+    fn hr_real_time_feasible_only_with_parallelism() {
+        // 24 FPS at 1080p needs several threads even at max frequency.
+        let e = hr();
+        assert!(e.throughput_fps(32, &frame(1.0), 1, 3.2).unwrap() < 24.0);
+        assert!(e.throughput_fps(32, &frame(1.0), 10, 3.2).unwrap() > 24.0);
+    }
+
+    #[test]
+    fn lr_real_time_feasible_within_five_threads() {
+        // The paper transcodes LR streams with the slow preset in real time
+        // using at most 5 threads.
+        let e = lr();
+        let fps = e.throughput_fps(32, &frame(1.0), 4, 2.9).unwrap();
+        assert!(fps > 24.0, "fps = {fps}");
+    }
+
+    #[test]
+    fn lr_below_real_time_at_dvfs_floor() {
+        // §III-B(c): below 1.6 GHz real time is out of reach even relaxed —
+        // at 1.2 GHz a busy LR frame cannot hit 24 FPS with every thread.
+        let e = lr();
+        let fps = e.throughput_fps(22, &frame(1.6), 5, 1.2).unwrap();
+        assert!(fps < 24.0, "fps = {fps}");
+    }
+
+    #[test]
+    fn throughput_rejects_bad_inputs() {
+        let e = hr();
+        assert!(matches!(
+            e.throughput_fps(32, &frame(1.0), 0, 3.2),
+            Err(EncoderError::ZeroThreads)
+        ));
+        assert!(e.throughput_fps(32, &frame(1.0), 4, 0.0).is_err());
+        assert!(e.throughput_fps(32, &frame(1.0), 4, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn outcome_fields_are_finite_and_positive() {
+        for qp in crate::PAPER_QP_VALUES {
+            for c in [0.25, 1.0, 3.0] {
+                let out = hr().encode(qp, &frame(c)).unwrap();
+                assert!(out.cycles.is_finite() && out.cycles > 0.0);
+                assert!(out.psnr_db.is_finite() && out.psnr_db > 0.0);
+                assert!(out.bitrate_mbps.is_finite() && out.bitrate_mbps > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let e = lr();
+        assert_eq!(e.resolution(), Resolution::WVGA);
+        assert_eq!(e.preset(), Preset::Slow);
+        let custom = EncoderModelParams {
+            qp_cycles_slope: 0.02,
+            ..EncoderModelParams::default()
+        };
+        let e2 = HevcEncoder::with_params(Resolution::WVGA, Preset::Fast, custom);
+        assert_eq!(e2.params().qp_cycles_slope, 0.02);
+    }
+}

@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the encoder model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EncoderError {
+    /// QP outside the H.265 range 0..=51.
+    QpOutOfRange(u8),
+    /// A model parameter was invalid.
+    InvalidParam {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Zero threads requested for an encode.
+    ZeroThreads,
+}
+
+impl fmt::Display for EncoderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncoderError::QpOutOfRange(qp) => {
+                write!(f, "quantization parameter {qp} outside valid range 0..=51")
+            }
+            EncoderError::InvalidParam { name, value } => {
+                write!(f, "encoder parameter {name} has invalid value {value}")
+            }
+            EncoderError::ZeroThreads => write!(f, "at least one encoding thread is required"),
+        }
+    }
+}
+
+impl Error for EncoderError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_offender() {
+        assert!(EncoderError::QpOutOfRange(60).to_string().contains("60"));
+        assert!(EncoderError::InvalidParam {
+            name: "cycles_per_pixel",
+            value: -1.0
+        }
+        .to_string()
+        .contains("cycles_per_pixel"));
+    }
+
+    #[test]
+    fn error_bounds() {
+        fn assert_bounds<T: Error + Send + Sync>() {}
+        assert_bounds::<EncoderError>();
+    }
+}

@@ -1,0 +1,61 @@
+//! Analytic HEVC encoder/decoder model for the MAMUT simulator.
+//!
+//! The paper transcodes with [Kvazaar], an open-source HEVC encoder, using
+//! the `ultrafast` preset for 1080p ("HR") streams and `slow` for 832×480
+//! ("LR") streams. The MAMUT control loop never inspects pixels — it
+//! observes four outputs (throughput, PSNR, bitrate, power) and actuates
+//! three knobs (QP, threads, frequency). This crate models exactly that
+//! surface:
+//!
+//! * [`wpp`] — Wavefront Parallel Processing speedup from the CTU-row
+//!   makespan formula. Saturation emerges at ≈12 threads for 1080p and
+//!   ≈5 threads for 832×480, the two limits the paper reports (§V-A);
+//! * [`Preset`] — Kvazaar-like effort presets scaling cycles, quality and
+//!   compression;
+//! * [`HevcEncoder`] — per-frame `cycles / PSNR / bitrate` from
+//!   `(QP, content complexity)`, following standard rate-distortion shapes
+//!   (PSNR ≈ linear in QP, bitrate ≈ exponential in QP);
+//! * [`HevcDecoder`] — the cheap half of a transcoder (the paper cites a
+//!   ≈100× encoder/decoder complexity ratio).
+//!
+//! Calibration anchors are taken from the paper's Fig. 2 (RD curves, power
+//! and FPS for 1080p at 3.2 GHz) and the Table I/II operating points; tests
+//! in each module pin those shapes.
+//!
+//! [Kvazaar]: https://github.com/ultravideo/kvazaar
+//!
+//! # Example
+//!
+//! ```
+//! use mamut_encoder::{HevcEncoder, Preset};
+//! use mamut_video::{FrameInfo, Resolution};
+//!
+//! let enc = HevcEncoder::new(Resolution::FULL_HD, Preset::Ultrafast);
+//! let frame = FrameInfo { index: 0, complexity: 1.0, scene_cut: false };
+//! let out = enc.encode(32, &frame).unwrap();
+//! assert!(out.cycles > 0.0);
+//! assert!(out.psnr_db > 30.0 && out.psnr_db < 45.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decoder;
+mod encoder;
+mod error;
+mod preset;
+mod quality;
+mod ratecontrol;
+
+pub mod wpp;
+
+pub use decoder::HevcDecoder;
+pub use encoder::{EncodeOutcome, EncoderModelParams, HevcEncoder};
+pub use error::EncoderError;
+pub use preset::Preset;
+
+/// Valid HEVC quantization-parameter range (H.265 spec, 8-bit).
+pub const QP_RANGE: std::ops::RangeInclusive<u8> = 0..=51;
+
+/// The QP action set used by MAMUT's `AGqp` agent (paper §III-B).
+pub const PAPER_QP_VALUES: [u8; 7] = [22, 25, 27, 29, 32, 35, 37];

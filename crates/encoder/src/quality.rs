@@ -1,0 +1,133 @@
+//! PSNR model: quality as a function of QP, preset, resolution and content.
+//!
+//! For typical content and mid-range QPs, HEVC PSNR falls nearly linearly
+//! with QP at ≈0.4–0.5 dB per QP step. Busy content (high motion/texture)
+//! loses quality at a given QP; smaller frames gain a little (less spatial
+//! redundancy per pixel has already been spent by downscaling). These shapes
+//! match the paper's Fig. 2 RD curves (≈32–40 dB for 1080p across QP 22–37)
+//! and the reported operating points (≈34 dB HR, 36–41 dB LR).
+
+use mamut_video::Resolution;
+
+use crate::Preset;
+
+/// Reference pixel count used as the anchor for resolution effects (1080p).
+const REF_PIXELS: f64 = 1920.0 * 1080.0;
+
+/// Constants of the PSNR model, exposed through
+/// [`EncoderModelParams`](crate::EncoderModelParams).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct PsnrParams {
+    /// PSNR at QP 32, `Medium` preset, unit complexity, 1080p.
+    pub base_db: f64,
+    /// dB lost per QP step above 32 (and gained below).
+    pub qp_slope: f64,
+    /// dB lost per unit of content complexity above 1.0.
+    pub content_penalty: f64,
+    /// dB gained per halving of the pixel count below 1080p.
+    pub resolution_bonus_per_octave: f64,
+    /// Hard clamp range.
+    pub floor_db: f64,
+    /// Hard clamp range.
+    pub ceil_db: f64,
+}
+
+impl Default for PsnrParams {
+    fn default() -> Self {
+        PsnrParams {
+            base_db: 37.6,
+            qp_slope: 0.45,
+            content_penalty: 1.2,
+            resolution_bonus_per_octave: 0.43,
+            floor_db: 25.0,
+            ceil_db: 55.0,
+        }
+    }
+}
+
+/// Computes frame PSNR in dB.
+pub(crate) fn psnr_db(
+    p: &PsnrParams,
+    resolution: Resolution,
+    preset: Preset,
+    qp: u8,
+    complexity: f64,
+) -> f64 {
+    let pixels = resolution.pixel_count() as f64;
+    let octaves_smaller = (REF_PIXELS / pixels).log2().max(0.0);
+    let value = p.base_db
+        + preset.psnr_offset_db()
+        + p.resolution_bonus_per_octave * octaves_smaller
+        - p.qp_slope * (f64::from(qp) - 32.0)
+        - p.content_penalty * (complexity - 1.0);
+    value.clamp(p.floor_db, p.ceil_db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> PsnrParams {
+        PsnrParams::default()
+    }
+
+    #[test]
+    fn psnr_decreases_with_qp() {
+        let p = params();
+        let mut last = f64::INFINITY;
+        for qp in [22u8, 25, 27, 29, 32, 35, 37] {
+            let v = psnr_db(&p, Resolution::FULL_HD, Preset::Ultrafast, qp, 1.0);
+            assert!(v < last, "qp={qp}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn hr_ultrafast_matches_fig2_range() {
+        // Fig. 2: 1080p RD curve spans roughly 32–40 dB over QP 22–37.
+        let p = params();
+        let hi = psnr_db(&p, Resolution::FULL_HD, Preset::Ultrafast, 22, 1.0);
+        let lo = psnr_db(&p, Resolution::FULL_HD, Preset::Ultrafast, 37, 1.0);
+        assert!((38.5..=42.0).contains(&hi), "hi = {hi}");
+        assert!((31.0..=35.0).contains(&lo), "lo = {lo}");
+    }
+
+    #[test]
+    fn lr_slow_is_higher_quality_than_hr_ultrafast() {
+        // Paper §V-B: LR streams land at 36–41 dB vs ≈34 dB for HR.
+        let p = params();
+        let lr = psnr_db(&p, Resolution::WVGA, Preset::Slow, 32, 1.0);
+        let hr = psnr_db(&p, Resolution::FULL_HD, Preset::Ultrafast, 32, 1.0);
+        assert!(lr > hr + 2.0, "lr = {lr}, hr = {hr}");
+    }
+
+    #[test]
+    fn busy_content_loses_quality() {
+        let p = params();
+        let calm = psnr_db(&p, Resolution::FULL_HD, Preset::Ultrafast, 32, 0.7);
+        let busy = psnr_db(&p, Resolution::FULL_HD, Preset::Ultrafast, 32, 1.6);
+        assert!(calm > busy + 0.5);
+    }
+
+    #[test]
+    fn clamped_to_floor_and_ceiling() {
+        let p = PsnrParams {
+            floor_db: 30.0,
+            ceil_db: 40.0,
+            ..PsnrParams::default()
+        };
+        let floor = psnr_db(&p, Resolution::FULL_HD, Preset::Ultrafast, 51, 3.0);
+        assert_eq!(floor, p.floor_db);
+        let ceil = psnr_db(&p, Resolution::WVGA, Preset::Slow, 0, 0.25);
+        assert_eq!(ceil, p.ceil_db);
+    }
+
+    #[test]
+    fn resolution_bonus_never_negative_for_large_frames() {
+        let p = params();
+        let uhd = Resolution::new(3840, 2160).unwrap();
+        let v = psnr_db(&p, uhd, Preset::Medium, 32, 1.0);
+        // Larger-than-reference frames get no bonus, not a penalty.
+        assert!((v - p.base_db).abs() < 1e-9);
+    }
+}

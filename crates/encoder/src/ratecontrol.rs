@@ -1,0 +1,149 @@
+//! Bitrate model: compressed output rate as a function of QP, preset,
+//! resolution and content.
+//!
+//! HEVC bitrate falls exponentially with QP — roughly halving every 5–6 QP
+//! steps — and scales with content complexity (more motion → more residual
+//! bits). Bits per pixel *rise* for smaller frames (downscaling already
+//! removed the easy redundancy). The defaults put a 1080p stream at QP 22
+//! near 1.5 MB/s and QP 37 near 0.25 MB/s, matching the bandwidth axis of
+//! the paper's Fig. 2, and straddle the paper's 3 Mb/s and 6 Mb/s bitrate
+//! state boundaries across the QP action set.
+
+use mamut_video::Resolution;
+
+use crate::Preset;
+
+/// Reference pixel count anchoring the bits-per-pixel model (1080p).
+const REF_PIXELS: f64 = 1920.0 * 1080.0;
+
+/// Constants of the bitrate model, exposed through
+/// [`EncoderModelParams`](crate::EncoderModelParams).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct RateParams {
+    /// Bits per pixel at QP 32, `Medium` preset, unit complexity, 1080p.
+    pub base_bits_per_pixel: f64,
+    /// Exponential decay per QP step (ln 2 / 5.5 halves rate every 5.5 QP).
+    pub qp_decay: f64,
+    /// Bits-per-pixel growth exponent as frames shrink below 1080p.
+    pub resolution_exponent: f64,
+    /// Content complexity exponent.
+    pub content_exponent: f64,
+    /// Playback frame rate the bitstream is timed against (fps).
+    pub playback_fps: f64,
+}
+
+impl Default for RateParams {
+    fn default() -> Self {
+        RateParams {
+            base_bits_per_pixel: 0.072,
+            qp_decay: std::f64::consts::LN_2 / 5.5,
+            resolution_exponent: 0.30,
+            content_exponent: 0.80,
+            playback_fps: 24.0,
+        }
+    }
+}
+
+/// Computes output bitrate in Mb/s.
+pub(crate) fn bitrate_mbps(
+    p: &RateParams,
+    resolution: Resolution,
+    preset: Preset,
+    qp: u8,
+    complexity: f64,
+) -> f64 {
+    let pixels = resolution.pixel_count() as f64;
+    let res_scale = (REF_PIXELS / pixels).powf(p.resolution_exponent).max(1.0);
+    let bpp = p.base_bits_per_pixel
+        * res_scale
+        * preset.bitrate_factor()
+        * complexity.powf(p.content_exponent)
+        * (-p.qp_decay * (f64::from(qp) - 32.0)).exp();
+    bpp * pixels * p.playback_fps / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> RateParams {
+        RateParams::default()
+    }
+
+    #[test]
+    fn bitrate_decreases_with_qp() {
+        let p = params();
+        let mut last = f64::INFINITY;
+        for qp in [22u8, 25, 27, 29, 32, 35, 37] {
+            let r = bitrate_mbps(&p, Resolution::FULL_HD, Preset::Ultrafast, qp, 1.0);
+            assert!(r < last, "qp={qp}");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn hr_range_matches_fig2_bandwidth_axis() {
+        // Fig. 2 plots bandwidth up to ≈1.5 MB/s (12 Mb/s) at QP 22 and a
+        // fraction of that at QP 37.
+        let p = params();
+        let hi = bitrate_mbps(&p, Resolution::FULL_HD, Preset::Ultrafast, 22, 1.0);
+        let lo = bitrate_mbps(&p, Resolution::FULL_HD, Preset::Ultrafast, 37, 1.0);
+        assert!((9.0..=15.0).contains(&hi), "hi = {hi} Mb/s");
+        assert!((1.2..=3.5).contains(&lo), "lo = {lo} Mb/s");
+    }
+
+    #[test]
+    fn qp_action_set_straddles_the_state_boundaries() {
+        // The paper's bitrate states split at 3 and 6 Mb/s; the QP action
+        // set must be able to land an HR stream in each band.
+        let p = params();
+        let rate =
+            |qp| bitrate_mbps(&p, Resolution::FULL_HD, Preset::Ultrafast, qp, 1.0);
+        assert!(rate(22) > 6.0);
+        assert!(rate(32) > 3.0 && rate(32) < 6.0);
+        assert!(rate(37) < 3.0);
+    }
+
+    #[test]
+    fn halving_period_is_about_five_and_a_half_qp() {
+        let p = params();
+        let r32 = bitrate_mbps(&p, Resolution::FULL_HD, Preset::Medium, 32, 1.0);
+        let r37 = bitrate_mbps(&p, Resolution::FULL_HD, Preset::Medium, 37, 1.0);
+        let ratio = r32 / r37;
+        assert!((1.7..=2.2).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn smaller_frames_use_fewer_absolute_bits() {
+        let p = params();
+        let hr = bitrate_mbps(&p, Resolution::FULL_HD, Preset::Medium, 32, 1.0);
+        let lr = bitrate_mbps(&p, Resolution::WVGA, Preset::Medium, 32, 1.0);
+        assert!(lr < hr / 2.0);
+    }
+
+    #[test]
+    fn smaller_frames_use_more_bits_per_pixel() {
+        let p = params();
+        let hr = bitrate_mbps(&p, Resolution::FULL_HD, Preset::Medium, 32, 1.0)
+            / Resolution::FULL_HD.pixel_count() as f64;
+        let lr = bitrate_mbps(&p, Resolution::WVGA, Preset::Medium, 32, 1.0)
+            / Resolution::WVGA.pixel_count() as f64;
+        assert!(lr > hr);
+    }
+
+    #[test]
+    fn busy_content_needs_more_bits() {
+        let p = params();
+        let calm = bitrate_mbps(&p, Resolution::FULL_HD, Preset::Medium, 32, 0.7);
+        let busy = bitrate_mbps(&p, Resolution::FULL_HD, Preset::Medium, 32, 1.6);
+        assert!(busy > calm * 1.5);
+    }
+
+    #[test]
+    fn slow_preset_compresses_better_than_ultrafast() {
+        let p = params();
+        let uf = bitrate_mbps(&p, Resolution::WVGA, Preset::Ultrafast, 32, 1.0);
+        let slow = bitrate_mbps(&p, Resolution::WVGA, Preset::Slow, 32, 1.0);
+        assert!(slow < uf);
+    }
+}

@@ -1,0 +1,154 @@
+//! Wavefront Parallel Processing (WPP) speedup model.
+//!
+//! Kvazaar parallelises a frame by assigning CTU rows to threads; a row may
+//! start only after the row above has finished its first two CTUs (the
+//! wavefront dependency). With `R` rows of `W` CTUs each and `T` threads,
+//! the classic makespan approximation in CTU units is
+//!
+//! ```text
+//! makespan(T) = (R / T) · W + 2 · (min(T, R) − 1)
+//! speedup(T)  = (R · W) / makespan(T)
+//! ```
+//!
+//! The first term is the work each thread carries; the second is the ramp-up
+//! lag of the wavefront. Speedup therefore saturates as `T` approaches `R`:
+//! for 1080p (17 CTU rows) the knee sits at ≈12 threads and for 832×480
+//! (8 rows) at ≈5 threads — exactly the per-resolution thread limits the
+//! paper reports for its platform (§V-A).
+
+use mamut_video::Resolution;
+
+/// Parallel-efficiency floor used to declare saturation.
+const SATURATION_EFFICIENCY: f64 = 0.65;
+
+/// WPP speedup for a frame of `rows`×`cols` CTUs encoded with `threads`
+/// threads.
+///
+/// Returns 0.0 for zero rows/cols and clamps `threads` to at least 1.
+/// Threads beyond the row count contribute nothing (there is no work for
+/// them in a wavefront), so the curve is flat there.
+///
+/// # Example
+///
+/// ```
+/// use mamut_encoder::wpp::speedup;
+///
+/// let s1 = speedup(17, 30, 1);
+/// let s12 = speedup(17, 30, 12);
+/// assert!((s1 - 1.0).abs() < 1e-12);
+/// assert!(s12 > 7.0 && s12 < 9.0);
+/// ```
+pub fn speedup(rows: u32, cols: u32, threads: u32) -> f64 {
+    if rows == 0 || cols == 0 {
+        return 0.0;
+    }
+    let r = f64::from(rows);
+    let w = f64::from(cols);
+    let t = f64::from(threads.clamp(1, rows));
+    let serial = r * w;
+    let makespan = (r / t) * w + 2.0 * (t - 1.0);
+    serial / makespan
+}
+
+/// WPP speedup for a frame at `resolution` (64-pixel CTUs).
+pub fn speedup_at(resolution: Resolution, threads: u32) -> f64 {
+    speedup(resolution.ctu_rows(), resolution.ctu_cols(), threads)
+}
+
+/// Largest thread count whose parallel efficiency (`speedup / threads`)
+/// stays at or above 65 %.
+///
+/// Beyond this point extra threads mostly idle in the wavefront ramp, so a
+/// deployment would cap thread pools here. This reproduces the paper's
+/// observed saturation points: 12 threads for 1080p and 5 for 832×480.
+pub fn saturation_threads(resolution: Resolution) -> u32 {
+    let rows = resolution.ctu_rows();
+    let cols = resolution.ctu_cols();
+    let mut best = 1;
+    for t in 1..=rows.max(1) {
+        if speedup(rows, cols, t) / f64::from(t) >= SATURATION_EFFICIENCY {
+            best = t;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_is_unit_speedup() {
+        assert!((speedup(17, 30, 1) - 1.0).abs() < 1e-12);
+        assert!((speedup(8, 13, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_monotone_until_near_row_limit() {
+        // At exactly t = rows the ramp-up lag can cost slightly more than
+        // the extra thread gains, so monotonicity is asserted up to rows−1.
+        for (rows, cols) in [(17u32, 30u32), (8, 13)] {
+            let mut last = 0.0;
+            for t in 1..rows {
+                let s = speedup(rows, cols, t);
+                assert!(s > last, "rows={rows} t={t}");
+                last = s;
+            }
+        }
+    }
+
+    #[test]
+    fn threads_beyond_rows_add_nothing() {
+        let at_rows = speedup(8, 13, 8);
+        assert_eq!(speedup(8, 13, 20), at_rows);
+    }
+
+    #[test]
+    fn hr_saturates_at_twelve_threads_as_in_the_paper() {
+        assert_eq!(saturation_threads(Resolution::FULL_HD), 12);
+    }
+
+    #[test]
+    fn lr_saturates_at_five_threads_as_in_the_paper() {
+        assert_eq!(saturation_threads(Resolution::WVGA), 5);
+    }
+
+    #[test]
+    fn efficiency_decreases_with_threads() {
+        // speedup/threads (parallel efficiency) must fall monotonically:
+        // that inefficiency is what DVFS trades against.
+        let mut last = f64::INFINITY;
+        for t in 1..=17 {
+            let eff = speedup(17, 30, t) / f64::from(t);
+            assert!(eff <= last + 1e-12);
+            last = eff;
+        }
+    }
+
+    #[test]
+    fn degenerate_frames_yield_zero() {
+        assert_eq!(speedup(0, 30, 4), 0.0);
+        assert_eq!(speedup(17, 0, 4), 0.0);
+    }
+
+    #[test]
+    fn zero_threads_treated_as_one() {
+        assert_eq!(speedup(17, 30, 0), speedup(17, 30, 1));
+    }
+
+    #[test]
+    fn hr_speedup_at_ten_threads_matches_hand_computation() {
+        // (17/10)*30 + 2*9 = 69; 510/69 = 7.391…
+        let s = speedup(17, 30, 10);
+        assert!((s - 510.0 / 69.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_at_uses_ctu_grid() {
+        assert_eq!(
+            speedup_at(Resolution::FULL_HD, 10),
+            speedup(17, 30, 10)
+        );
+        assert_eq!(speedup_at(Resolution::WVGA, 4), speedup(8, 13, 4));
+    }
+}

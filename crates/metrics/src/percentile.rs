@@ -1,0 +1,171 @@
+/// Exact percentile tracker over a bounded sample buffer.
+///
+/// QoS reporting beyond the mean: ∆ tells you *how often* frames miss the
+/// target; the tail percentiles tell you *how badly*. Samples are kept in
+/// full (the workloads here are ≤ a few hundred thousand frames), sorted
+/// lazily on query.
+///
+/// # Example
+///
+/// ```
+/// let mut p = mamut_metrics::PercentileTracker::new();
+/// for i in 1..=100 {
+///     p.push(f64::from(i));
+/// }
+/// assert_eq!(p.percentile(50.0), Some(50.0));
+/// assert_eq!(p.percentile(95.0), Some(95.0));
+/// assert_eq!(p.percentile(100.0), Some(100.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PercentileTracker {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl PercentileTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        PercentileTracker {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds a sample. Non-finite samples are ignored.
+    pub fn push(&mut self, x: f64) {
+        if x.is_finite() {
+            self.samples.push(x);
+            self.sorted = false;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the tracker is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-th percentile (nearest-rank method), `None` when empty or
+    /// `p` outside `(0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() || !(0.0..=100.0).contains(&p) || p == 0.0 {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        Some(self.samples[rank.clamp(1, n) - 1])
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// Smallest sample.
+    pub fn min(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.samples.first().copied()
+    }
+
+    /// Largest sample.
+    pub fn max(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.samples.last().copied()
+    }
+}
+
+impl Extend<f64> for PercentileTracker {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for PercentileTracker {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut p = PercentileTracker::new();
+        p.extend(iter);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker_answers_none() {
+        let mut p = PercentileTracker::new();
+        assert_eq!(p.percentile(50.0), None);
+        assert_eq!(p.median(), None);
+        assert_eq!(p.min(), None);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut p: PercentileTracker = [7.0].into_iter().collect();
+        assert_eq!(p.percentile(1.0), Some(7.0));
+        assert_eq!(p.percentile(50.0), Some(7.0));
+        assert_eq!(p.percentile(100.0), Some(7.0));
+    }
+
+    #[test]
+    fn nearest_rank_on_known_data() {
+        let mut p: PercentileTracker = (1..=10).map(f64::from).collect();
+        assert_eq!(p.percentile(10.0), Some(1.0));
+        assert_eq!(p.percentile(50.0), Some(5.0));
+        assert_eq!(p.percentile(90.0), Some(9.0));
+        assert_eq!(p.percentile(91.0), Some(10.0));
+    }
+
+    #[test]
+    fn unordered_input_is_sorted_lazily() {
+        let mut p: PercentileTracker = [5.0, 1.0, 9.0, 3.0, 7.0].into_iter().collect();
+        assert_eq!(p.median(), Some(5.0));
+        assert_eq!(p.min(), Some(1.0));
+        assert_eq!(p.max(), Some(9.0));
+    }
+
+    #[test]
+    fn pushes_after_query_are_included() {
+        let mut p = PercentileTracker::new();
+        p.push(1.0);
+        assert_eq!(p.max(), Some(1.0));
+        p.push(2.0);
+        assert_eq!(p.max(), Some(2.0));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let mut p: PercentileTracker = [1.0, 2.0].into_iter().collect();
+        p.push(f64::NAN);
+        p.push(f64::INFINITY);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.percentile(0.0), None);
+        assert_eq!(p.percentile(101.0), None);
+        assert_eq!(p.percentile(-5.0), None);
+    }
+
+    #[test]
+    fn duplicates_are_preserved() {
+        let mut p: PercentileTracker = [2.0, 2.0, 2.0, 8.0].into_iter().collect();
+        assert_eq!(p.percentile(75.0), Some(2.0));
+        assert_eq!(p.percentile(76.0), Some(8.0));
+    }
+}

@@ -1,0 +1,293 @@
+/// Frames-per-second QoS accounting — the paper's ∆ metric.
+///
+/// ∆ is "the percentage of frames processed below the 24 FPS target frame
+/// rate" (§V-B). The throughput a deployment monitors (and the controller
+/// observes) is a short-window FPS reading — the signal plotted in the
+/// paper's Fig. 5, which "keeps the FPS close to 24, but never going
+/// below" — so ∆ is counted against that smoothed reading:
+/// [`QosTracker::record_frame`] takes both the frame's processing time and
+/// the smoothed FPS at its completion.
+///
+/// Two secondary counts are kept:
+///
+/// * **raw violations** — individual frames whose processing time exceeded
+///   `1/target` (frame-level jitter, stricter than ∆);
+/// * **delivery violations** — the paper's buffering remark (§III-D(a)):
+///   frames encoded faster than the target earn play-out credit that can
+///   absorb later slow frames; this counts frames that miss even that.
+///
+/// # Example
+///
+/// ```
+/// let mut q = mamut_metrics::QosTracker::new(24.0);
+/// q.record_frame(1.0 / 30.0, 30.0); // fast frame, healthy window
+/// q.record_frame(1.0 / 20.0, 23.0); // slow frame, window dipped: ∆ event
+/// assert_eq!(q.violations(), 1);
+/// assert_eq!(q.raw_violations(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosTracker {
+    target_fps: f64,
+    frames: u64,
+    violations: u64,
+    raw_violations: u64,
+    delivery_violations: u64,
+    buffer_credit_s: f64,
+    buffer_cap_s: f64,
+}
+
+/// Default play-out buffer depth, in seconds of content.
+const DEFAULT_BUFFER_CAP_S: f64 = 0.5;
+
+impl QosTracker {
+    /// Creates a tracker for the given target frame rate.
+    ///
+    /// Non-positive or non-finite targets are clamped to the paper's
+    /// 24 FPS default.
+    pub fn new(target_fps: f64) -> Self {
+        QosTracker::with_buffer(target_fps, DEFAULT_BUFFER_CAP_S)
+    }
+
+    /// Creates a tracker with an explicit buffer depth (seconds).
+    pub fn with_buffer(target_fps: f64, buffer_cap_s: f64) -> Self {
+        let target = if target_fps.is_finite() && target_fps > 0.0 {
+            target_fps
+        } else {
+            24.0
+        };
+        QosTracker {
+            target_fps: target,
+            frames: 0,
+            violations: 0,
+            raw_violations: 0,
+            delivery_violations: 0,
+            buffer_credit_s: 0.0,
+            buffer_cap_s: buffer_cap_s.max(0.0),
+        }
+    }
+
+    /// Target frame rate in FPS.
+    pub fn target_fps(&self) -> f64 {
+        self.target_fps
+    }
+
+    /// Records a frame that took `frame_time_s` seconds to process, with
+    /// the smoothed FPS reading at its completion.
+    ///
+    /// Ignores non-finite or negative times.
+    pub fn record_frame(&mut self, frame_time_s: f64, smoothed_fps: f64) {
+        if !frame_time_s.is_finite() || frame_time_s < 0.0 || !smoothed_fps.is_finite() {
+            return;
+        }
+        self.frames += 1;
+        if smoothed_fps < self.target_fps {
+            self.violations += 1;
+        }
+        let deadline = 1.0 / self.target_fps;
+        let slack = deadline - frame_time_s;
+        if slack < 0.0 {
+            self.raw_violations += 1;
+            // Try to pay the overrun from buffered content.
+            self.buffer_credit_s += slack;
+            if self.buffer_credit_s < 0.0 {
+                self.delivery_violations += 1;
+                self.buffer_credit_s = 0.0;
+            }
+        } else {
+            self.buffer_credit_s = (self.buffer_credit_s + slack).min(self.buffer_cap_s);
+        }
+    }
+
+    /// Total frames recorded.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Frames whose smoothed FPS was below target (the ∆ numerator).
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Individual frames whose processing time exceeded the deadline.
+    pub fn raw_violations(&self) -> u64 {
+        self.raw_violations
+    }
+
+    /// Raw violations that also exhausted the play-out buffer.
+    pub fn delivery_violations(&self) -> u64 {
+        self.delivery_violations
+    }
+
+    /// ∆ — percentage of frames below target (0.0 when no frames).
+    pub fn violation_percent(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            100.0 * self.violations as f64 / self.frames as f64
+        }
+    }
+
+    /// Raw per-frame violation percentage (0.0 when no frames).
+    pub fn raw_violation_percent(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            100.0 * self.raw_violations as f64 / self.frames as f64
+        }
+    }
+
+    /// Buffered delivery-violation percentage (0.0 when no frames).
+    pub fn delivery_violation_percent(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            100.0 * self.delivery_violations as f64 / self.frames as f64
+        }
+    }
+
+    /// Current buffer credit in seconds of content.
+    pub fn buffer_credit_s(&self) -> f64 {
+        self.buffer_credit_s
+    }
+
+    /// Merges another tracker's counts (buffer state is not transferable).
+    pub fn merge_counts(&mut self, other: &QosTracker) {
+        self.frames += other.frames;
+        self.violations += other.violations;
+        self.raw_violations += other.raw_violations;
+        self.delivery_violations += other.delivery_violations;
+    }
+}
+
+impl Default for QosTracker {
+    fn default() -> Self {
+        QosTracker::new(24.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_target_is_paper_24fps() {
+        assert_eq!(QosTracker::default().target_fps(), 24.0);
+        assert_eq!(QosTracker::new(-5.0).target_fps(), 24.0);
+        assert_eq!(QosTracker::new(f64::NAN).target_fps(), 24.0);
+    }
+
+    #[test]
+    fn healthy_frames_never_violate() {
+        let mut q = QosTracker::new(24.0);
+        for _ in 0..100 {
+            q.record_frame(1.0 / 30.0, 30.0);
+        }
+        assert_eq!(q.violations(), 0);
+        assert_eq!(q.raw_violations(), 0);
+        assert_eq!(q.violation_percent(), 0.0);
+    }
+
+    #[test]
+    fn low_window_counts_delta_even_when_the_frame_was_fast() {
+        let mut q = QosTracker::new(24.0);
+        q.record_frame(1.0 / 30.0, 22.0);
+        assert_eq!(q.violations(), 1);
+        assert_eq!(q.raw_violations(), 0);
+    }
+
+    #[test]
+    fn slow_frame_with_healthy_window_is_raw_only() {
+        let mut q = QosTracker::new(24.0);
+        q.record_frame(1.0 / 20.0, 25.0);
+        assert_eq!(q.violations(), 0);
+        assert_eq!(q.raw_violations(), 1);
+    }
+
+    #[test]
+    fn sustained_slowness_violates_everything() {
+        let mut q = QosTracker::new(24.0);
+        for _ in 0..10 {
+            q.record_frame(1.0 / 20.0, 20.0);
+        }
+        assert_eq!(q.violations(), 10);
+        assert_eq!(q.raw_violations(), 10);
+        assert_eq!(q.violation_percent(), 100.0);
+        assert_eq!(q.raw_violation_percent(), 100.0);
+    }
+
+    #[test]
+    fn exact_target_is_not_a_violation() {
+        let mut q = QosTracker::new(24.0);
+        q.record_frame(1.0 / 24.0, 24.0);
+        assert_eq!(q.violations(), 0);
+        assert_eq!(q.raw_violations(), 0);
+    }
+
+    #[test]
+    fn buffer_absorbs_isolated_slow_frames() {
+        let mut q = QosTracker::new(24.0);
+        // Build up credit with 24 fast frames…
+        for _ in 0..24 {
+            q.record_frame(1.0 / 48.0, 48.0);
+        }
+        // …then one slow frame (double the deadline).
+        q.record_frame(2.0 / 24.0, 23.0);
+        assert_eq!(q.raw_violations(), 1);
+        assert_eq!(q.delivery_violations(), 0);
+    }
+
+    #[test]
+    fn sustained_slowness_exhausts_buffer() {
+        let mut q = QosTracker::with_buffer(24.0, 0.2);
+        for _ in 0..24 {
+            q.record_frame(1.0 / 48.0, 48.0);
+        }
+        let mut delivery = 0;
+        for _ in 0..100 {
+            q.record_frame(1.0 / 12.0, 12.0);
+            delivery = q.delivery_violations();
+        }
+        assert!(delivery > 50, "buffer must eventually run dry: {delivery}");
+    }
+
+    #[test]
+    fn buffer_credit_is_capped() {
+        let mut q = QosTracker::with_buffer(24.0, 0.1);
+        for _ in 0..1000 {
+            q.record_frame(0.0, 1000.0);
+        }
+        assert!(q.buffer_credit_s() <= 0.1 + 1e-12);
+    }
+
+    #[test]
+    fn invalid_frame_times_ignored() {
+        let mut q = QosTracker::new(24.0);
+        q.record_frame(f64::NAN, 24.0);
+        q.record_frame(-1.0, 24.0);
+        q.record_frame(f64::INFINITY, 24.0);
+        q.record_frame(0.01, f64::NAN);
+        assert_eq!(q.frames(), 0);
+    }
+
+    #[test]
+    fn percentages_with_no_frames_are_zero() {
+        let q = QosTracker::new(24.0);
+        assert_eq!(q.violation_percent(), 0.0);
+        assert_eq!(q.raw_violation_percent(), 0.0);
+        assert_eq!(q.delivery_violation_percent(), 0.0);
+    }
+
+    #[test]
+    fn merge_counts_sums() {
+        let mut a = QosTracker::new(24.0);
+        a.record_frame(1.0 / 20.0, 20.0);
+        let mut b = QosTracker::new(24.0);
+        b.record_frame(1.0 / 30.0, 30.0);
+        b.record_frame(1.0 / 30.0, 30.0);
+        a.merge_counts(&b);
+        assert_eq!(a.frames(), 3);
+        assert_eq!(a.violations(), 1);
+        assert_eq!(a.raw_violations(), 1);
+        assert!((a.violation_percent() - 100.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,252 @@
+use std::fmt;
+
+/// Column alignment for [`Table`] rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Align {
+    /// Left-aligned (default; labels).
+    #[default]
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A small plain-text/Markdown table builder for experiment reports.
+///
+/// Benches use this to print Table I/II-shaped results without pulling in a
+/// serialization stack.
+///
+/// # Example
+///
+/// ```
+/// use mamut_metrics::{Align, Table};
+///
+/// let mut t = Table::new(vec!["mix".into(), "watts".into()]);
+/// t.set_alignments(vec![Align::Left, Align::Right]);
+/// t.add_row(vec!["1HR1LR".into(), "88.4".into()]);
+/// let md = t.to_markdown();
+/// assert!(md.contains("| 1HR1LR |"));
+/// assert!(md.contains("---:"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    headers: Vec<String>,
+    alignments: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        let alignments = vec![Align::Left; headers.len()];
+        Table {
+            headers,
+            alignments,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets per-column alignments. Extra entries are ignored; missing
+    /// entries default to [`Align::Left`].
+    pub fn set_alignments(&mut self, alignments: Vec<Align>) -> &mut Self {
+        self.alignments = alignments;
+        self.alignments.resize(self.headers.len(), Align::Left);
+        self
+    }
+
+    /// Appends a data row. Rows shorter than the header are padded with
+    /// empty cells; longer rows are truncated.
+    pub fn add_row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+
+    fn pad(cell: &str, width: usize, align: Align) -> String {
+        let len = cell.chars().count();
+        let fill = width.saturating_sub(len);
+        match align {
+            Align::Left => format!("{cell}{}", " ".repeat(fill)),
+            Align::Right => format!("{}{cell}", " ".repeat(fill)),
+        }
+    }
+
+    /// Renders as a GitHub-flavoured Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let widths = self.column_widths();
+        let mut out = String::new();
+        out.push('|');
+        for (i, h) in self.headers.iter().enumerate() {
+            out.push(' ');
+            out.push_str(&Self::pad(h, widths[i], self.alignments[i]));
+            out.push_str(" |");
+        }
+        out.push('\n');
+        out.push('|');
+        for (i, w) in widths.iter().enumerate() {
+            let bar = match self.alignments[i] {
+                Align::Left => format!(" {} |", "-".repeat((*w).max(3))),
+                Align::Right => format!(" {}: |", "-".repeat((*w).max(3).saturating_sub(1))),
+            };
+            out.push_str(&bar);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push('|');
+            for (i, cell) in row.iter().enumerate() {
+                out.push(' ');
+                out.push_str(&Self::pad(cell, widths[i], self.alignments[i]));
+                out.push_str(" |");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as aligned plain text (no pipes), for terminal output.
+    pub fn to_plain(&self) -> String {
+        let widths = self.column_widths();
+        let mut out = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&Self::pad(h, widths[i], self.alignments[i]));
+        }
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&Self::pad(cell, widths[i], self.alignments[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_plain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["mix".into(), "watts".into(), "delta".into()]);
+        t.set_alignments(vec![Align::Left, Align::Right, Align::Right]);
+        t.add_row(vec!["1HR1LR".into(), "88.4".into(), "3.9".into()]);
+        t.add_row(vec!["2HR2LR".into(), "100.3".into(), "11.0".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_structure() {
+        let md = sample().to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("| mix"));
+        assert!(lines[1].contains("---"));
+        assert!(lines[1].contains(":"), "right-aligned columns marked");
+        assert!(lines[2].contains("88.4"));
+    }
+
+    #[test]
+    fn plain_alignment_pads_numbers_right() {
+        let plain = sample().to_plain();
+        // "88.4" is shorter than "100.3": right alignment puts a space first.
+        assert!(plain.contains(" 88.4"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.add_row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn short_rows_padded_long_rows_truncated() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.add_row(vec!["only".into()]);
+        t.add_row(vec!["x".into(), "y".into(), "z".into()]);
+        assert_eq!(t.rows()[0].len(), 2);
+        assert_eq!(t.rows()[1].len(), 2);
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn display_uses_plain() {
+        let t = sample();
+        assert_eq!(format!("{t}"), t.to_plain());
+    }
+
+    #[test]
+    fn unicode_width_by_chars() {
+        let mut t = Table::new(vec!["séq".into()]);
+        t.add_row(vec!["ü".into()]);
+        // must not panic and must align by character count
+        let plain = t.to_plain();
+        assert!(plain.contains("séq"));
+    }
+}

@@ -1,0 +1,201 @@
+use std::fmt::Write as _;
+
+/// One sample of the per-frame execution trace (the series behind Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRow {
+    /// Simulated time at frame completion (seconds).
+    pub time_s: f64,
+    /// Frame index within the session.
+    pub frame: u64,
+    /// Instantaneous throughput (1 / frame time), FPS.
+    pub fps: f64,
+    /// Frame quality, dB.
+    pub psnr_db: f64,
+    /// Output bitrate, Mb/s.
+    pub bitrate_mbps: f64,
+    /// Quantization parameter in force.
+    pub qp: u8,
+    /// Encoding threads in force.
+    pub threads: u32,
+    /// DVFS frequency in force, GHz.
+    pub freq_ghz: f64,
+    /// Server power at completion, W.
+    pub power_w: f64,
+}
+
+/// A growable execution trace with CSV export.
+///
+/// # Example
+///
+/// ```
+/// use mamut_metrics::{Trace, TraceRow};
+///
+/// let mut t = Trace::new();
+/// t.push(TraceRow {
+///     time_s: 0.04, frame: 0, fps: 25.0, psnr_db: 34.2,
+///     bitrate_mbps: 4.1, qp: 32, threads: 8, freq_ghz: 2.6, power_w: 71.0,
+/// });
+/// let csv = t.to_csv();
+/// assert!(csv.starts_with("time_s,frame,fps"));
+/// assert_eq!(csv.lines().count(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    rows: Vec<TraceRow>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace { rows: Vec::new() }
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, row: TraceRow) {
+        self.rows.push(row);
+    }
+
+    /// All samples, in insertion order.
+    pub fn rows(&self) -> &[TraceRow] {
+        &self.rows
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates over samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceRow> {
+        self.rows.iter()
+    }
+
+    /// Renders the trace as CSV (header + one line per row).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(64 + self.rows.len() * 64);
+        out.push_str("time_s,frame,fps,psnr_db,bitrate_mbps,qp,threads,freq_ghz,power_w\n");
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:.6},{},{:.3},{:.3},{:.4},{},{},{:.2},{:.2}",
+                r.time_s,
+                r.frame,
+                r.fps,
+                r.psnr_db,
+                r.bitrate_mbps,
+                r.qp,
+                r.threads,
+                r.freq_ghz,
+                r.power_w
+            );
+        }
+        out
+    }
+
+    /// Extracts one column as a vector, selected by a closure.
+    ///
+    /// Handy for computing statistics over a single signal:
+    ///
+    /// ```
+    /// # use mamut_metrics::{Trace, TraceRow};
+    /// # let mut t = Trace::new();
+    /// # t.push(TraceRow { time_s: 0.0, frame: 0, fps: 25.0, psnr_db: 0.0,
+    /// #   bitrate_mbps: 0.0, qp: 32, threads: 8, freq_ghz: 2.6, power_w: 0.0 });
+    /// let fps: Vec<f64> = t.column(|r| r.fps);
+    /// assert_eq!(fps, vec![25.0]);
+    /// ```
+    pub fn column<F: FnMut(&TraceRow) -> f64>(&self, mut select: F) -> Vec<f64> {
+        self.rows.iter().map(|r| select(r)).collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceRow;
+    type IntoIter = std::slice::Iter<'a, TraceRow>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
+impl Extend<TraceRow> for Trace {
+    fn extend<T: IntoIterator<Item = TraceRow>>(&mut self, iter: T) {
+        self.rows.extend(iter);
+    }
+}
+
+impl FromIterator<TraceRow> for Trace {
+    fn from_iter<T: IntoIterator<Item = TraceRow>>(iter: T) -> Self {
+        Trace {
+            rows: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(frame: u64, fps: f64) -> TraceRow {
+        TraceRow {
+            time_s: frame as f64 / 24.0,
+            frame,
+            fps,
+            psnr_db: 34.0,
+            bitrate_mbps: 4.0,
+            qp: 32,
+            threads: 8,
+            freq_ghz: 2.6,
+            power_w: 70.0,
+        }
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(row(0, 25.0));
+        t.push(row(1, 26.0));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[1].fps, 26.0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = Trace::new();
+        t.push(row(0, 25.0));
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "time_s,frame,fps,psnr_db,bitrate_mbps,qp,threads,freq_ghz,power_w"
+        );
+        assert!(lines[1].contains(",32,8,2.60,"));
+    }
+
+    #[test]
+    fn csv_of_empty_trace_is_header_only() {
+        assert_eq!(Trace::new().to_csv().lines().count(), 1);
+    }
+
+    #[test]
+    fn column_extraction() {
+        let t: Trace = (0..5).map(|i| row(i, 20.0 + i as f64)).collect();
+        assert_eq!(t.column(|r| r.fps), vec![20.0, 21.0, 22.0, 23.0, 24.0]);
+    }
+
+    #[test]
+    fn iteration_and_extend() {
+        let mut t = Trace::new();
+        t.extend((0..3).map(|i| row(i, 24.0)));
+        let frames: Vec<u64> = (&t).into_iter().map(|r| r.frame).collect();
+        assert_eq!(frames, vec![0, 1, 2]);
+        assert_eq!(t.iter().count(), 3);
+    }
+}

@@ -1,0 +1,158 @@
+use crate::{CpuTopology, PlatformError};
+
+/// Fair-share throughput model for threads competing for hardware threads.
+///
+/// Capacity is counted in *core-equivalents*: the first `physical_cores`
+/// runnable threads each get a full core; additional threads land on SMT
+/// siblings and add only `smt_gain` of a core each (HyperThreading yields
+/// roughly 25–60 % extra throughput, not 100 %). Threads beyond the
+/// hardware-thread count time-share and add nothing.
+///
+/// Every session's encode rate is scaled by
+/// `capacity(total) / total_requested`, which equals 1.0 while the machine
+/// has a free core per thread and degrades smoothly under oversubscription —
+/// the behaviour the paper's Scenario I sweeps from 1 video up to full
+/// saturation (Fig. 4).
+///
+/// # Example
+///
+/// ```
+/// use mamut_platform::{ContentionModel, CpuTopology};
+///
+/// let m = ContentionModel::new(CpuTopology::dual_xeon_e5_2667_v4(), 0.55).unwrap();
+/// assert_eq!(m.throughput_scale(8), 1.0);   // plenty of cores
+/// assert!(m.throughput_scale(40) < 0.7);    // oversubscribed
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContentionModel {
+    topology: CpuTopology,
+    smt_gain: f64,
+}
+
+impl ContentionModel {
+    /// Creates a contention model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidParam`] if `smt_gain` is outside
+    /// `[0, 1]`.
+    pub fn new(topology: CpuTopology, smt_gain: f64) -> Result<Self, PlatformError> {
+        if !(0.0..=1.0).contains(&smt_gain) {
+            return Err(PlatformError::InvalidParam {
+                name: "smt_gain",
+                value: smt_gain,
+            });
+        }
+        Ok(ContentionModel { topology, smt_gain })
+    }
+
+    /// The topology this model is built over.
+    pub fn topology(&self) -> CpuTopology {
+        self.topology
+    }
+
+    /// Incremental throughput of an SMT sibling relative to a full core.
+    pub fn smt_gain(&self) -> f64 {
+        self.smt_gain
+    }
+
+    /// Total core-equivalent capacity available to `total_threads` runnable
+    /// threads.
+    pub fn capacity(&self, total_threads: u32) -> f64 {
+        let cores = self.topology.physical_cores();
+        let hw = self.topology.hw_threads();
+        let runnable = total_threads.min(hw);
+        let primary = runnable.min(cores);
+        let smt = runnable.saturating_sub(cores);
+        f64::from(primary) + self.smt_gain * f64::from(smt)
+    }
+
+    /// Fraction of its nominal (one-core-per-thread) speed each thread gets.
+    ///
+    /// Returns 1.0 when `total_threads` is zero (nothing to scale).
+    pub fn throughput_scale(&self, total_threads: u32) -> f64 {
+        if total_threads == 0 {
+            return 1.0;
+        }
+        let scale = self.capacity(total_threads) / f64::from(total_threads);
+        scale.min(1.0)
+    }
+}
+
+impl Default for ContentionModel {
+    fn default() -> Self {
+        ContentionModel::new(CpuTopology::default(), 0.55).expect("default parameters are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ContentionModel {
+        ContentionModel::default()
+    }
+
+    #[test]
+    fn no_contention_below_core_count() {
+        let m = model();
+        for t in 1..=16 {
+            assert_eq!(m.throughput_scale(t), 1.0, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn smt_region_scales_down_smoothly() {
+        let m = model();
+        // 20 threads: 16 cores + 4 SMT siblings -> (16 + 4*0.55)/20 = 0.91
+        assert!((m.throughput_scale(20) - 0.91).abs() < 1e-12);
+        let mut last = 1.0;
+        for t in 17..=32 {
+            let s = m.throughput_scale(t);
+            assert!(s < last, "scale must strictly decrease in SMT region");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn oversubscription_divides_fixed_capacity() {
+        let m = model();
+        // capacity saturates at 16 + 16*0.55 = 24.8 core-equivalents
+        assert!((m.capacity(32) - 24.8).abs() < 1e-12);
+        assert!((m.capacity(64) - 24.8).abs() < 1e-12);
+        assert!((m.throughput_scale(50) - 24.8 / 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_threads_is_identity() {
+        assert_eq!(model().throughput_scale(0), 1.0);
+    }
+
+    #[test]
+    fn capacity_is_monotone_nondecreasing() {
+        let m = model();
+        let mut last = 0.0;
+        for t in 0..80 {
+            let c = m.capacity(t);
+            assert!(c >= last);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn invalid_smt_gain_rejected() {
+        let topo = CpuTopology::default();
+        assert!(ContentionModel::new(topo, -0.1).is_err());
+        assert!(ContentionModel::new(topo, 1.1).is_err());
+        assert!(ContentionModel::new(topo, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn smt_free_machine_has_hard_capacity_ceiling() {
+        let topo = CpuTopology::new(1, 4, 1).unwrap();
+        let m = ContentionModel::new(topo, 0.5).unwrap();
+        assert_eq!(m.capacity(4), 4.0);
+        assert_eq!(m.capacity(8), 4.0); // no SMT slots at all
+        assert_eq!(m.throughput_scale(8), 0.5);
+    }
+}

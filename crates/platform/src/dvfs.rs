@@ -1,0 +1,307 @@
+use crate::PlatformError;
+
+/// One DVFS operating point: a frequency and its required core voltage.
+///
+/// Voltage is what makes frequency expensive: dynamic power scales with
+/// `V²·f`, and `V` itself rises with `f`, so the top of the table costs
+/// disproportionately more energy per cycle than the middle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsLevel {
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Core voltage in volts at this frequency.
+    pub voltage_v: f64,
+}
+
+impl DvfsLevel {
+    /// Creates an operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidParam`] for non-positive or
+    /// non-finite values.
+    pub fn new(freq_ghz: f64, voltage_v: f64) -> Result<Self, PlatformError> {
+        if !(freq_ghz.is_finite() && freq_ghz > 0.0) {
+            return Err(PlatformError::InvalidParam {
+                name: "freq_ghz",
+                value: freq_ghz,
+            });
+        }
+        if !(voltage_v.is_finite() && voltage_v > 0.0) {
+            return Err(PlatformError::InvalidParam {
+                name: "voltage_v",
+                value: voltage_v,
+            });
+        }
+        Ok(DvfsLevel { freq_ghz, voltage_v })
+    }
+}
+
+/// An ordered table of DVFS operating points (lowest frequency first).
+///
+/// The default table is shaped after a Broadwell-EP part spanning
+/// 1.2–3.2 GHz, the range the paper reports for the Xeon E5-2667 v4
+/// (§III-B: "our specific platform supports frequencies from 1.20 GHz to
+/// 3.2 GHz"). Frequencies below 1.6 GHz cannot sustain real-time
+/// transcoding (§III-B(c)), so [`DvfsTable::real_time_levels`] exposes the
+/// subset MAMUT's `AGdvfs` uses as its action set.
+///
+/// # Example
+///
+/// ```
+/// let table = mamut_platform::DvfsTable::broadwell_ep();
+/// assert_eq!(table.min_freq_ghz(), 1.2);
+/// assert_eq!(table.max_freq_ghz(), 3.2);
+/// let rt: Vec<f64> = table.real_time_levels().iter().map(|l| l.freq_ghz).collect();
+/// assert_eq!(rt, vec![1.6, 1.9, 2.3, 2.6, 2.9, 3.2]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfsTable {
+    levels: Vec<DvfsLevel>,
+    real_time_floor_ghz: f64,
+}
+
+/// Frequency floor below which real-time transcoding is infeasible (GHz).
+pub const REAL_TIME_FLOOR_GHZ: f64 = 1.6;
+
+impl DvfsTable {
+    /// Creates a table from explicit levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidDvfsTable`] if the table is empty or
+    /// frequencies are not strictly increasing.
+    pub fn new(levels: Vec<DvfsLevel>, real_time_floor_ghz: f64) -> Result<Self, PlatformError> {
+        if levels.is_empty() {
+            return Err(PlatformError::InvalidDvfsTable("table is empty"));
+        }
+        for pair in levels.windows(2) {
+            if pair[1].freq_ghz <= pair[0].freq_ghz {
+                return Err(PlatformError::InvalidDvfsTable(
+                    "frequencies must be strictly increasing",
+                ));
+            }
+            if pair[1].voltage_v < pair[0].voltage_v {
+                return Err(PlatformError::InvalidDvfsTable(
+                    "voltage must be non-decreasing with frequency",
+                ));
+            }
+        }
+        Ok(DvfsTable {
+            levels,
+            real_time_floor_ghz,
+        })
+    }
+
+    /// Broadwell-EP-like default table (1.2–3.2 GHz, 8 P-states).
+    ///
+    /// The voltage curve steepens toward the top bins, mirroring real
+    /// silicon: the last 600 MHz cost ≈35 % more energy per cycle.
+    pub fn broadwell_ep() -> Self {
+        let pts = [
+            (1.2, 0.70),
+            (1.4, 0.74),
+            (1.6, 0.78),
+            (1.9, 0.84),
+            (2.3, 0.93),
+            (2.6, 1.00),
+            (2.9, 1.10),
+            (3.2, 1.22),
+        ];
+        let levels = pts
+            .iter()
+            .map(|&(f, v)| DvfsLevel::new(f, v).expect("builtin levels are valid"))
+            .collect();
+        DvfsTable::new(levels, REAL_TIME_FLOOR_GHZ).expect("builtin table is valid")
+    }
+
+    /// All operating points, lowest frequency first.
+    pub fn levels(&self) -> &[DvfsLevel] {
+        &self.levels
+    }
+
+    /// Operating points at or above the real-time floor — the `AGdvfs`
+    /// action set in the paper ({1.6, 1.9, 2.3, 2.6, 2.9, 3.2} GHz).
+    pub fn real_time_levels(&self) -> Vec<DvfsLevel> {
+        self.levels
+            .iter()
+            .copied()
+            .filter(|l| l.freq_ghz >= self.real_time_floor_ghz - 1e-9)
+            .collect()
+    }
+
+    /// Lowest supported frequency (GHz).
+    pub fn min_freq_ghz(&self) -> f64 {
+        self.levels[0].freq_ghz
+    }
+
+    /// Highest supported frequency (GHz).
+    pub fn max_freq_ghz(&self) -> f64 {
+        self.levels[self.levels.len() - 1].freq_ghz
+    }
+
+    /// The real-time feasibility floor in GHz.
+    pub fn real_time_floor_ghz(&self) -> f64 {
+        self.real_time_floor_ghz
+    }
+
+    /// Snaps an arbitrary frequency request to the nearest table level.
+    pub fn nearest(&self, freq_ghz: f64) -> DvfsLevel {
+        *self
+            .levels
+            .iter()
+            .min_by(|a, b| {
+                let da = (a.freq_ghz - freq_ghz).abs();
+                let db = (b.freq_ghz - freq_ghz).abs();
+                da.partial_cmp(&db).expect("frequencies are finite")
+            })
+            .expect("table is non-empty")
+    }
+
+    /// Voltage at a frequency, linearly interpolated between table points
+    /// and clamped to the table's ends.
+    pub fn voltage_at(&self, freq_ghz: f64) -> f64 {
+        let levels = &self.levels;
+        if freq_ghz <= levels[0].freq_ghz {
+            return levels[0].voltage_v;
+        }
+        if freq_ghz >= levels[levels.len() - 1].freq_ghz {
+            return levels[levels.len() - 1].voltage_v;
+        }
+        for pair in levels.windows(2) {
+            let (lo, hi) = (pair[0], pair[1]);
+            if freq_ghz <= hi.freq_ghz {
+                let t = (freq_ghz - lo.freq_ghz) / (hi.freq_ghz - lo.freq_ghz);
+                return lo.voltage_v + t * (hi.voltage_v - lo.voltage_v);
+            }
+        }
+        unreachable!("frequency bracket must exist")
+    }
+
+    /// The level one step below `freq_ghz`, or the lowest level.
+    pub fn step_down(&self, freq_ghz: f64) -> DvfsLevel {
+        let cur = self.nearest(freq_ghz);
+        let idx = self
+            .levels
+            .iter()
+            .position(|l| l == &cur)
+            .expect("nearest returns a table member");
+        self.levels[idx.saturating_sub(1)]
+    }
+
+    /// The level one step above `freq_ghz`, or the highest level.
+    pub fn step_up(&self, freq_ghz: f64) -> DvfsLevel {
+        let cur = self.nearest(freq_ghz);
+        let idx = self
+            .levels
+            .iter()
+            .position(|l| l == &cur)
+            .expect("nearest returns a table member");
+        self.levels[(idx + 1).min(self.levels.len() - 1)]
+    }
+}
+
+impl Default for DvfsTable {
+    fn default() -> Self {
+        DvfsTable::broadwell_ep()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_table_matches_paper_range() {
+        let t = DvfsTable::broadwell_ep();
+        assert_eq!(t.min_freq_ghz(), 1.2);
+        assert_eq!(t.max_freq_ghz(), 3.2);
+        assert_eq!(t.real_time_floor_ghz(), 1.6);
+    }
+
+    #[test]
+    fn real_time_levels_are_the_paper_action_set() {
+        let freqs: Vec<f64> = DvfsTable::broadwell_ep()
+            .real_time_levels()
+            .iter()
+            .map(|l| l.freq_ghz)
+            .collect();
+        assert_eq!(freqs, vec![1.6, 1.9, 2.3, 2.6, 2.9, 3.2]);
+    }
+
+    #[test]
+    fn nearest_snaps_to_table() {
+        let t = DvfsTable::broadwell_ep();
+        assert_eq!(t.nearest(2.40).freq_ghz, 2.3);
+        assert_eq!(t.nearest(2.48).freq_ghz, 2.6);
+        assert_eq!(t.nearest(0.5).freq_ghz, 1.2);
+        assert_eq!(t.nearest(9.0).freq_ghz, 3.2);
+    }
+
+    #[test]
+    fn voltage_interpolation_is_monotone_and_clamped() {
+        let t = DvfsTable::broadwell_ep();
+        assert_eq!(t.voltage_at(1.0), 0.70);
+        assert_eq!(t.voltage_at(4.0), 1.22);
+        let mut last = 0.0;
+        let mut f = 1.2;
+        while f <= 3.2 {
+            let v = t.voltage_at(f);
+            assert!(v >= last, "voltage not monotone at {f}");
+            last = v;
+            f += 0.05;
+        }
+    }
+
+    #[test]
+    fn voltage_at_table_points_is_exact() {
+        let t = DvfsTable::broadwell_ep();
+        for l in t.levels() {
+            assert!((t.voltage_at(l.freq_ghz) - l.voltage_v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn step_up_down_saturate_at_ends() {
+        let t = DvfsTable::broadwell_ep();
+        assert_eq!(t.step_down(1.2).freq_ghz, 1.2);
+        assert_eq!(t.step_up(3.2).freq_ghz, 3.2);
+        assert_eq!(t.step_down(2.3).freq_ghz, 1.9);
+        assert_eq!(t.step_up(2.3).freq_ghz, 2.6);
+    }
+
+    #[test]
+    fn invalid_tables_rejected() {
+        assert!(DvfsTable::new(vec![], 1.6).is_err());
+        let decreasing = vec![
+            DvfsLevel::new(2.0, 0.9).unwrap(),
+            DvfsLevel::new(1.5, 0.8).unwrap(),
+        ];
+        assert!(DvfsTable::new(decreasing, 1.6).is_err());
+        let v_drop = vec![
+            DvfsLevel::new(1.5, 0.9).unwrap(),
+            DvfsLevel::new(2.0, 0.8).unwrap(),
+        ];
+        assert!(DvfsTable::new(v_drop, 1.6).is_err());
+    }
+
+    #[test]
+    fn invalid_levels_rejected() {
+        assert!(DvfsLevel::new(0.0, 1.0).is_err());
+        assert!(DvfsLevel::new(1.0, 0.0).is_err());
+        assert!(DvfsLevel::new(f64::NAN, 1.0).is_err());
+        assert!(DvfsLevel::new(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn energy_per_cycle_rises_toward_turbo() {
+        // V²·f / f = V² — energy per cycle strictly increases with the bin.
+        let t = DvfsTable::broadwell_ep();
+        let levels = t.levels();
+        for pair in levels.windows(2) {
+            let e0 = pair[0].voltage_v * pair[0].voltage_v;
+            let e1 = pair[1].voltage_v * pair[1].voltage_v;
+            assert!(e1 > e0);
+        }
+    }
+}

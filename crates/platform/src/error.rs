@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing platform-model types from invalid input.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// A topology dimension (sockets, cores, SMT) was zero.
+    ZeroTopology,
+    /// A DVFS table was empty or not strictly increasing in frequency.
+    InvalidDvfsTable(&'static str),
+    /// A frequency outside the table's range was requested strictly.
+    FrequencyOutOfRange {
+        /// Requested frequency in GHz.
+        requested_ghz: f64,
+    },
+    /// A power/contention parameter was outside its valid range.
+    InvalidParam {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::ZeroTopology => {
+                write!(f, "topology dimensions must all be non-zero")
+            }
+            PlatformError::InvalidDvfsTable(why) => write!(f, "invalid DVFS table: {why}"),
+            PlatformError::FrequencyOutOfRange { requested_ghz } => {
+                write!(f, "frequency {requested_ghz} GHz is outside the DVFS table")
+            }
+            PlatformError::InvalidParam { name, value } => {
+                write!(f, "platform parameter {name} has invalid value {value}")
+            }
+        }
+    }
+}
+
+impl Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PlatformError::FrequencyOutOfRange { requested_ghz: 9.9 };
+        assert!(e.to_string().contains("9.9"));
+        let e = PlatformError::InvalidParam {
+            name: "static_w",
+            value: -3.0,
+        };
+        assert!(e.to_string().contains("static_w"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync>() {}
+        assert_bounds::<PlatformError>();
+    }
+}

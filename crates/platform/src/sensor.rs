@@ -1,0 +1,180 @@
+use std::collections::VecDeque;
+
+/// RAPL-like power sensor: integrates instantaneous power over simulated
+/// time and answers windowed-average queries.
+///
+/// The discrete-event server records `(watts, dt)` samples between events;
+/// controllers then observe the average power over the last
+/// `window_seconds`, which is how a real deployment would smooth RAPL
+/// energy-counter deltas.
+///
+/// # Example
+///
+/// ```
+/// let mut s = mamut_platform::PowerSensor::new(1.0);
+/// s.record(100.0, 0.5);
+/// s.record(50.0, 0.5);
+/// assert!((s.window_average() - 75.0).abs() < 1e-9);
+/// assert!((s.total_energy_j() - 75.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerSensor {
+    window_seconds: f64,
+    samples: VecDeque<(f64, f64)>, // (watts, dt)
+    window_time: f64,
+    total_energy_j: f64,
+    total_time_s: f64,
+    last_watts: f64,
+}
+
+impl PowerSensor {
+    /// Creates a sensor averaging over the given time window (seconds).
+    ///
+    /// A non-positive window is clamped to a minimal epsilon so the sensor
+    /// degrades to "last sample" semantics instead of dividing by zero.
+    pub fn new(window_seconds: f64) -> Self {
+        PowerSensor {
+            window_seconds: window_seconds.max(1e-9),
+            samples: VecDeque::new(),
+            window_time: 0.0,
+            total_energy_j: 0.0,
+            total_time_s: 0.0,
+            last_watts: 0.0,
+        }
+    }
+
+    /// Records `watts` drawn for `dt` seconds. Non-positive `dt` is ignored.
+    pub fn record(&mut self, watts: f64, dt: f64) {
+        if dt <= 0.0 {
+            return;
+        }
+        self.total_energy_j += watts * dt;
+        self.total_time_s += dt;
+        self.last_watts = watts;
+        self.samples.push_back((watts, dt));
+        self.window_time += dt;
+        while self.window_time > self.window_seconds && self.samples.len() > 1 {
+            let (_, old_dt) = self.samples[0];
+            if self.window_time - old_dt < self.window_seconds {
+                break;
+            }
+            self.samples.pop_front();
+            self.window_time -= old_dt;
+        }
+    }
+
+    /// Average power over (at most) the configured window, in watts.
+    ///
+    /// Returns 0.0 before any sample is recorded.
+    pub fn window_average(&self) -> f64 {
+        if self.window_time <= 0.0 {
+            return 0.0;
+        }
+        let energy: f64 = self.samples.iter().map(|(w, dt)| w * dt).sum();
+        energy / self.window_time
+    }
+
+    /// The most recently recorded instantaneous power, in watts.
+    pub fn last_power_w(&self) -> f64 {
+        self.last_watts
+    }
+
+    /// Total energy integrated since construction, in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.total_energy_j
+    }
+
+    /// Total time integrated since construction, in seconds.
+    pub fn total_time_s(&self) -> f64 {
+        self.total_time_s
+    }
+
+    /// Lifetime average power (total energy / total time), in watts.
+    ///
+    /// Returns 0.0 before any sample is recorded.
+    pub fn lifetime_average(&self) -> f64 {
+        if self.total_time_s <= 0.0 {
+            0.0
+        } else {
+            self.total_energy_j / self.total_time_s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sensor_reports_zero() {
+        let s = PowerSensor::new(1.0);
+        assert_eq!(s.window_average(), 0.0);
+        assert_eq!(s.lifetime_average(), 0.0);
+        assert_eq!(s.total_energy_j(), 0.0);
+    }
+
+    #[test]
+    fn constant_power_averages_to_itself() {
+        let mut s = PowerSensor::new(2.0);
+        for _ in 0..100 {
+            s.record(80.0, 0.01);
+        }
+        assert!((s.window_average() - 80.0).abs() < 1e-9);
+        assert!((s.lifetime_average() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_forgets_old_samples() {
+        let mut s = PowerSensor::new(1.0);
+        s.record(200.0, 1.0); // will fall out of the window
+        for _ in 0..100 {
+            s.record(50.0, 0.01);
+        }
+        let avg = s.window_average();
+        assert!(avg < 60.0, "old spike should be evicted, avg = {avg}");
+        // lifetime average still sees everything
+        assert!(s.lifetime_average() > 100.0);
+    }
+
+    #[test]
+    fn energy_integration_is_exact() {
+        let mut s = PowerSensor::new(10.0);
+        s.record(100.0, 2.0);
+        s.record(60.0, 1.0);
+        assert!((s.total_energy_j() - 260.0).abs() < 1e-9);
+        assert!((s.total_time_s() - 3.0).abs() < 1e-9);
+        assert!((s.lifetime_average() - 260.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nonpositive_dt_ignored() {
+        let mut s = PowerSensor::new(1.0);
+        s.record(100.0, 0.0);
+        s.record(100.0, -1.0);
+        assert_eq!(s.total_energy_j(), 0.0);
+        assert_eq!(s.window_average(), 0.0);
+    }
+
+    #[test]
+    fn last_power_tracks_most_recent_sample() {
+        let mut s = PowerSensor::new(1.0);
+        s.record(100.0, 0.1);
+        s.record(42.0, 0.1);
+        assert_eq!(s.last_power_w(), 42.0);
+    }
+
+    #[test]
+    fn single_sample_longer_than_window_still_answers() {
+        let mut s = PowerSensor::new(0.5);
+        s.record(70.0, 5.0);
+        assert!((s.window_average() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_window_degrades_to_last_sample() {
+        let mut s = PowerSensor::new(0.0);
+        s.record(10.0, 1.0);
+        s.record(90.0, 1.0);
+        assert!((s.window_average() - 90.0).abs() < 1e-9);
+    }
+}

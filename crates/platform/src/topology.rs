@@ -1,0 +1,118 @@
+use crate::PlatformError;
+
+/// Processor package layout: sockets × cores per socket × SMT threads per core.
+///
+/// The paper's machine is a dual-socket Intel Xeon E5-2667 v4:
+/// 2 sockets × 8 cores × 2-way HyperThreading = 32 hardware threads.
+///
+/// # Example
+///
+/// ```
+/// let t = mamut_platform::CpuTopology::dual_xeon_e5_2667_v4();
+/// assert_eq!(t.physical_cores(), 16);
+/// assert_eq!(t.hw_threads(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CpuTopology {
+    sockets: u32,
+    cores_per_socket: u32,
+    smt_per_core: u32,
+}
+
+impl CpuTopology {
+    /// Creates a topology description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::ZeroTopology`] if any dimension is zero.
+    pub fn new(sockets: u32, cores_per_socket: u32, smt_per_core: u32) -> Result<Self, PlatformError> {
+        if sockets == 0 || cores_per_socket == 0 || smt_per_core == 0 {
+            return Err(PlatformError::ZeroTopology);
+        }
+        Ok(CpuTopology {
+            sockets,
+            cores_per_socket,
+            smt_per_core,
+        })
+    }
+
+    /// The paper's experimental platform: 2 × Intel Xeon E5-2667 v4.
+    pub fn dual_xeon_e5_2667_v4() -> Self {
+        CpuTopology {
+            sockets: 2,
+            cores_per_socket: 8,
+            smt_per_core: 2,
+        }
+    }
+
+    /// Number of processor sockets.
+    pub fn sockets(self) -> u32 {
+        self.sockets
+    }
+
+    /// Physical cores per socket.
+    pub fn cores_per_socket(self) -> u32 {
+        self.cores_per_socket
+    }
+
+    /// Hardware threads per physical core (SMT width).
+    pub fn smt_per_core(self) -> u32 {
+        self.smt_per_core
+    }
+
+    /// Total physical cores across all sockets.
+    pub fn physical_cores(self) -> u32 {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Total hardware threads across all sockets.
+    pub fn hw_threads(self) -> u32 {
+        self.physical_cores() * self.smt_per_core
+    }
+
+    /// Hardware threads on a single socket.
+    pub fn hw_threads_per_socket(self) -> u32 {
+        self.cores_per_socket * self.smt_per_core
+    }
+}
+
+impl Default for CpuTopology {
+    fn default() -> Self {
+        CpuTopology::dual_xeon_e5_2667_v4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_platform_counts() {
+        let t = CpuTopology::dual_xeon_e5_2667_v4();
+        assert_eq!(t.sockets(), 2);
+        assert_eq!(t.cores_per_socket(), 8);
+        assert_eq!(t.smt_per_core(), 2);
+        assert_eq!(t.physical_cores(), 16);
+        assert_eq!(t.hw_threads(), 32);
+        assert_eq!(t.hw_threads_per_socket(), 16);
+    }
+
+    #[test]
+    fn default_is_paper_platform() {
+        assert_eq!(CpuTopology::default(), CpuTopology::dual_xeon_e5_2667_v4());
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        assert!(CpuTopology::new(0, 8, 2).is_err());
+        assert!(CpuTopology::new(2, 0, 2).is_err());
+        assert!(CpuTopology::new(2, 8, 0).is_err());
+    }
+
+    #[test]
+    fn single_socket_no_smt() {
+        let t = CpuTopology::new(1, 4, 1).unwrap();
+        assert_eq!(t.physical_cores(), 4);
+        assert_eq!(t.hw_threads(), 4);
+    }
+}

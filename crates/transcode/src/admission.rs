@@ -1,0 +1,267 @@
+//! Capacity planning / admission control.
+//!
+//! The paper motivates the Eq. 1 overshoot penalty with "achieving larger
+//! FPS may result in wasting resources, which ultimately means fewer
+//! users can be served" (§III-D). This module answers the operator-side
+//! question directly: *how many streams of a given shape fit on the
+//! server in real time?* It uses the same encoder/platform models as the
+//! simulator, so its verdicts are consistent with what a run would show.
+
+use mamut_core::KnobSettings;
+use mamut_encoder::{wpp, HevcEncoder, Preset};
+use mamut_platform::{Platform, SessionLoad};
+use mamut_video::{FrameInfo, Resolution, SequenceSpec};
+
+/// A stream shape to be admitted: resolution, preset and the knobs it
+/// would run at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamShape {
+    /// Frame resolution.
+    pub resolution: Resolution,
+    /// Encoder preset.
+    pub preset: Preset,
+    /// Knobs assumed for planning (a controller may do better).
+    pub knobs: KnobSettings,
+    /// Content complexity to plan for (1.0 nominal; plan with headroom).
+    pub complexity: f64,
+}
+
+impl StreamShape {
+    /// Planning shape from a catalog entry: the paper's preset for its
+    /// resolution, saturation threads, top frequency, QP 32, and the
+    /// sequence's mean complexity with 20 % headroom.
+    pub fn for_spec(spec: &SequenceSpec) -> StreamShape {
+        let resolution = spec.resolution();
+        StreamShape {
+            resolution,
+            preset: Preset::for_resolution(resolution),
+            knobs: KnobSettings::new(32, wpp::saturation_threads(resolution), 3.2),
+            complexity: (spec.content().mean_complexity * 1.2).min(3.0),
+        }
+    }
+}
+
+/// Verdict for one admission query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionVerdict {
+    /// Whether every stream is predicted to sustain the target FPS.
+    pub feasible: bool,
+    /// Predicted per-stream FPS of the *slowest* stream.
+    pub worst_fps: f64,
+    /// Predicted server power (W).
+    pub power_w: f64,
+    /// Total threads requested by the mix.
+    pub total_threads: u32,
+}
+
+/// Model-based admission control for a set of streams on a platform.
+///
+/// # Example
+///
+/// ```
+/// use mamut_core::KnobSettings;
+/// use mamut_encoder::Preset;
+/// use mamut_platform::Platform;
+/// use mamut_transcode::{AdmissionPlanner, StreamShape};
+/// use mamut_video::Resolution;
+///
+/// let planner = AdmissionPlanner::new(Platform::xeon_e5_2667_v4(), 24.0);
+/// let hr = StreamShape {
+///     resolution: Resolution::FULL_HD,
+///     preset: Preset::Ultrafast,
+///     knobs: KnobSettings::new(32, 12, 3.2),
+///     complexity: 1.2,
+/// };
+/// // One 1080p stream fits comfortably; a dozen do not.
+/// assert!(planner.admit(&vec![hr.clone(); 1]).feasible);
+/// assert!(!planner.admit(&vec![hr; 12]).feasible);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdmissionPlanner {
+    platform: Platform,
+    target_fps: f64,
+}
+
+impl AdmissionPlanner {
+    /// Creates a planner for `platform` and a target frame rate.
+    pub fn new(platform: Platform, target_fps: f64) -> Self {
+        AdmissionPlanner {
+            platform,
+            target_fps: if target_fps.is_finite() && target_fps > 0.0 {
+                target_fps
+            } else {
+                24.0
+            },
+        }
+    }
+
+    /// Predicted steady-state FPS of each stream if all run concurrently.
+    pub fn predict_fps(&self, streams: &[StreamShape]) -> Vec<f64> {
+        let total_threads: u32 = streams.iter().map(|s| s.knobs.threads).sum();
+        let scale = self.platform.throughput_scale(total_threads);
+        streams
+            .iter()
+            .map(|s| {
+                let enc = HevcEncoder::new(s.resolution, s.preset);
+                let frame = FrameInfo {
+                    index: 0,
+                    complexity: s.complexity.clamp(0.25, 3.0),
+                    scene_cut: false,
+                };
+                let outcome = enc
+                    .encode(s.knobs.qp.min(51), &frame)
+                    .expect("clamped QP is valid");
+                let level = self.platform.dvfs().nearest(s.knobs.freq_ghz);
+                let speedup = wpp::speedup_at(s.resolution, s.knobs.threads);
+                level.freq_ghz * 1e9 * speedup * scale / outcome.cycles
+            })
+            .collect()
+    }
+
+    /// Full verdict for the mix.
+    pub fn admit(&self, streams: &[StreamShape]) -> AdmissionVerdict {
+        let fps = self.predict_fps(streams);
+        let worst = fps.iter().copied().fold(f64::INFINITY, f64::min);
+        let loads: Vec<SessionLoad> = streams
+            .iter()
+            .map(|s| SessionLoad::new(s.knobs.threads, s.knobs.freq_ghz))
+            .collect();
+        AdmissionVerdict {
+            feasible: streams.is_empty() || worst >= self.target_fps,
+            worst_fps: if streams.is_empty() { f64::INFINITY } else { worst },
+            power_w: self.platform.power_draw(&loads),
+            total_threads: streams.iter().map(|s| s.knobs.threads).sum(),
+        }
+    }
+
+    /// The largest `n` such that `n` copies of `shape` are all feasible
+    /// (0 if even one is not), searched up to `max_streams`.
+    pub fn max_streams(&self, shape: &StreamShape, max_streams: usize) -> usize {
+        let mut best = 0;
+        for n in 1..=max_streams {
+            let mix = vec![shape.clone(); n];
+            if self.admit(&mix).feasible {
+                best = n;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mamut_video::catalog;
+
+    fn planner() -> AdmissionPlanner {
+        AdmissionPlanner::new(Platform::xeon_e5_2667_v4(), 24.0)
+    }
+
+    fn hr_shape() -> StreamShape {
+        StreamShape {
+            resolution: Resolution::FULL_HD,
+            preset: Preset::Ultrafast,
+            knobs: KnobSettings::new(32, 12, 3.2),
+            complexity: 1.1,
+        }
+    }
+
+    fn lr_shape() -> StreamShape {
+        StreamShape {
+            resolution: Resolution::WVGA,
+            preset: Preset::Slow,
+            knobs: KnobSettings::new(32, 5, 3.2),
+            complexity: 1.1,
+        }
+    }
+
+    #[test]
+    fn single_streams_fit() {
+        assert!(planner().admit(&[hr_shape()]).feasible);
+        assert!(planner().admit(&[lr_shape()]).feasible);
+    }
+
+    #[test]
+    fn capacity_is_finite_and_ordered() {
+        let p = planner();
+        let hr_max = p.max_streams(&hr_shape(), 16);
+        let lr_max = p.max_streams(&lr_shape(), 32);
+        assert!(hr_max >= 2, "at least a couple of HR streams fit: {hr_max}");
+        assert!(hr_max <= 8, "HR capacity implausibly high: {hr_max}");
+        assert!(
+            lr_max > hr_max,
+            "LR streams are cheaper: lr {lr_max} vs hr {hr_max}"
+        );
+    }
+
+    #[test]
+    fn verdict_matches_paper_scenario_magnitudes() {
+        // The paper serves up to 5 HR / 8 LR simultaneously with degraded
+        // QoS at the top end — our planner should place the feasibility
+        // edge in that neighbourhood.
+        let p = planner();
+        let hr_max = p.max_streams(&hr_shape(), 16);
+        assert!((2..=6).contains(&hr_max), "hr capacity {hr_max}");
+    }
+
+    #[test]
+    fn power_and_threads_accumulate() {
+        let p = planner();
+        let one = p.admit(&[hr_shape()]);
+        let three = p.admit(&vec![hr_shape(); 3]);
+        assert!(three.power_w > one.power_w);
+        assert_eq!(three.total_threads, 36);
+        assert!(three.worst_fps < one.worst_fps);
+    }
+
+    #[test]
+    fn empty_mix_is_trivially_feasible() {
+        let v = planner().admit(&[]);
+        assert!(v.feasible);
+        assert_eq!(v.total_threads, 0);
+    }
+
+    #[test]
+    fn planner_prediction_matches_simulation() {
+        // The planner and the simulator share models: a fixed-knob run
+        // must land near the predicted FPS.
+        use crate::{ServerSim, SessionConfig};
+        use mamut_core::FixedController;
+
+        let spec = catalog::by_name("Cactus")
+            .expect("catalog")
+            .with_frame_count(60)
+            .expect("frames");
+        let shape = StreamShape {
+            resolution: spec.resolution(),
+            preset: Preset::Ultrafast,
+            knobs: KnobSettings::new(32, 10, 2.9),
+            complexity: spec.content().mean_complexity,
+        };
+        let predicted = planner().predict_fps(&[shape])[0];
+
+        let mut server = ServerSim::with_default_platform();
+        server.add_session(
+            SessionConfig::single_video(spec, 3),
+            Box::new(FixedController::new(KnobSettings::new(32, 10, 2.9))),
+        );
+        let summary = server.run_to_completion(1_000_000).expect("run completes");
+        let measured = summary.sessions[0].mean_fps;
+        let ratio = measured / predicted;
+        assert!(
+            (0.8..=1.25).contains(&ratio),
+            "planner {predicted:.1} vs simulated {measured:.1} FPS"
+        );
+    }
+
+    #[test]
+    fn for_spec_uses_saturation_threads_and_headroom() {
+        let spec = catalog::by_name("RaceHorses").expect("catalog");
+        let shape = StreamShape::for_spec(&spec);
+        assert_eq!(shape.knobs.threads, 5);
+        assert_eq!(shape.preset, Preset::Slow);
+        assert!(shape.complexity > spec.content().mean_complexity);
+    }
+}

@@ -1,0 +1,183 @@
+//! Workload builders for the paper's two evaluation scenarios (§V-B, §V-C).
+
+use mamut_video::{catalog, Playlist, SequenceSpec};
+
+use crate::SessionConfig;
+
+/// A workload mix: how many HR and LR streams run simultaneously.
+///
+/// Scenario I sweeps `1HR..5HR` and `1LR..8LR` (homogeneous); Scenario II
+/// uses mixed batches `1HR1LR .. 3HR3LR`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MixSpec {
+    /// Number of simultaneous 1080p streams.
+    pub n_hr: usize,
+    /// Number of simultaneous 832×480 streams.
+    pub n_lr: usize,
+}
+
+impl MixSpec {
+    /// Creates a mix.
+    pub fn new(n_hr: usize, n_lr: usize) -> Self {
+        MixSpec { n_hr, n_lr }
+    }
+
+    /// Total simultaneous streams.
+    pub fn total(&self) -> usize {
+        self.n_hr + self.n_lr
+    }
+
+    /// Compact label used by the paper's tables ("2HR3LR", "4HR", "2LR").
+    pub fn label(&self) -> String {
+        match (self.n_hr, self.n_lr) {
+            (0, 0) => "empty".to_owned(),
+            (h, 0) => format!("{h}HR"),
+            (0, l) => format!("{l}LR"),
+            (h, l) => format!("{h}HR{l}LR"),
+        }
+    }
+}
+
+fn pick(pool: &[SequenceSpec], index: usize, frames: u64) -> SequenceSpec {
+    let spec = &pool[index % pool.len()];
+    spec.with_frame_count(frames)
+        .expect("frame counts in scenarios are non-zero")
+}
+
+/// Scenario I sessions: `mix` simultaneous single videos of `frames` frames
+/// each, cycling through the catalog (HR from class B, LR from class C).
+///
+/// Content seeds derive from `seed` so repetitions with different seeds see
+/// different content realizations, as in the paper's five-run averages.
+pub fn homogeneous_sessions(mix: MixSpec, frames: u64, seed: u64) -> Vec<SessionConfig> {
+    let class_b = catalog::class_b();
+    let class_c = catalog::class_c();
+    let mut sessions = Vec::with_capacity(mix.total());
+    for i in 0..mix.n_hr {
+        let spec = pick(&class_b, i + seed as usize, frames);
+        sessions.push(SessionConfig::single_video(spec, seed.wrapping_add(i as u64)));
+    }
+    for i in 0..mix.n_lr {
+        let spec = pick(&class_c, i + seed as usize, frames);
+        sessions.push(SessionConfig::single_video(
+            spec,
+            seed.wrapping_add(1000 + i as u64),
+        ));
+    }
+    sessions
+}
+
+/// Scenario II sessions: each stream is an initial video followed by
+/// `followers` random same-resolution videos (§V-C: "each initial video is
+/// followed by a sequence of four different videos of the same resolution,
+/// randomly selected").
+pub fn scenario_ii_sessions(
+    mix: MixSpec,
+    followers: usize,
+    frames_per_video: u64,
+    seed: u64,
+) -> Vec<SessionConfig> {
+    let class_b = catalog::class_b();
+    let class_c = catalog::class_c();
+    let pool: Vec<SequenceSpec> = catalog::all()
+        .iter()
+        .map(|s| {
+            s.with_frame_count(frames_per_video)
+                .expect("frame counts in scenarios are non-zero")
+        })
+        .collect();
+    let mut sessions = Vec::with_capacity(mix.total());
+    for i in 0..mix.n_hr {
+        let initial = pick(&class_b, i + seed as usize, frames_per_video);
+        let playlist = Playlist::scenario_ii(
+            &initial,
+            &pool,
+            followers,
+            seed.wrapping_add(77 + i as u64),
+        )
+        .expect("catalog has same-resolution followers");
+        sessions.push(SessionConfig::playlist(playlist, seed.wrapping_add(i as u64)));
+    }
+    for i in 0..mix.n_lr {
+        let initial = pick(&class_c, i + seed as usize, frames_per_video);
+        let playlist = Playlist::scenario_ii(
+            &initial,
+            &pool,
+            followers,
+            seed.wrapping_add(777 + i as u64),
+        )
+        .expect("catalog has same-resolution followers");
+        sessions.push(SessionConfig::playlist(
+            playlist,
+            seed.wrapping_add(1000 + i as u64),
+        ));
+    }
+    sessions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(MixSpec::new(3, 0).label(), "3HR");
+        assert_eq!(MixSpec::new(0, 8).label(), "8LR");
+        assert_eq!(MixSpec::new(2, 3).label(), "2HR3LR");
+        assert_eq!(MixSpec::new(0, 0).label(), "empty");
+        assert_eq!(MixSpec::new(2, 3).total(), 5);
+    }
+
+    #[test]
+    fn homogeneous_builds_requested_counts() {
+        let sessions = homogeneous_sessions(MixSpec::new(2, 3), 100, 0);
+        assert_eq!(sessions.len(), 5);
+        let hr = sessions
+            .iter()
+            .filter(|s| s.playlist.get(0).unwrap().resolution().is_high_resolution())
+            .count();
+        assert_eq!(hr, 2);
+    }
+
+    #[test]
+    fn homogeneous_truncates_frames() {
+        let sessions = homogeneous_sessions(MixSpec::new(1, 0), 42, 0);
+        assert_eq!(sessions[0].playlist.get(0).unwrap().frame_count(), 42);
+    }
+
+    #[test]
+    fn scenario_ii_playlists_have_initial_plus_followers() {
+        let sessions = scenario_ii_sessions(MixSpec::new(1, 1), 4, 50, 1);
+        assert_eq!(sessions.len(), 2);
+        for s in &sessions {
+            assert_eq!(s.playlist.len(), 5);
+            let res0 = s.playlist.get(0).unwrap().resolution();
+            assert!(s.playlist.iter().all(|v| v.resolution() == res0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = scenario_ii_sessions(MixSpec::new(1, 0), 4, 50, 1);
+        let b = scenario_ii_sessions(MixSpec::new(1, 0), 4, 50, 2);
+        let names = |ss: &[SessionConfig]| -> Vec<String> {
+            ss[0]
+                .playlist
+                .iter()
+                .map(|v| v.name().to_owned())
+                .collect()
+        };
+        // Either the initial video or the followers must differ.
+        assert_ne!(names(&a), names(&b));
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        let a = scenario_ii_sessions(MixSpec::new(2, 2), 4, 50, 9);
+        let b = scenario_ii_sessions(MixSpec::new(2, 2), 4, 50, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.playlist, y.playlist);
+            assert_eq!(x.seed, y.seed);
+        }
+    }
+}

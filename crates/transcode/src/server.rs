@@ -1,0 +1,454 @@
+use mamut_core::{Constraints, Controller};
+use mamut_platform::{Platform, PowerSensor, SessionLoad};
+
+use crate::{RunSummary, SessionConfig, TranscodeError, TranscodeSession};
+
+/// Work below this many cycles counts as frame completion (guards float
+/// residue; one cycle at 3.2 GHz is ≈0.3 ns of work).
+const COMPLETION_EPSILON_CYCLES: f64 = 1.0;
+
+/// Power-observation smoothing window in seconds (≈ a RAPL sampling span).
+const POWER_WINDOW_S: f64 = 0.25;
+
+/// The multi-user transcoding server: platform + sessions + virtual clock.
+///
+/// See the [crate documentation](crate) for the event-loop semantics.
+///
+/// # Example
+///
+/// ```
+/// use mamut_core::{FixedController, KnobSettings};
+/// use mamut_transcode::{ServerSim, SessionConfig};
+/// use mamut_video::catalog;
+///
+/// let mut server = ServerSim::with_default_platform();
+/// for (i, name) in ["Kimono", "BQMall"].iter().enumerate() {
+///     let spec = catalog::by_name(name).unwrap().with_frame_count(24).unwrap();
+///     server.add_session(
+///         SessionConfig::single_video(spec, i as u64),
+///         Box::new(FixedController::new(KnobSettings::new(32, 6, 2.9))),
+///     );
+/// }
+/// let summary = server.run_to_completion(1_000_000).unwrap();
+/// assert_eq!(summary.sessions.len(), 2);
+/// assert!(summary.mean_power_w > 40.0);
+/// ```
+pub struct ServerSim {
+    platform: Platform,
+    sessions: Vec<TranscodeSession>,
+    time: f64,
+    sensor: PowerSensor,
+    events: u64,
+}
+
+impl std::fmt::Debug for ServerSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerSim")
+            .field("time", &self.time)
+            .field("sessions", &self.sessions.len())
+            .field("events", &self.events)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerSim {
+    /// Creates a server over an explicit platform model.
+    pub fn new(platform: Platform) -> Self {
+        ServerSim {
+            platform,
+            sessions: Vec::new(),
+            time: 0.0,
+            sensor: PowerSensor::new(POWER_WINDOW_S),
+            events: 0,
+        }
+    }
+
+    /// Creates a server over the paper's dual Xeon E5-2667 v4 platform.
+    pub fn with_default_platform() -> Self {
+        ServerSim::new(Platform::xeon_e5_2667_v4())
+    }
+
+    /// Adds a session; returns its id.
+    pub fn add_session(
+        &mut self,
+        config: SessionConfig,
+        controller: Box<dyn Controller>,
+    ) -> usize {
+        let id = self.sessions.len();
+        self.sessions.push(TranscodeSession::new(id, config, controller));
+        id
+    }
+
+    /// Current virtual time (seconds).
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Sessions, in id order.
+    pub fn sessions(&self) -> &[TranscodeSession] {
+        &self.sessions
+    }
+
+    /// One session by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranscodeError::UnknownSession`] for a bad id.
+    pub fn session(&self, id: usize) -> Result<&TranscodeSession, TranscodeError> {
+        self.sessions.get(id).ok_or(TranscodeError::UnknownSession(id))
+    }
+
+    /// Replaces a session's constraints mid-run (failure injection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranscodeError::UnknownSession`] for a bad id.
+    pub fn set_constraints(
+        &mut self,
+        id: usize,
+        constraints: Constraints,
+    ) -> Result<(), TranscodeError> {
+        self.sessions
+            .get_mut(id)
+            .ok_or(TranscodeError::UnknownSession(id))?
+            .set_constraints(constraints);
+        Ok(())
+    }
+
+    /// Applies new constraints to every session (e.g. a power-cap change).
+    pub fn set_constraints_all(&mut self, constraints: Constraints) {
+        for s in &mut self.sessions {
+            s.set_constraints(constraints);
+        }
+    }
+
+    /// The platform model.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The power sensor (lifetime energy, windowed averages).
+    pub fn sensor(&self) -> &PowerSensor {
+        &self.sensor
+    }
+
+    /// Whether every session has finished its playlist.
+    pub fn all_finished(&self) -> bool {
+        self.sessions.iter().all(TranscodeSession::is_finished)
+    }
+
+    /// Runs until all sessions finish or the event budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// [`TranscodeError::NoSessions`] if nothing was added;
+    /// [`TranscodeError::EventBudgetExhausted`] if `max_events` elapsed
+    /// first (a guard against misconfigured runs, not a normal outcome).
+    pub fn run_to_completion(&mut self, max_events: u64) -> Result<RunSummary, TranscodeError> {
+        if self.sessions.is_empty() {
+            return Err(TranscodeError::NoSessions);
+        }
+        let start_events = self.events;
+        while !self.all_finished() {
+            if self.events - start_events >= max_events {
+                return Err(TranscodeError::EventBudgetExhausted {
+                    events: self.events - start_events,
+                });
+            }
+            self.step();
+        }
+        Ok(self.summary())
+    }
+
+    /// Runs until every session has completed at least `frames` frames or
+    /// finished, within the event budget.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServerSim::run_to_completion`].
+    pub fn run_frames(&mut self, frames: u64, max_events: u64) -> Result<RunSummary, TranscodeError> {
+        if self.sessions.is_empty() {
+            return Err(TranscodeError::NoSessions);
+        }
+        let start_events = self.events;
+        loop {
+            let done = self
+                .sessions
+                .iter()
+                .all(|s| s.is_finished() || s.frames_completed() >= frames);
+            if done {
+                return Ok(self.summary());
+            }
+            if self.events - start_events >= max_events {
+                return Err(TranscodeError::EventBudgetExhausted {
+                    events: self.events - start_events,
+                });
+            }
+            self.step();
+        }
+    }
+
+    /// Advances the simulation by one event (the next frame completion).
+    ///
+    /// Returns `false` when everything is finished (no event processed).
+    pub fn step(&mut self) -> bool {
+        // 1. Make sure every unfinished session has a frame in flight.
+        for s in &mut self.sessions {
+            if !s.is_finished() && s.in_flight.is_none() {
+                s.start_next_frame(self.time);
+            }
+        }
+
+        // 2. Gather active loads.
+        let active: Vec<usize> = self
+            .sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.in_flight.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        if active.is_empty() {
+            return false;
+        }
+        let total_threads: u32 = active
+            .iter()
+            .map(|&i| self.sessions[i].knobs().threads)
+            .sum();
+        let scale = self.platform.throughput_scale(total_threads);
+        let loads: Vec<SessionLoad> = active
+            .iter()
+            .map(|&i| {
+                let k = self.sessions[i].knobs();
+                SessionLoad::new(k.threads, k.freq_ghz)
+            })
+            .collect();
+        let power = self.platform.power_draw(&loads);
+
+        // 3. Per-session effective rates (cycles/second).
+        let rates: Vec<f64> = active
+            .iter()
+            .map(|&i| {
+                let s = &self.sessions[i];
+                let k = s.knobs();
+                let level = self.platform.dvfs().nearest(k.freq_ghz);
+                level.freq_ghz * 1e9 * s.wpp_speedup() * scale
+            })
+            .collect();
+
+        // 4. Time to the earliest completion.
+        let mut dt = f64::INFINITY;
+        for (idx, &i) in active.iter().enumerate() {
+            let fly = self.sessions[i].in_flight.as_ref().expect("active has in-flight");
+            let t = fly.work_remaining / rates[idx];
+            if t < dt {
+                dt = t;
+            }
+        }
+        debug_assert!(dt.is_finite() && dt >= 0.0);
+
+        // 5. Advance the clock, charge energy, retire work.
+        self.time += dt;
+        self.sensor.record(power, dt);
+        for (idx, &i) in active.iter().enumerate() {
+            let fly = self.sessions[i]
+                .in_flight
+                .as_mut()
+                .expect("active has in-flight");
+            fly.work_remaining -= rates[idx] * dt;
+        }
+
+        // 6. Complete every frame that ran dry (ties complete together).
+        let now = self.time;
+        let power_obs = self.sensor.window_average();
+        for &i in &active {
+            let done = {
+                let fly = self.sessions[i].in_flight.as_ref().expect("in-flight");
+                fly.work_remaining <= COMPLETION_EPSILON_CYCLES
+            };
+            if done {
+                self.sessions[i].complete_frame(now, power_obs);
+            }
+        }
+
+        self.events += 1;
+        true
+    }
+
+    /// Builds the summary of everything measured so far.
+    pub fn summary(&self) -> RunSummary {
+        RunSummary::from_server(self)
+    }
+
+    /// Consumes the server, returning each session's controller in id
+    /// order — used to carry trained controllers into a follow-up run.
+    pub fn into_controllers(self) -> Vec<Box<dyn Controller>> {
+        self.sessions
+            .into_iter()
+            .map(TranscodeSession::into_controller)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mamut_core::{FixedController, KnobSettings};
+    use mamut_video::catalog;
+
+    fn hr_spec(frames: u64) -> mamut_video::SequenceSpec {
+        catalog::by_name("Kimono").unwrap().with_frame_count(frames).unwrap()
+    }
+
+    fn lr_spec(frames: u64) -> mamut_video::SequenceSpec {
+        catalog::by_name("BQMall").unwrap().with_frame_count(frames).unwrap()
+    }
+
+    fn fixed(threads: u32, freq: f64) -> Box<dyn Controller> {
+        Box::new(FixedController::new(KnobSettings::new(32, threads, freq)))
+    }
+
+    #[test]
+    fn empty_server_errors() {
+        let mut srv = ServerSim::with_default_platform();
+        assert_eq!(
+            srv.run_to_completion(10).unwrap_err(),
+            TranscodeError::NoSessions
+        );
+    }
+
+    #[test]
+    fn single_hr_session_completes_all_frames() {
+        let mut srv = ServerSim::with_default_platform();
+        srv.add_session(SessionConfig::single_video(hr_spec(50), 1), fixed(10, 3.2));
+        let summary = srv.run_to_completion(10_000).unwrap();
+        assert_eq!(summary.sessions[0].frames, 50);
+        assert!(srv.all_finished());
+        assert!(srv.time() > 0.0);
+    }
+
+    #[test]
+    fn hr_at_full_knobs_is_real_time() {
+        // Fig. 2 envelope: 10 threads @ 3.2 GHz comfortably exceeds 24 FPS.
+        let mut srv = ServerSim::with_default_platform();
+        srv.add_session(SessionConfig::single_video(hr_spec(100), 1), fixed(10, 3.2));
+        let summary = srv.run_to_completion(10_000).unwrap();
+        assert!(
+            summary.sessions[0].mean_fps > 24.0,
+            "mean fps = {}",
+            summary.sessions[0].mean_fps
+        );
+        assert!(summary.sessions[0].violation_percent < 20.0);
+    }
+
+    #[test]
+    fn hr_single_thread_misses_realtime() {
+        let mut srv = ServerSim::with_default_platform();
+        srv.add_session(SessionConfig::single_video(hr_spec(30), 1), fixed(1, 3.2));
+        let summary = srv.run_to_completion(10_000).unwrap();
+        assert_eq!(summary.sessions[0].violation_percent, 100.0);
+    }
+
+    #[test]
+    fn contention_slows_everyone() {
+        let run = |n: usize| {
+            let mut srv = ServerSim::with_default_platform();
+            for i in 0..n {
+                srv.add_session(
+                    SessionConfig::single_video(hr_spec(40), i as u64),
+                    fixed(12, 3.2),
+                );
+            }
+            srv.run_to_completion(100_000).unwrap().sessions[0].mean_fps
+        };
+        let alone = run(1);
+        let crowded = run(4); // 48 threads on a 32-hw-thread box
+        assert!(
+            crowded < alone * 0.8,
+            "alone = {alone}, crowded = {crowded}"
+        );
+    }
+
+    #[test]
+    fn power_rises_with_load() {
+        let run = |n: usize| {
+            let mut srv = ServerSim::with_default_platform();
+            for i in 0..n {
+                srv.add_session(
+                    SessionConfig::single_video(lr_spec(40), i as u64),
+                    fixed(4, 2.9),
+                );
+            }
+            srv.run_to_completion(100_000).unwrap().mean_power_w
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(four > one + 5.0, "one = {one}, four = {four}");
+    }
+
+    #[test]
+    fn virtual_time_matches_work_rate_hand_computation() {
+        // One LR session, fixed knobs, known model: the first frame's wall
+        // time must equal work / (freq · wpp · 1.0).
+        let mut srv = ServerSim::with_default_platform();
+        srv.add_session(SessionConfig::single_video(lr_spec(1), 7), fixed(4, 3.2));
+        srv.step();
+        let s = srv.session(0).unwrap();
+        assert!(s.is_finished() || s.frames_completed() == 1);
+        let speedup = mamut_encoder::wpp::speedup_at(s.resolution(), 4);
+        // time = work / rate; reconstruct work from the recorded fps.
+        let fps = s.mean_fps();
+        let implied_work = 3.2e9 * speedup / fps;
+        assert!(implied_work > 1e8 && implied_work < 1e9, "work = {implied_work}");
+    }
+
+    #[test]
+    fn run_frames_stops_early() {
+        let mut srv = ServerSim::with_default_platform();
+        srv.add_session(SessionConfig::single_video(hr_spec(500), 1), fixed(10, 3.2));
+        let summary = srv.run_frames(20, 100_000).unwrap();
+        assert!(summary.sessions[0].frames >= 20);
+        assert!(summary.sessions[0].frames < 500);
+    }
+
+    #[test]
+    fn event_budget_guard_fires() {
+        let mut srv = ServerSim::with_default_platform();
+        srv.add_session(SessionConfig::single_video(hr_spec(500), 1), fixed(10, 3.2));
+        assert!(matches!(
+            srv.run_to_completion(5),
+            Err(TranscodeError::EventBudgetExhausted { events: 5 })
+        ));
+    }
+
+    #[test]
+    fn determinism_same_setup_same_results() {
+        let run = || {
+            let mut srv = ServerSim::with_default_platform();
+            srv.add_session(SessionConfig::single_video(hr_spec(60), 42), fixed(8, 2.9));
+            srv.add_session(SessionConfig::single_video(lr_spec(60), 43), fixed(4, 2.6));
+            let s = srv.run_to_completion(100_000).unwrap();
+            (s.duration_s, s.mean_power_w, s.sessions[0].mean_fps)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn into_controllers_returns_all() {
+        let mut srv = ServerSim::with_default_platform();
+        srv.add_session(SessionConfig::single_video(hr_spec(5), 1), fixed(8, 2.9));
+        srv.add_session(SessionConfig::single_video(lr_spec(5), 2), fixed(4, 2.6));
+        srv.run_to_completion(10_000).unwrap();
+        let ctls = srv.into_controllers();
+        assert_eq!(ctls.len(), 2);
+        assert_eq!(ctls[0].name(), "fixed");
+    }
+
+    #[test]
+    fn unknown_session_id_errors() {
+        let srv = ServerSim::with_default_platform();
+        assert!(matches!(
+            srv.session(3),
+            Err(TranscodeError::UnknownSession(3))
+        ));
+    }
+}

@@ -1,0 +1,127 @@
+//! Catalog of sequences mirroring the JCT-VC common test conditions.
+//!
+//! The MAMUT paper extracts its inputs from the JCT-VC benchmark: class B
+//! (1920×1080, "HR") and class C (832×480, "LR"). Each function here builds
+//! [`SequenceSpec`]s whose content parameters reflect the well-known
+//! character of the original clips (e.g. `Kimono` is slow and smooth,
+//! `RaceHorses` is fast and erratic). Frame counts default to 500, the
+//! horizon shown in the paper's execution traces (Fig. 5).
+
+use crate::{ContentParams, Resolution, SequenceSpec, VideoError};
+
+/// Default frame count for catalog entries (matches Fig. 5's 500-frame x-axis).
+pub const DEFAULT_FRAME_COUNT: u64 = 500;
+
+fn entry(
+    name: &str,
+    resolution: Resolution,
+    mean: f64,
+    ar: f64,
+    sigma: f64,
+    cut_rate: f64,
+) -> SequenceSpec {
+    let content = ContentParams::new(mean, ar, sigma, cut_rate, 1.35)
+        .expect("catalog content parameters are valid");
+    SequenceSpec::new(name, resolution, DEFAULT_FRAME_COUNT, 24.0, content)
+        .expect("catalog specs are valid")
+}
+
+/// JCT-VC class B lookalikes: 1920×1080 ("HR" workload in the paper).
+pub fn class_b() -> Vec<SequenceSpec> {
+    vec![
+        entry("Kimono", Resolution::FULL_HD, 0.75, 0.95, 0.030, 1.0 / 450.0),
+        entry("ParkScene", Resolution::FULL_HD, 0.90, 0.94, 0.040, 1.0 / 400.0),
+        entry("Cactus", Resolution::FULL_HD, 1.10, 0.92, 0.050, 1.0 / 300.0),
+        entry("BQTerrace", Resolution::FULL_HD, 1.25, 0.90, 0.060, 1.0 / 250.0),
+        entry("BasketballDrive", Resolution::FULL_HD, 1.45, 0.88, 0.085, 1.0 / 180.0),
+    ]
+}
+
+/// JCT-VC class C lookalikes: 832×480 ("LR" workload in the paper).
+pub fn class_c() -> Vec<SequenceSpec> {
+    vec![
+        entry("BasketballDrill", Resolution::WVGA, 1.15, 0.90, 0.060, 1.0 / 250.0),
+        entry("BQMall", Resolution::WVGA, 1.05, 0.92, 0.050, 1.0 / 300.0),
+        entry("PartyScene", Resolution::WVGA, 1.40, 0.88, 0.080, 1.0 / 200.0),
+        entry("RaceHorses", Resolution::WVGA, 1.50, 0.86, 0.095, 1.0 / 170.0),
+    ]
+}
+
+/// Every catalog sequence (class B followed by class C).
+pub fn all() -> Vec<SequenceSpec> {
+    let mut v = class_b();
+    v.extend(class_c());
+    v
+}
+
+/// Looks a sequence up by its (case-sensitive) name.
+///
+/// # Errors
+///
+/// Returns [`VideoError::UnknownSequence`] when no entry matches.
+///
+/// # Example
+///
+/// ```
+/// let kimono = mamut_video::catalog::by_name("Kimono").unwrap();
+/// assert!(kimono.resolution().is_high_resolution());
+/// ```
+pub fn by_name(name: &str) -> Result<SequenceSpec, VideoError> {
+    all()
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| VideoError::UnknownSequence(name.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_b_is_all_full_hd() {
+        for s in class_b() {
+            assert_eq!(s.resolution(), Resolution::FULL_HD, "{}", s.name());
+            assert_eq!(s.frame_count(), DEFAULT_FRAME_COUNT);
+        }
+    }
+
+    #[test]
+    fn class_c_is_all_wvga() {
+        for s in class_c() {
+            assert_eq!(s.resolution(), Resolution::WVGA, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn all_contains_both_classes_without_duplicates() {
+        let names: Vec<_> = all().iter().map(|s| s.name().to_owned()).collect();
+        assert_eq!(names.len(), 9);
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate catalog names");
+    }
+
+    #[test]
+    fn by_name_finds_known_sequences() {
+        assert!(by_name("Cactus").is_ok());
+        assert!(by_name("RaceHorses").is_ok());
+    }
+
+    #[test]
+    fn by_name_rejects_unknown() {
+        assert_eq!(
+            by_name("NotAClip").unwrap_err(),
+            VideoError::UnknownSequence("NotAClip".into())
+        );
+    }
+
+    #[test]
+    fn catalog_spans_a_range_of_complexities() {
+        let means: Vec<f64> = all().iter().map(|s| s.content().mean_complexity).collect();
+        let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min < 0.8, "calmest sequence too busy: {min}");
+        assert!(max > 1.4, "busiest sequence too calm: {max}");
+    }
+}

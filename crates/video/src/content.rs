@@ -1,0 +1,295 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::VideoError;
+
+/// Lower clamp for per-frame complexity (a nearly static scene).
+pub const MIN_COMPLEXITY: f64 = 0.25;
+
+/// Upper clamp for per-frame complexity (extreme motion / texture).
+pub const MAX_COMPLEXITY: f64 = 3.0;
+
+/// Per-frame description of video content, as consumed by the encoder model.
+///
+/// `complexity` is a dimensionless multiplier around 1.0 capturing how much
+/// coding effort (motion estimation, residual energy) the frame demands.
+/// It scales encoding cycles and bitrate up and quality down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameInfo {
+    /// Zero-based index of the frame within its sequence.
+    pub index: u64,
+    /// Coding complexity multiplier, in `[MIN_COMPLEXITY, MAX_COMPLEXITY]`.
+    pub complexity: f64,
+    /// Whether this frame starts a new scene (intra-coded spike).
+    pub scene_cut: bool,
+}
+
+/// Parameters of the stochastic content process of one video sequence.
+///
+/// Complexity follows a mean-reverting AR(1) process
+/// `c[t+1] = mean + phi * (c[t] - mean) + sigma * eps[t]`, punctuated by
+/// scene cuts that re-draw the level and spike the cut frame itself
+/// (intra frames are expensive). This mimics the frame-by-frame content
+/// variation the paper calls out as the reason encoding parameters must be
+/// adapted at run time (§II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContentParams {
+    /// Long-run mean complexity of the sequence (≈0.7 calm, ≈1.5 busy).
+    pub mean_complexity: f64,
+    /// AR(1) autocorrelation coefficient in `[0, 1)`; higher = smoother.
+    pub ar_coefficient: f64,
+    /// Standard deviation of the per-frame innovation.
+    pub noise_sigma: f64,
+    /// Probability that any given frame starts a new scene.
+    pub scene_cut_rate: f64,
+    /// Extra complexity multiplier applied to the scene-cut frame itself.
+    pub cut_spike: f64,
+}
+
+impl ContentParams {
+    /// Creates content parameters, validating every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::InvalidContentParam`] when a field is outside
+    /// its valid range (see field docs).
+    pub fn new(
+        mean_complexity: f64,
+        ar_coefficient: f64,
+        noise_sigma: f64,
+        scene_cut_rate: f64,
+        cut_spike: f64,
+    ) -> Result<Self, VideoError> {
+        let check = |ok: bool, name: &'static str, value: f64| {
+            if ok {
+                Ok(())
+            } else {
+                Err(VideoError::InvalidContentParam { name, value })
+            }
+        };
+        check(
+            (MIN_COMPLEXITY..=MAX_COMPLEXITY).contains(&mean_complexity),
+            "mean_complexity",
+            mean_complexity,
+        )?;
+        check(
+            (0.0..1.0).contains(&ar_coefficient),
+            "ar_coefficient",
+            ar_coefficient,
+        )?;
+        check(
+            noise_sigma.is_finite() && noise_sigma >= 0.0,
+            "noise_sigma",
+            noise_sigma,
+        )?;
+        check(
+            (0.0..=1.0).contains(&scene_cut_rate),
+            "scene_cut_rate",
+            scene_cut_rate,
+        )?;
+        check(cut_spike.is_finite() && cut_spike >= 1.0, "cut_spike", cut_spike)?;
+        Ok(ContentParams {
+            mean_complexity,
+            ar_coefficient,
+            noise_sigma,
+            scene_cut_rate,
+            cut_spike,
+        })
+    }
+
+    /// A moderate default: mean 1.0, smooth drift, a cut every ~300 frames.
+    pub fn moderate() -> Self {
+        ContentParams::new(1.0, 0.92, 0.05, 1.0 / 300.0, 1.35)
+            .expect("moderate defaults are valid")
+    }
+
+    /// Calm, low-motion content (e.g. `Kimono`-like).
+    pub fn calm() -> Self {
+        ContentParams::new(0.75, 0.95, 0.03, 1.0 / 450.0, 1.25).expect("calm defaults are valid")
+    }
+
+    /// Busy, high-motion content (e.g. `BasketballDrive`-like).
+    pub fn busy() -> Self {
+        ContentParams::new(1.45, 0.88, 0.09, 1.0 / 180.0, 1.45).expect("busy defaults are valid")
+    }
+}
+
+impl Default for ContentParams {
+    fn default() -> Self {
+        ContentParams::moderate()
+    }
+}
+
+/// Deterministic, seeded generator of per-frame [`FrameInfo`].
+///
+/// Two models with the same parameters and seed generate identical frame
+/// streams, which keeps every experiment in the workspace reproducible.
+///
+/// # Example
+///
+/// ```
+/// use mamut_video::{ContentModel, ContentParams};
+///
+/// let mut a = ContentModel::new(ContentParams::moderate(), 7);
+/// let mut b = ContentModel::new(ContentParams::moderate(), 7);
+/// for _ in 0..100 {
+///     assert_eq!(a.next_frame(), b.next_frame());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContentModel {
+    params: ContentParams,
+    rng: StdRng,
+    /// Current mean-reverting level (moves on scene cuts).
+    level: f64,
+    /// Current instantaneous complexity.
+    current: f64,
+    next_index: u64,
+}
+
+impl ContentModel {
+    /// Creates a content model with the given parameters and RNG seed.
+    pub fn new(params: ContentParams, seed: u64) -> Self {
+        ContentModel {
+            params,
+            rng: StdRng::seed_from_u64(seed),
+            level: params.mean_complexity,
+            current: params.mean_complexity,
+            next_index: 0,
+        }
+    }
+
+    /// The parameters this model was created with.
+    pub fn params(&self) -> &ContentParams {
+        &self.params
+    }
+
+    /// Generates the next frame of the content process.
+    pub fn next_frame(&mut self) -> FrameInfo {
+        let index = self.next_index;
+        self.next_index += 1;
+
+        let scene_cut = index > 0 && self.rng.gen_bool(self.params.scene_cut_rate);
+        if scene_cut {
+            // A new scene re-draws the level around the sequence mean.
+            let factor = self.rng.gen_range(0.7..1.4);
+            self.level = clamp_complexity(self.params.mean_complexity * factor);
+            self.current = self.level;
+        }
+
+        // Mean-reverting AR(1) step around the current scene level.
+        let eps: f64 = self.rng.gen_range(-1.0..1.0);
+        let p = &self.params;
+        let next = self.level + p.ar_coefficient * (self.current - self.level)
+            + p.noise_sigma * eps;
+        self.current = clamp_complexity(next);
+
+        let complexity = if scene_cut {
+            clamp_complexity(self.current * p.cut_spike)
+        } else {
+            self.current
+        };
+
+        FrameInfo {
+            index,
+            complexity,
+            scene_cut,
+        }
+    }
+}
+
+fn clamp_complexity(c: f64) -> f64 {
+    c.clamp(MIN_COMPLEXITY, MAX_COMPLEXITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_indexed_sequentially() {
+        let mut m = ContentModel::new(ContentParams::moderate(), 1);
+        for i in 0..50 {
+            assert_eq!(m.next_frame().index, i);
+        }
+    }
+
+    #[test]
+    fn complexity_stays_in_bounds() {
+        let mut m = ContentModel::new(ContentParams::busy(), 2);
+        for _ in 0..5_000 {
+            let f = m.next_frame();
+            assert!(f.complexity >= MIN_COMPLEXITY, "too low: {}", f.complexity);
+            assert!(f.complexity <= MAX_COMPLEXITY, "too high: {}", f.complexity);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ContentModel::new(ContentParams::busy(), 99);
+        let mut b = ContentModel::new(ContentParams::busy(), 99);
+        for _ in 0..500 {
+            assert_eq!(a.next_frame(), b.next_frame());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ContentModel::new(ContentParams::moderate(), 1);
+        let mut b = ContentModel::new(ContentParams::moderate(), 2);
+        let differs = (0..200).any(|_| a.next_frame().complexity != b.next_frame().complexity);
+        assert!(differs);
+    }
+
+    #[test]
+    fn busy_content_is_more_complex_than_calm_on_average() {
+        let avg = |params: ContentParams, seed| {
+            let mut m = ContentModel::new(params, seed);
+            (0..2_000).map(|_| m.next_frame().complexity).sum::<f64>() / 2_000.0
+        };
+        assert!(avg(ContentParams::busy(), 5) > avg(ContentParams::calm(), 5) + 0.3);
+    }
+
+    #[test]
+    fn scene_cuts_occur_at_roughly_the_configured_rate() {
+        let params = ContentParams::new(1.0, 0.9, 0.05, 0.02, 1.3).unwrap();
+        let mut m = ContentModel::new(params, 11);
+        let cuts = (0..20_000).filter(|_| m.next_frame().scene_cut).count();
+        // Expected 400; allow generous tolerance for a seeded run.
+        assert!((250..=550).contains(&cuts), "cuts = {cuts}");
+    }
+
+    #[test]
+    fn first_frame_is_never_a_scene_cut() {
+        for seed in 0..20 {
+            let mut m = ContentModel::new(ContentParams::busy(), seed);
+            assert!(!m.next_frame().scene_cut);
+        }
+    }
+
+    #[test]
+    fn zero_cut_rate_never_cuts() {
+        let params = ContentParams::new(1.0, 0.9, 0.05, 0.0, 1.3).unwrap();
+        let mut m = ContentModel::new(params, 3);
+        assert!((0..2_000).all(|_| !m.next_frame().scene_cut));
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        assert!(ContentParams::new(0.0, 0.9, 0.05, 0.01, 1.3).is_err());
+        assert!(ContentParams::new(1.0, 1.0, 0.05, 0.01, 1.3).is_err());
+        assert!(ContentParams::new(1.0, 0.9, -0.1, 0.01, 1.3).is_err());
+        assert!(ContentParams::new(1.0, 0.9, 0.05, 1.5, 1.3).is_err());
+        assert!(ContentParams::new(1.0, 0.9, 0.05, 0.01, 0.5).is_err());
+        assert!(ContentParams::new(1.0, 0.9, f64::NAN, 0.01, 1.3).is_err());
+    }
+
+    #[test]
+    fn mean_tracks_configured_mean() {
+        let params = ContentParams::new(1.2, 0.9, 0.04, 0.005, 1.3).unwrap();
+        let mut m = ContentModel::new(params, 17);
+        let mean =
+            (0..10_000).map(|_| m.next_frame().complexity).sum::<f64>() / 10_000.0;
+        assert!((mean - 1.2).abs() < 0.15, "mean = {mean}");
+    }
+}

@@ -1,0 +1,80 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing video-model types from invalid input.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VideoError {
+    /// A resolution dimension was zero.
+    ZeroDimension,
+    /// A resolution string could not be parsed (expected `WIDTHxHEIGHT`).
+    MalformedResolution(String),
+    /// A content parameter was outside its valid range.
+    InvalidContentParam {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A sequence was requested with zero frames.
+    EmptySequence,
+    /// A catalog lookup failed.
+    UnknownSequence(String),
+}
+
+impl fmt::Display for VideoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VideoError::ZeroDimension => write!(f, "resolution dimensions must be non-zero"),
+            VideoError::MalformedResolution(s) => {
+                write!(f, "malformed resolution string {s:?}, expected WIDTHxHEIGHT")
+            }
+            VideoError::InvalidContentParam { name, value } => {
+                write!(f, "content parameter {name} has invalid value {value}")
+            }
+            VideoError::EmptySequence => write!(f, "sequence must contain at least one frame"),
+            VideoError::UnknownSequence(name) => {
+                write!(f, "no catalog sequence named {name:?}")
+            }
+        }
+    }
+}
+
+impl Error for VideoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let variants = [
+            VideoError::ZeroDimension,
+            VideoError::MalformedResolution("1080".into()),
+            VideoError::InvalidContentParam {
+                name: "mean_complexity",
+                value: -1.0,
+            },
+            VideoError::EmptySequence,
+            VideoError::UnknownSequence("Nope".into()),
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            let first = s.chars().next().unwrap();
+            assert!(first.is_lowercase() || first.is_numeric());
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error>() {}
+        assert_error::<VideoError>();
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VideoError>();
+    }
+}

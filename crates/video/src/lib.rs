@@ -1,0 +1,44 @@
+//! Synthetic video content models for the MAMUT transcoding simulator.
+//!
+//! The MAMUT paper (Costero et al., DATE 2019) evaluates on JCT-VC common
+//! test sequences: class B (1080p, "HR") and class C (832×480, "LR") videos.
+//! Those bitstreams are not redistributable, so this crate models what the
+//! rest of the system actually consumes from them: a **per-frame coding
+//! complexity process**. Encoding effort, output quality and output bitrate
+//! all depend on how "hard" a frame is (motion, texture, scene changes);
+//! everything else about the pixels is irrelevant to the control loop.
+//!
+//! Each catalog entry mirrors a JCT-VC sequence by name and carries
+//! per-sequence [`ContentParams`]: a long-run mean complexity, an AR(1)
+//! autocorrelation that produces smooth content drift, and a scene-cut rate
+//! that produces the abrupt non-stationarity reinforcement-learning
+//! controllers must adapt to.
+//!
+//! # Example
+//!
+//! ```
+//! use mamut_video::{catalog, VideoSource};
+//!
+//! let spec = catalog::by_name("BasketballDrive").expect("catalog entry");
+//! let mut source = VideoSource::new(&spec, 42);
+//! let frame = source.next_frame().expect("sequence is non-empty");
+//! assert_eq!(frame.index, 0);
+//! assert!(frame.complexity > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod content;
+mod error;
+mod playlist;
+mod resolution;
+mod sequence;
+
+pub mod catalog;
+
+pub use content::{ContentModel, ContentParams, FrameInfo, MAX_COMPLEXITY, MIN_COMPLEXITY};
+pub use error::VideoError;
+pub use playlist::Playlist;
+pub use resolution::Resolution;
+pub use sequence::{SequenceSpec, VideoSource};

@@ -1,0 +1,189 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{SequenceSpec, VideoError};
+
+/// An ordered list of sequences transcoded back to back by one session.
+///
+/// Scenario II of the paper serves "batches" of requests: each user's
+/// initial video is followed by four randomly selected videos of the same
+/// resolution. [`Playlist::scenario_ii`] builds exactly that shape.
+///
+/// # Example
+///
+/// ```
+/// use mamut_video::{catalog, Playlist};
+///
+/// let initial = catalog::by_name("Cactus").unwrap();
+/// let pl = Playlist::scenario_ii(&initial, &catalog::all(), 4, 99).unwrap();
+/// assert_eq!(pl.len(), 5);
+/// // every follower shares the initial video's resolution
+/// assert!(pl.iter().all(|s| s.resolution() == initial.resolution()));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Playlist {
+    items: Vec<SequenceSpec>,
+}
+
+impl Playlist {
+    /// Creates a playlist from explicit items.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::EmptySequence`] for an empty playlist.
+    pub fn new(items: Vec<SequenceSpec>) -> Result<Self, VideoError> {
+        if items.is_empty() {
+            return Err(VideoError::EmptySequence);
+        }
+        Ok(Playlist { items })
+    }
+
+    /// A playlist holding a single sequence.
+    pub fn single(spec: SequenceSpec) -> Self {
+        Playlist { items: vec![spec] }
+    }
+
+    /// Builds a Scenario-II playlist: `initial` followed by `followers`
+    /// sequences drawn uniformly (with replacement) from the same-resolution
+    /// subset of `pool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::EmptySequence`] when the same-resolution subset
+    /// of `pool` is empty while `followers > 0`.
+    pub fn scenario_ii(
+        initial: &SequenceSpec,
+        pool: &[SequenceSpec],
+        followers: usize,
+        seed: u64,
+    ) -> Result<Self, VideoError> {
+        let same_res: Vec<&SequenceSpec> = pool
+            .iter()
+            .filter(|s| s.resolution() == initial.resolution())
+            .collect();
+        if followers > 0 && same_res.is_empty() {
+            return Err(VideoError::EmptySequence);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut items = Vec::with_capacity(followers + 1);
+        items.push(initial.clone());
+        for _ in 0..followers {
+            let pick = rng.gen_range(0..same_res.len());
+            items.push(same_res[pick].clone());
+        }
+        Ok(Playlist { items })
+    }
+
+    /// Number of sequences in the playlist.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the playlist is empty (never true for constructed playlists).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over the sequences in play order.
+    pub fn iter(&self) -> std::slice::Iter<'_, SequenceSpec> {
+        self.items.iter()
+    }
+
+    /// The sequence at `index`, if any.
+    pub fn get(&self, index: usize) -> Option<&SequenceSpec> {
+        self.items.get(index)
+    }
+
+    /// Total frames across all sequences.
+    pub fn total_frames(&self) -> u64 {
+        self.items.iter().map(SequenceSpec::frame_count).sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a Playlist {
+    type Item = &'a SequenceSpec;
+    type IntoIter = std::slice::Iter<'a, SequenceSpec>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn empty_playlist_rejected() {
+        assert_eq!(Playlist::new(vec![]).unwrap_err(), VideoError::EmptySequence);
+    }
+
+    #[test]
+    fn single_has_len_one() {
+        let p = Playlist::single(catalog::by_name("Kimono").unwrap());
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn scenario_ii_shape() {
+        let initial = catalog::by_name("BQMall").unwrap();
+        let p = Playlist::scenario_ii(&initial, &catalog::all(), 4, 5).unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.get(0).unwrap().name(), "BQMall");
+        for s in p.iter().skip(1) {
+            assert_eq!(s.resolution(), initial.resolution());
+        }
+    }
+
+    #[test]
+    fn scenario_ii_is_deterministic_per_seed() {
+        let initial = catalog::by_name("Cactus").unwrap();
+        let a = Playlist::scenario_ii(&initial, &catalog::all(), 4, 11).unwrap();
+        let b = Playlist::scenario_ii(&initial, &catalog::all(), 4, 11).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scenario_ii_differs_across_seeds() {
+        let initial = catalog::by_name("Cactus").unwrap();
+        let differs = (0..20).any(|s| {
+            let a = Playlist::scenario_ii(&initial, &catalog::all(), 4, s).unwrap();
+            let b = Playlist::scenario_ii(&initial, &catalog::all(), 4, s + 100).unwrap();
+            a != b
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn scenario_ii_without_followers_needs_no_pool() {
+        let initial = catalog::by_name("Cactus").unwrap();
+        let p = Playlist::scenario_ii(&initial, &[], 0, 0).unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn scenario_ii_empty_pool_with_followers_errors() {
+        let initial = catalog::by_name("Cactus").unwrap();
+        assert!(Playlist::scenario_ii(&initial, &[], 2, 0).is_err());
+    }
+
+    #[test]
+    fn total_frames_sums_items() {
+        let initial = catalog::by_name("Kimono").unwrap();
+        let p = Playlist::scenario_ii(&initial, &catalog::all(), 4, 1).unwrap();
+        assert_eq!(p.total_frames(), 5 * catalog::DEFAULT_FRAME_COUNT);
+    }
+
+    #[test]
+    fn into_iterator_for_reference_works() {
+        let p = Playlist::single(catalog::by_name("Kimono").unwrap());
+        let mut count = 0;
+        for s in &p {
+            assert_eq!(s.name(), "Kimono");
+            count += 1;
+        }
+        assert_eq!(count, 1);
+    }
+}

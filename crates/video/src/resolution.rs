@@ -1,0 +1,196 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::VideoError;
+
+/// Size of an HEVC Coding Tree Unit edge in pixels.
+///
+/// Kvazaar (the encoder MAMUT controls) uses 64×64 CTUs; Wavefront Parallel
+/// Processing operates on rows of CTUs, so the number of CTU rows bounds the
+/// useful encoding parallelism of a frame.
+pub const CTU_SIZE: u32 = 64;
+
+/// A video frame resolution in pixels.
+///
+/// The MAMUT paper uses two operating points:
+/// [`Resolution::FULL_HD`] (1920×1080, "HR") and [`Resolution::WVGA`]
+/// (832×480, "LR" — JCT-VC class C).
+///
+/// # Example
+///
+/// ```
+/// use mamut_video::Resolution;
+///
+/// let hr = Resolution::FULL_HD;
+/// assert_eq!(hr.pixel_count(), 1920 * 1080);
+/// assert_eq!(hr.ctu_rows(), 17);
+/// assert!(hr.is_high_resolution());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Resolution {
+    width: u32,
+    height: u32,
+}
+
+impl Resolution {
+    /// 1920×1080 ("HR" in the paper, JCT-VC class B).
+    pub const FULL_HD: Resolution = Resolution {
+        width: 1920,
+        height: 1080,
+    };
+
+    /// 832×480 ("LR" in the paper, JCT-VC class C).
+    pub const WVGA: Resolution = Resolution {
+        width: 832,
+        height: 480,
+    };
+
+    /// Creates a resolution from explicit dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::ZeroDimension`] if either dimension is zero.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), mamut_video::VideoError> {
+    /// let r = mamut_video::Resolution::new(1280, 720)?;
+    /// assert_eq!(r.width(), 1280);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(width: u32, height: u32) -> Result<Self, VideoError> {
+        if width == 0 || height == 0 {
+            return Err(VideoError::ZeroDimension);
+        }
+        Ok(Resolution { width, height })
+    }
+
+    /// Frame width in pixels.
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    pub fn height(self) -> u32 {
+        self.height
+    }
+
+    /// Total luma samples per frame.
+    pub fn pixel_count(self) -> u64 {
+        u64::from(self.width) * u64::from(self.height)
+    }
+
+    /// Number of CTU rows (64-pixel rows, rounded up).
+    ///
+    /// This bounds WPP parallelism: 17 rows for 1080p, 8 for 832×480.
+    pub fn ctu_rows(self) -> u32 {
+        self.height.div_ceil(CTU_SIZE)
+    }
+
+    /// Number of CTU columns (64-pixel columns, rounded up).
+    pub fn ctu_cols(self) -> u32 {
+        self.width.div_ceil(CTU_SIZE)
+    }
+
+    /// Whether this counts as "high resolution" in the paper's taxonomy.
+    ///
+    /// The paper treats 1080p streams as HR and 832×480 streams as LR; we
+    /// use a 1280×720 pixel-count threshold so intermediate resolutions
+    /// classify sensibly.
+    pub fn is_high_resolution(self) -> bool {
+        self.pixel_count() >= 1280 * 720
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+impl FromStr for Resolution {
+    type Err = VideoError;
+
+    /// Parses `"WIDTHxHEIGHT"` (e.g. `"1920x1080"`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let malformed = || VideoError::MalformedResolution(s.to_owned());
+        let (w, h) = s.split_once(['x', 'X']).ok_or_else(malformed)?;
+        let width: u32 = w.trim().parse().map_err(|_| malformed())?;
+        let height: u32 = h.trim().parse().map_err(|_| malformed())?;
+        Resolution::new(width, height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_hd_dimensions() {
+        assert_eq!(Resolution::FULL_HD.width(), 1920);
+        assert_eq!(Resolution::FULL_HD.height(), 1080);
+        assert_eq!(Resolution::FULL_HD.pixel_count(), 2_073_600);
+    }
+
+    #[test]
+    fn wvga_dimensions() {
+        assert_eq!(Resolution::WVGA.width(), 832);
+        assert_eq!(Resolution::WVGA.height(), 480);
+        assert_eq!(Resolution::WVGA.pixel_count(), 399_360);
+    }
+
+    #[test]
+    fn ctu_rows_match_paper_parallelism_bounds() {
+        // 1080/64 = 16.875 -> 17 rows; 480/64 = 7.5 -> 8 rows.
+        assert_eq!(Resolution::FULL_HD.ctu_rows(), 17);
+        assert_eq!(Resolution::WVGA.ctu_rows(), 8);
+    }
+
+    #[test]
+    fn ctu_cols() {
+        assert_eq!(Resolution::FULL_HD.ctu_cols(), 30);
+        assert_eq!(Resolution::WVGA.ctu_cols(), 13);
+    }
+
+    #[test]
+    fn hr_lr_classification() {
+        assert!(Resolution::FULL_HD.is_high_resolution());
+        assert!(!Resolution::WVGA.is_high_resolution());
+        let hd720 = Resolution::new(1280, 720).unwrap();
+        assert!(hd720.is_high_resolution());
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert_eq!(Resolution::new(0, 1080), Err(VideoError::ZeroDimension));
+        assert_eq!(Resolution::new(1920, 0), Err(VideoError::ZeroDimension));
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        let r = Resolution::new(640, 360).unwrap();
+        let parsed: Resolution = r.to_string().parse().unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn from_str_accepts_upper_case_separator() {
+        let r: Resolution = "832X480".parse().unwrap();
+        assert_eq!(r, Resolution::WVGA);
+    }
+
+    #[test]
+    fn from_str_rejects_garbage() {
+        assert!("1920".parse::<Resolution>().is_err());
+        assert!("ax b".parse::<Resolution>().is_err());
+        assert!("1920x".parse::<Resolution>().is_err());
+        assert!("0x480".parse::<Resolution>().is_err());
+    }
+
+    #[test]
+    fn ordering_is_derived_consistently() {
+        assert!(Resolution::WVGA < Resolution::FULL_HD);
+    }
+}

@@ -1,0 +1,250 @@
+use crate::{ContentModel, ContentParams, FrameInfo, Resolution, VideoError};
+
+/// Static description of one video sequence (a catalog entry).
+///
+/// A spec is cheap to clone and carries everything needed to instantiate a
+/// deterministic [`VideoSource`]. Specs mirror JCT-VC common test sequences
+/// in name, resolution and content character; see [`crate::catalog`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequenceSpec {
+    name: String,
+    resolution: Resolution,
+    frame_count: u64,
+    nominal_fps: f64,
+    content: ContentParams,
+}
+
+impl SequenceSpec {
+    /// Creates a sequence spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::EmptySequence`] if `frame_count` is zero, or
+    /// [`VideoError::InvalidContentParam`] if `nominal_fps` is not positive.
+    pub fn new(
+        name: impl Into<String>,
+        resolution: Resolution,
+        frame_count: u64,
+        nominal_fps: f64,
+        content: ContentParams,
+    ) -> Result<Self, VideoError> {
+        if frame_count == 0 {
+            return Err(VideoError::EmptySequence);
+        }
+        if !(nominal_fps.is_finite() && nominal_fps > 0.0) {
+            return Err(VideoError::InvalidContentParam {
+                name: "nominal_fps",
+                value: nominal_fps,
+            });
+        }
+        Ok(SequenceSpec {
+            name: name.into(),
+            resolution,
+            frame_count,
+            nominal_fps,
+            content,
+        })
+    }
+
+    /// Sequence name (mirrors the JCT-VC name for catalog entries).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Frame resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Total number of frames.
+    pub fn frame_count(&self) -> u64 {
+        self.frame_count
+    }
+
+    /// Native frame rate of the source material (frames per second).
+    pub fn nominal_fps(&self) -> f64 {
+        self.nominal_fps
+    }
+
+    /// Content process parameters.
+    pub fn content(&self) -> &ContentParams {
+        &self.content
+    }
+
+    /// Returns a copy of this spec truncated/extended to `frame_count` frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::EmptySequence`] if `frame_count` is zero.
+    pub fn with_frame_count(&self, frame_count: u64) -> Result<Self, VideoError> {
+        SequenceSpec::new(
+            self.name.clone(),
+            self.resolution,
+            frame_count,
+            self.nominal_fps,
+            self.content,
+        )
+    }
+}
+
+/// A deterministic stream of frames generated from a [`SequenceSpec`].
+///
+/// Implements [`Iterator`] over [`FrameInfo`]; iteration ends after
+/// `spec.frame_count()` frames.
+///
+/// # Example
+///
+/// ```
+/// use mamut_video::{catalog, VideoSource};
+///
+/// let spec = catalog::by_name("RaceHorses").unwrap().with_frame_count(10).unwrap();
+/// let frames: Vec<_> = VideoSource::new(&spec, 1).collect();
+/// assert_eq!(frames.len(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VideoSource {
+    model: ContentModel,
+    remaining: u64,
+    resolution: Resolution,
+    name: String,
+}
+
+impl VideoSource {
+    /// Creates a source for `spec`, seeding the content process with `seed`.
+    pub fn new(spec: &SequenceSpec, seed: u64) -> Self {
+        VideoSource {
+            model: ContentModel::new(*spec.content(), seed),
+            remaining: spec.frame_count(),
+            resolution: spec.resolution(),
+            name: spec.name().to_owned(),
+        }
+    }
+
+    /// Name of the underlying sequence.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Resolution of the frames produced.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Frames left to produce.
+    pub fn frames_remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Produces the next frame, or `None` when the sequence is exhausted.
+    pub fn next_frame(&mut self) -> Option<FrameInfo> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.model.next_frame())
+    }
+}
+
+impl Iterator for VideoSource {
+    type Item = FrameInfo;
+
+    fn next(&mut self) -> Option<FrameInfo> {
+        self.next_frame()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for VideoSource {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(frames: u64) -> SequenceSpec {
+        SequenceSpec::new(
+            "Test",
+            Resolution::FULL_HD,
+            frames,
+            24.0,
+            ContentParams::moderate(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn source_produces_exactly_frame_count_frames() {
+        let s = VideoSource::new(&spec(123), 0);
+        assert_eq!(s.count(), 123);
+    }
+
+    #[test]
+    fn exact_size_iterator_contract() {
+        let mut s = VideoSource::new(&spec(10), 0);
+        assert_eq!(s.len(), 10);
+        s.next();
+        assert_eq!(s.len(), 9);
+    }
+
+    #[test]
+    fn next_frame_returns_none_when_exhausted() {
+        let mut s = VideoSource::new(&spec(1), 0);
+        assert!(s.next_frame().is_some());
+        assert!(s.next_frame().is_none());
+        assert!(s.next_frame().is_none());
+    }
+
+    #[test]
+    fn zero_frames_rejected() {
+        let err = SequenceSpec::new(
+            "Empty",
+            Resolution::WVGA,
+            0,
+            24.0,
+            ContentParams::moderate(),
+        );
+        assert_eq!(err.unwrap_err(), VideoError::EmptySequence);
+    }
+
+    #[test]
+    fn bad_fps_rejected() {
+        for fps in [0.0, -24.0, f64::NAN, f64::INFINITY] {
+            assert!(SequenceSpec::new(
+                "Bad",
+                Resolution::WVGA,
+                10,
+                fps,
+                ContentParams::moderate()
+            )
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn with_frame_count_truncates() {
+        let s = spec(500).with_frame_count(20).unwrap();
+        assert_eq!(s.frame_count(), 20);
+        assert_eq!(s.name(), "Test");
+        assert!(spec(500).with_frame_count(0).is_err());
+    }
+
+    #[test]
+    fn same_seed_reproduces_stream() {
+        let s = spec(200);
+        let a: Vec<_> = VideoSource::new(&s, 7).collect();
+        let b: Vec<_> = VideoSource::new(&s, 7).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accessors_report_spec_values() {
+        let s = spec(42);
+        let src = VideoSource::new(&s, 0);
+        assert_eq!(src.name(), "Test");
+        assert_eq!(src.resolution(), Resolution::FULL_HD);
+        assert_eq!(src.frames_remaining(), 42);
+    }
+}

@@ -1,0 +1,90 @@
+//! Live-event scenario: constraints change mid-stream.
+//!
+//! A trained MAMUT session is hit by two operational events the paper's
+//! state space is built to absorb:
+//!
+//! 1. the user's bandwidth drops from 6 Mb/s to 3 Mb/s (3G cell handover) —
+//!    the bitrate constraint tightens and `AGqp` must raise QP;
+//! 2. the operator lowers the server power cap — the power state flips and
+//!    `AGdvfs` must back off frequency.
+//!
+//! New constraint values create *new states*; per §IV-C, exploration
+//! restarts for those states only, and the controller re-converges.
+//!
+//! Run with: `cargo run --release --example live_event`
+
+use mamut::prelude::*;
+use mamut::transcode::homogeneous_sessions;
+
+fn segment_stats(rows: &[mamut::metrics::TraceRow]) -> (f64, f64, f64, f64) {
+    let n = rows.len().max(1) as f64;
+    let mean = |f: &dyn Fn(&mamut::metrics::TraceRow) -> f64| {
+        rows.iter().map(|r| f(r)).sum::<f64>() / n
+    };
+    (
+        mean(&|r| r.bitrate_mbps),
+        mean(&|r| f64::from(r.qp)),
+        mean(&|r| r.freq_ghz),
+        mean(&|r| r.power_w),
+    )
+}
+
+fn main() {
+    let seed = 3;
+
+    // Train on the normal regime first.
+    let warm = homogeneous_sessions(MixSpec::new(2, 0), 30_000, seed + 50_000);
+    let mut trainer = ServerSim::with_default_platform();
+    for (i, cfg) in warm.into_iter().enumerate() {
+        let c = MamutConfig::paper_hr().with_seed(seed + i as u64);
+        trainer.add_session(cfg, Box::new(MamutController::new(c).expect("valid config")));
+    }
+    trainer.run_to_completion(50_000_000).expect("pretraining completes");
+    let trained = trainer.into_controllers();
+
+    // Measured run: three 600-frame segments with different constraints.
+    let specs = homogeneous_sessions(MixSpec::new(2, 0), 1_800, seed);
+    let mut server = ServerSim::with_default_platform();
+    for (cfg, ctl) in specs.into_iter().zip(trained) {
+        server.add_session(cfg.with_trace(), ctl);
+    }
+
+    // Segment 1: paper defaults.
+    server.run_frames(600, 50_000_000).expect("segment 1");
+    // Segment 2: bandwidth drops to 3 Mb/s.
+    let tight_bw = Constraints {
+        bandwidth_mbps: 3.0,
+        ..Constraints::paper_defaults()
+    };
+    server.set_constraints_all(tight_bw);
+    println!("t={:.1}s  EVENT: bandwidth 6 -> 3 Mb/s", server.time());
+    server.run_frames(1_200, 50_000_000).expect("segment 2");
+    // Segment 3: power cap drops too.
+    let tight_all = Constraints {
+        power_cap_w: 95.0,
+        ..tight_bw
+    };
+    server.set_constraints_all(tight_all);
+    println!("t={:.1}s  EVENT: power cap 140 -> 95 W", server.time());
+    server.run_frames(1_800, 50_000_000).expect("segment 3");
+
+    let session = server.session(0).expect("session exists");
+    let rows = session.trace().rows();
+    let (seg1, rest) = rows.split_at(rows.len().min(600));
+    let (seg2, seg3) = rest.split_at(rest.len().min(600));
+
+    println!("\n== session 0, per-segment means ==");
+    for (name, seg) in [
+        ("normal          ", seg1),
+        ("bandwidth 3 Mb/s", seg2),
+        ("+ power cap 95 W", seg3),
+    ] {
+        let (br, qp, freq, power) = segment_stats(seg);
+        println!(
+            "{name}: bitrate={br:4.2} Mb/s qp={qp:4.1} freq={freq:4.2} GHz power={power:5.1} W"
+        );
+    }
+
+    println!("\nexpected adaptation: bitrate falls toward/below 3 Mb/s (QP rises)");
+    println!("after the handover; frequency and power fall after the cap change.");
+}

@@ -1,0 +1,68 @@
+//! Quickstart: one 1080p user served by MAMUT.
+//!
+//! Transcodes a 500-frame high-resolution video with the paper's
+//! multi-agent controller (learning online, cold start) and prints the
+//! QoS/power summary plus the controller's learning progress.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mamut::control::{AgentKind, MamutController};
+use mamut::prelude::*;
+
+fn main() {
+    // A JCT-VC-class-B-like 1080p sequence.
+    let spec = catalog::by_name("BasketballDrive").expect("catalog entry");
+    println!(
+        "transcoding {} ({}, {} frames) with MAMUT (cold start)…",
+        spec.name(),
+        spec.resolution(),
+        spec.frame_count()
+    );
+
+    let config = MamutConfig::paper_hr().with_seed(42);
+    let constraints = config.constraints;
+    let controller = MamutController::new(config).expect("paper config is valid");
+
+    let mut server = ServerSim::with_default_platform();
+    let id = server.add_session(
+        SessionConfig::single_video(spec, 42).with_constraints(constraints),
+        Box::new(controller),
+    );
+
+    let summary = server
+        .run_to_completion(1_000_000)
+        .expect("run completes within the event budget");
+    let s = &summary.sessions[id];
+
+    println!("\n== results ==");
+    println!("frames            : {}", s.frames);
+    println!("mean FPS          : {:.1} (target {})", s.mean_fps, constraints.target_fps);
+    println!("QoS violations ∆  : {:.1}%", s.violation_percent);
+    println!("mean PSNR         : {:.1} dB", s.mean_psnr_db);
+    println!("mean bitrate      : {:.2} Mb/s", s.mean_bitrate_mbps);
+    println!("mean threads      : {:.1}", s.mean_threads);
+    println!("mean frequency    : {:.2} GHz", s.mean_freq_ghz);
+    println!("server power      : {:.1} W over {:.1} s", summary.mean_power_w, summary.duration_s);
+
+    // Peek inside the controller: how much has each agent learned?
+    let session = server.session(id).expect("session exists");
+    if let Some(mamut) = session
+        .controller()
+        .as_any()
+        .downcast_ref::<MamutController>()
+    {
+        println!("\n== learning progress ==");
+        let report = mamut.maturity();
+        for (kind, m) in AgentKind::ALL.iter().zip(&report.per_agent) {
+            println!(
+                "{kind}: {} decisions, {} states visited, {} already exploiting",
+                m.decisions, m.visited_states, m.exploiting_states
+            );
+        }
+        println!(
+            "recent decisions outside exploration: {:.0}%",
+            100.0 * mamut.recent_exploitation_fraction()
+        );
+        println!("(500 frames is early days — see examples/vod_multiuser.rs for a trained run)");
+    }
+}

@@ -1,0 +1,78 @@
+//! Multi-user VoD scenario: 2 HR + 2 LR streams, trained MAMUT controllers.
+//!
+//! Mimics the paper's deployment story: a transcoding server keeps serving
+//! a workload family, so by measurement time the controllers have learned
+//! it. We pretrain each session's controller online (shifted content
+//! seeds), then measure a fresh mix and print per-user QoS.
+//!
+//! Run with: `cargo run --release --example vod_multiuser`
+
+use mamut::prelude::*;
+use mamut::transcode::homogeneous_sessions;
+
+/// Builds one MAMUT controller per session config.
+fn controllers_for(sessions: &[SessionConfig], seed: u64) -> Vec<Box<dyn Controller>> {
+    sessions
+        .iter()
+        .enumerate()
+        .map(|(i, cfg)| {
+            let is_hr = cfg
+                .playlist
+                .get(0)
+                .expect("non-empty playlist")
+                .resolution()
+                .is_high_resolution();
+            let mamut_cfg = if is_hr {
+                MamutConfig::paper_hr()
+            } else {
+                MamutConfig::paper_lr()
+            }
+            .with_seed(seed + i as u64);
+            Box::new(MamutController::new(mamut_cfg).expect("valid config")) as Box<dyn Controller>
+        })
+        .collect()
+}
+
+fn main() {
+    let mix = MixSpec::new(2, 2);
+    let seed = 7;
+
+    // Phase 1 — online learning on the workload family (30k frames each).
+    println!("pretraining MAMUT controllers on a {} workload…", mix.label());
+    let warm = homogeneous_sessions(mix, 30_000, seed + 50_000);
+    let mut trainer = ServerSim::with_default_platform();
+    let ctls = controllers_for(&warm, seed);
+    for (cfg, ctl) in warm.into_iter().zip(ctls) {
+        trainer.add_session(cfg, ctl);
+    }
+    trainer
+        .run_to_completion(50_000_000)
+        .expect("pretraining completes");
+    let trained = trainer.into_controllers();
+
+    // Phase 2 — serve a fresh mix with the trained controllers.
+    println!("serving a fresh {} mix…\n", mix.label());
+    let mut server = ServerSim::with_default_platform();
+    for (cfg, ctl) in homogeneous_sessions(mix, 500, seed).into_iter().zip(trained) {
+        server.add_session(cfg, ctl);
+    }
+    let summary = server.run_to_completion(50_000_000).expect("run completes");
+
+    println!("== per-user results ==");
+    for s in &summary.sessions {
+        println!(
+            "{:18} [{}] fps={:5.1} delta={:5.1}% psnr={:4.1} dB threads={:4.1} freq={:.2} GHz",
+            s.name,
+            if s.is_hr { "HR" } else { "LR" },
+            s.mean_fps,
+            s.violation_percent,
+            s.mean_psnr_db,
+            s.mean_threads,
+            s.mean_freq_ghz,
+        );
+    }
+    println!("\n== server ==");
+    println!("power : {:.1} W (idle would be {:.1} W)", summary.mean_power_w,
+        Platform::xeon_e5_2667_v4().idle_power_w());
+    println!("energy: {:.0} J over {:.1} s", summary.energy_j, summary.duration_s);
+}

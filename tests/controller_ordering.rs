@@ -1,0 +1,113 @@
+//! The paper's headline comparison, as an executable assertion: under a
+//! saturating workload, MAMUT beats both baselines on QoS and power.
+
+use mamut::prelude::*;
+use mamut::transcode::homogeneous_sessions;
+
+fn build(kind: &str, is_hr: bool, seed: u64) -> Box<dyn Controller> {
+    match kind {
+        "mamut" => {
+            let cfg = if is_hr {
+                MamutConfig::paper_hr()
+            } else {
+                MamutConfig::paper_lr()
+            }
+            .with_seed(seed);
+            Box::new(MamutController::new(cfg).expect("valid")) as Box<dyn Controller>
+        }
+        "mono" => {
+            let cfg = if is_hr {
+                MonoAgentConfig::paper_hr()
+            } else {
+                MonoAgentConfig::paper_lr()
+            }
+            .with_seed(seed);
+            Box::new(MonoAgentController::new(cfg).expect("valid"))
+        }
+        _ => {
+            let cfg = if is_hr {
+                HeuristicConfig::paper_hr()
+            } else {
+                HeuristicConfig::paper_lr()
+            };
+            Box::new(HeuristicController::new(cfg).expect("valid"))
+        }
+    }
+}
+
+fn run(kind: &str, mix: MixSpec, seed: u64) -> RunSummary {
+    let pretrain = 25_000;
+    let warm = homogeneous_sessions(mix, pretrain, seed + 50_000);
+    let mut trainer = ServerSim::with_default_platform();
+    for (i, cfg) in warm.into_iter().enumerate() {
+        let is_hr = cfg
+            .playlist
+            .get(0)
+            .expect("non-empty")
+            .resolution()
+            .is_high_resolution();
+        trainer.add_session(cfg, build(kind, is_hr, seed + i as u64));
+    }
+    trainer.run_to_completion(100_000_000).expect("pretrain ok");
+    let trained = trainer.into_controllers();
+
+    let mut server = ServerSim::with_default_platform();
+    for (cfg, ctl) in homogeneous_sessions(mix, 400, seed).into_iter().zip(trained) {
+        server.add_session(cfg, ctl);
+    }
+    server.run_to_completion(100_000_000).expect("measure ok")
+}
+
+#[test]
+fn mamut_beats_heuristic_on_power_at_saturation() {
+    let mix = MixSpec::new(3, 3);
+    let mamut = run("mamut", mix, 1_000);
+    let heuristic = run("heuristic", mix, 1_000);
+    assert!(
+        mamut.mean_power_w < heuristic.mean_power_w * 0.9,
+        "MAMUT {:.1} W should undercut heuristic {:.1} W by >10%",
+        mamut.mean_power_w,
+        heuristic.mean_power_w
+    );
+}
+
+#[test]
+fn mamut_beats_heuristic_on_qos_at_saturation() {
+    let mix = MixSpec::new(3, 3);
+    let mamut = run("mamut", mix, 2_000);
+    let heuristic = run("heuristic", mix, 2_000);
+    assert!(
+        mamut.mean_violation_percent() < heuristic.mean_violation_percent(),
+        "MAMUT ∆ {:.1}% should beat heuristic ∆ {:.1}%",
+        mamut.mean_violation_percent(),
+        heuristic.mean_violation_percent()
+    );
+}
+
+#[test]
+fn mamut_beats_mono_agent_on_qos_at_moderate_load() {
+    let mix = MixSpec::new(1, 1);
+    let mamut = run("mamut", mix, 3_000);
+    let mono = run("mono", mix, 3_000);
+    assert!(
+        mamut.mean_violation_percent() < mono.mean_violation_percent(),
+        "MAMUT ∆ {:.1}% should beat mono-agent ∆ {:.1}%",
+        mamut.mean_violation_percent(),
+        mono.mean_violation_percent()
+    );
+}
+
+#[test]
+fn heuristic_parks_at_max_frequency_ml_does_not() {
+    // Table I shape, cross-controller.
+    let mix = MixSpec::new(2, 0);
+    let mamut = run("mamut", mix, 4_000);
+    let heuristic = run("heuristic", mix, 4_000);
+    assert!(heuristic.mean_freq_ghz() > 3.15, "heuristic should peg 3.2 GHz");
+    assert!(
+        mamut.mean_freq_ghz() < heuristic.mean_freq_ghz(),
+        "MAMUT {:.2} GHz vs heuristic {:.2} GHz",
+        mamut.mean_freq_ghz(),
+        heuristic.mean_freq_ghz()
+    );
+}

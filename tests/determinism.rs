@@ -1,0 +1,74 @@
+//! Reproducibility: identical seeds must give bit-identical results across
+//! the whole stack (content, learning, event loop, metrics).
+
+use mamut::prelude::*;
+use mamut::transcode::homogeneous_sessions;
+
+fn full_run(seed: u64) -> RunSummary {
+    let mix = MixSpec::new(2, 1);
+    let mut server = ServerSim::with_default_platform();
+    for (i, cfg) in homogeneous_sessions(mix, 150, seed).into_iter().enumerate() {
+        let is_hr = cfg
+            .playlist
+            .get(0)
+            .expect("non-empty")
+            .resolution()
+            .is_high_resolution();
+        let mcfg = if is_hr {
+            MamutConfig::paper_hr()
+        } else {
+            MamutConfig::paper_lr()
+        }
+        .with_seed(seed + i as u64);
+        server.add_session(cfg, Box::new(MamutController::new(mcfg).expect("valid")));
+    }
+    server.run_to_completion(10_000_000).expect("run completes")
+}
+
+#[test]
+fn identical_seeds_are_bit_identical() {
+    let a = full_run(77);
+    let b = full_run(77);
+    assert_eq!(a.duration_s, b.duration_s);
+    assert_eq!(a.energy_j, b.energy_j);
+    assert_eq!(a.sessions.len(), b.sessions.len());
+    for (x, y) in a.sessions.iter().zip(&b.sessions) {
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = full_run(78);
+    let b = full_run(79);
+    assert_ne!(
+        (a.duration_s, a.energy_j),
+        (b.duration_s, b.energy_j),
+        "different seeds should explore differently"
+    );
+}
+
+#[test]
+fn heuristic_is_deterministic_without_any_seed() {
+    let run = || {
+        let mut server = ServerSim::with_default_platform();
+        for cfg in homogeneous_sessions(MixSpec::new(1, 1), 120, 5) {
+            let is_hr = cfg
+                .playlist
+                .get(0)
+                .expect("non-empty")
+                .resolution()
+                .is_high_resolution();
+            let hcfg = if is_hr {
+                HeuristicConfig::paper_hr()
+            } else {
+                HeuristicConfig::paper_lr()
+            };
+            server.add_session(cfg, Box::new(HeuristicController::new(hcfg).expect("valid")));
+        }
+        server.run_to_completion(10_000_000).expect("run completes")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.sessions, b.sessions);
+}

@@ -1,0 +1,117 @@
+//! End-to-end integration: MAMUT driving the full simulator stack.
+
+use mamut::prelude::*;
+use mamut::transcode::homogeneous_sessions;
+
+fn mamut_controller(is_hr: bool, seed: u64) -> Box<dyn Controller> {
+    let cfg = if is_hr {
+        MamutConfig::paper_hr()
+    } else {
+        MamutConfig::paper_lr()
+    }
+    .with_seed(seed);
+    Box::new(MamutController::new(cfg).expect("paper config is valid"))
+}
+
+/// Runs a mix with per-session MAMUT controllers: pretrain, then measure.
+fn pretrained_run(mix: MixSpec, pretrain: u64, frames: u64, seed: u64) -> RunSummary {
+    let warm = homogeneous_sessions(mix, pretrain, seed + 50_000);
+    let mut trainer = ServerSim::with_default_platform();
+    for (i, cfg) in warm.into_iter().enumerate() {
+        let is_hr = cfg
+            .playlist
+            .get(0)
+            .expect("non-empty")
+            .resolution()
+            .is_high_resolution();
+        trainer.add_session(cfg, mamut_controller(is_hr, seed + i as u64));
+    }
+    trainer
+        .run_to_completion(100_000_000)
+        .expect("pretraining completes");
+    let trained = trainer.into_controllers();
+
+    let mut server = ServerSim::with_default_platform();
+    for (cfg, ctl) in homogeneous_sessions(mix, frames, seed).into_iter().zip(trained) {
+        server.add_session(cfg, ctl);
+    }
+    server
+        .run_to_completion(100_000_000)
+        .expect("measured run completes")
+}
+
+#[test]
+fn trained_mamut_keeps_single_hr_stream_mostly_above_target() {
+    let summary = pretrained_run(MixSpec::new(1, 0), 20_000, 400, 5);
+    let s = &summary.sessions[0];
+    assert_eq!(s.frames, 400);
+    assert!(
+        s.violation_percent < 25.0,
+        "trained MAMUT should be well under 25% violations, got {:.1}%",
+        s.violation_percent
+    );
+    assert!(s.mean_fps > 23.0, "mean fps {:.1}", s.mean_fps);
+    // PSNR must stay in the acceptable band the reward enforces.
+    assert!(s.mean_psnr_db > 30.0 && s.mean_psnr_db < 50.0);
+}
+
+#[test]
+fn trained_mamut_prefers_more_threads_at_lower_frequency() {
+    // The Table I signature: MAMUT runs HR streams on many threads below
+    // the maximum frequency. Averaged over seeds, like the paper's
+    // five-repetition protocol (individual seeds can settle elsewhere).
+    let mut threads = 0.0;
+    let mut freq = 0.0;
+    let seeds = [6u64, 16, 26];
+    for &seed in &seeds {
+        let summary = pretrained_run(MixSpec::new(1, 0), 20_000, 400, seed);
+        threads += summary.sessions[0].mean_threads;
+        freq += summary.sessions[0].mean_freq_ghz;
+    }
+    let n = seeds.len() as f64;
+    assert!(threads / n > 7.0, "threads {:.1}", threads / n);
+    assert!(freq / n < 3.15, "freq {:.2}", freq / n);
+}
+
+#[test]
+fn mamut_serves_mixed_load_within_constraints() {
+    let summary = pretrained_run(MixSpec::new(1, 1), 20_000, 300, 7);
+    assert_eq!(summary.sessions.len(), 2);
+    for s in &summary.sessions {
+        // Bitrate constraint: the learned QP must respect the 6 Mb/s band
+        // on average.
+        assert!(
+            s.mean_bitrate_mbps < 6.5,
+            "{}: bitrate {:.2}",
+            s.name,
+            s.mean_bitrate_mbps
+        );
+    }
+    // Power stays under the paper-default cap.
+    assert!(summary.mean_power_w < 140.0);
+}
+
+#[test]
+fn learning_progresses_through_phases() {
+    use mamut::control::MamutController as Ctl;
+    let mut server = ServerSim::with_default_platform();
+    let warm = homogeneous_sessions(MixSpec::new(1, 0), 25_000, 55_001);
+    for cfg in warm {
+        let c = MamutConfig::paper_hr().with_seed(1);
+        server.add_session(cfg, Box::new(Ctl::new(c).expect("valid config")));
+    }
+    server.run_to_completion(100_000_000).expect("run completes");
+    let session = server.session(0).expect("session exists");
+    let ctl = session
+        .controller()
+        .as_any()
+        .downcast_ref::<Ctl>()
+        .expect("MAMUT controller");
+    assert!(
+        ctl.exploitation_decisions() > ctl.exploration_decisions(),
+        "after 25k frames exploitation should dominate: {} vs {}",
+        ctl.exploitation_decisions(),
+        ctl.exploration_decisions()
+    );
+    assert!(ctl.recent_exploitation_fraction() > 0.8);
+}

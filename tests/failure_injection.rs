@@ -1,0 +1,170 @@
+//! Failure injection: constraint changes mid-run must steer the system
+//! (the paper's states make bandwidth and power first-class signals).
+
+use mamut::prelude::*;
+use mamut::transcode::homogeneous_sessions;
+
+/// Trains MAMUT controllers for `mix` under `normal` and then `tightened`
+/// constraints so the measured phase has Q-values for both regimes (a
+/// deployment would have seen both over its lifetime).
+fn train_dual_regime(
+    mix: MixSpec,
+    seed: u64,
+    normal: Constraints,
+    tightened: Constraints,
+) -> Vec<Box<dyn Controller>> {
+    let mut trainer = ServerSim::with_default_platform();
+    for (i, cfg) in homogeneous_sessions(mix, 30_000, seed + 50_000)
+        .into_iter()
+        .enumerate()
+    {
+        let is_hr = cfg
+            .playlist
+            .get(0)
+            .expect("non-empty")
+            .resolution()
+            .is_high_resolution();
+        let mcfg = if is_hr {
+            MamutConfig::paper_hr()
+        } else {
+            MamutConfig::paper_lr()
+        }
+        .with_seed(seed + i as u64)
+        .with_constraints(normal);
+        trainer.add_session(
+            cfg.with_constraints(normal),
+            Box::new(MamutController::new(mcfg).expect("valid")),
+        );
+    }
+    // First half under the normal regime…
+    trainer.run_frames(15_000, 100_000_000).expect("phase 1");
+    // …second half under the tightened constraints.
+    trainer.set_constraints_all(tightened);
+    trainer.run_to_completion(100_000_000).expect("phase 2");
+    trainer.into_controllers()
+}
+
+#[test]
+fn bandwidth_drop_raises_qp_and_lowers_bitrate() {
+    // Constraint plumbing through the rule-based controller (whose QP rule
+    // is explicit and deterministic): an LR stream chasing the 40 dB
+    // set-point sits at low QP / ≈2.5–3.5 Mb/s; once the user's bandwidth
+    // drops to 1.5 Mb/s the bitrate rule must drive QP up and the output
+    // rate down toward the budget.
+    let mix = MixSpec::new(0, 1);
+    let tight = Constraints {
+        bandwidth_mbps: 1.0,
+        ..Constraints::paper_defaults()
+    };
+
+    let mut server = ServerSim::with_default_platform();
+    for cfg in homogeneous_sessions(mix, 800, 21) {
+        let hcfg = HeuristicConfig::paper_lr();
+        server.add_session(
+            cfg.with_trace(),
+            Box::new(HeuristicController::new(hcfg).expect("valid")),
+        );
+    }
+    server.run_frames(400, 100_000_000).expect("normal segment");
+    server.set_constraints_all(tight);
+    server.run_to_completion(100_000_000).expect("tight segment");
+
+    let trace = server.session(0).expect("session").trace();
+    let rows = trace.rows();
+    let (normal_rows, tight_rows) = rows.split_at(400.min(rows.len()));
+    let mean = |rs: &[mamut::metrics::TraceRow], f: &dyn Fn(&mamut::metrics::TraceRow) -> f64| {
+        rs.iter().map(|r| f(r)).sum::<f64>() / rs.len().max(1) as f64
+    };
+    // Skip the adaptation transient after the event.
+    let settled = &tight_rows[tight_rows.len().min(150)..];
+    let br_before = mean(normal_rows, &|r| r.bitrate_mbps);
+    let br_after = mean(settled, &|r| r.bitrate_mbps);
+    let qp_before = mean(normal_rows, &|r| f64::from(r.qp));
+    let qp_after = mean(settled, &|r| f64::from(r.qp));
+    assert!(
+        br_before > 1.2,
+        "premise: normal-regime bitrate should exceed the tight budget, got {br_before:.2}"
+    );
+    assert!(
+        br_after < 1.1,
+        "bitrate must fall toward the 1 Mb/s budget: {br_before:.2} -> {br_after:.2} Mb/s"
+    );
+    assert!(
+        qp_after > qp_before + 2.0,
+        "QP must rise after the bandwidth drop: {qp_before:.1} -> {qp_after:.1}"
+    );
+}
+
+#[test]
+fn power_cap_drop_reduces_draw() {
+    // A single HR stream draws ≈65–75 W; a 66 W cap actually binds.
+    let normal = Constraints::paper_defaults();
+    let tight = Constraints {
+        power_cap_w: 66.0,
+        ..Constraints::paper_defaults()
+    };
+    let controllers = train_dual_regime(MixSpec::new(1, 0), 22, normal, tight);
+
+    let mut server = ServerSim::with_default_platform();
+    for (cfg, ctl) in homogeneous_sessions(MixSpec::new(1, 0), 900, 22)
+        .into_iter()
+        .zip(controllers)
+    {
+        server.add_session(cfg.with_trace(), ctl);
+    }
+    server.run_frames(400, 100_000_000).expect("normal segment");
+    server.set_constraints_all(tight);
+    server.run_to_completion(100_000_000).expect("capped segment");
+
+    let trace = server.session(0).expect("session").trace();
+    let rows = trace.rows();
+    let before = &rows[..400.min(rows.len())];
+    let after = &rows[rows.len().saturating_sub(200)..];
+    let mean_p = |rs: &[mamut::metrics::TraceRow]| {
+        rs.iter().map(|r| r.power_w).sum::<f64>() / rs.len().max(1) as f64
+    };
+    let p_before = mean_p(before);
+    let p_after = mean_p(after);
+    assert!(
+        p_after < p_before - 1.0,
+        "power must fall under the tighter cap: {p_before:.1} -> {p_after:.1} W"
+    );
+}
+
+#[test]
+fn heuristic_backs_off_frequency_under_a_tight_power_cap() {
+    // The rule-based baseline has an explicit power rule. Because its
+    // throughput rule pushes frequency right back up, the observable
+    // effect of a binding cap is a mean frequency pulled visibly below
+    // the 3.2 GHz it would otherwise peg, and bounded average power.
+    let run = |cap: f64, seed: u64| {
+        let mut server = ServerSim::with_default_platform();
+        let constraints = Constraints {
+            power_cap_w: cap,
+            ..Constraints::paper_defaults()
+        };
+        for cfg in homogeneous_sessions(MixSpec::new(2, 0), 600, seed) {
+            let hcfg = HeuristicConfig::paper_hr();
+            server.add_session(
+                cfg.with_constraints(constraints),
+                Box::new(HeuristicController::new(hcfg).expect("valid")),
+            );
+        }
+        server.run_to_completion(100_000_000).expect("run completes")
+    };
+    let uncapped = run(140.0, 9);
+    let capped = run(85.0, 9);
+    assert!(uncapped.mean_freq_ghz() > 3.15, "uncapped heuristic pegs 3.2 GHz");
+    assert!(
+        capped.mean_freq_ghz() < uncapped.mean_freq_ghz() - 0.05,
+        "capped {:.2} GHz vs uncapped {:.2} GHz",
+        capped.mean_freq_ghz(),
+        uncapped.mean_freq_ghz()
+    );
+    assert!(
+        capped.mean_power_w < uncapped.mean_power_w,
+        "capped {:.1} W vs uncapped {:.1} W",
+        capped.mean_power_w,
+        uncapped.mean_power_w
+    );
+}

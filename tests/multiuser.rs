@@ -1,0 +1,101 @@
+//! Multi-user behaviour of the simulator: contention, fairness, scaling.
+
+use mamut::prelude::*;
+use mamut::transcode::{homogeneous_sessions, scenario_ii_sessions};
+
+fn fixed(threads: u32, freq: f64) -> Box<dyn Controller> {
+    Box::new(FixedController::new(KnobSettings::new(32, threads, freq)))
+}
+
+#[test]
+fn adding_sessions_increases_power_and_reduces_per_session_fps() {
+    let run = |n_hr: usize| {
+        let mut server = ServerSim::with_default_platform();
+        for (i, cfg) in homogeneous_sessions(MixSpec::new(n_hr, 0), 60, 3)
+            .into_iter()
+            .enumerate()
+        {
+            server.add_session(cfg, fixed(12, 3.2));
+            let _ = i;
+        }
+        server.run_to_completion(10_000_000).expect("run completes")
+    };
+    let one = run(1);
+    let five = run(5);
+    assert!(five.mean_power_w > one.mean_power_w + 10.0);
+    assert!(five.mean_fps() < one.mean_fps());
+}
+
+#[test]
+fn equal_sessions_get_equal_service() {
+    // Four identical HR sessions with identical knobs must progress at
+    // nearly identical rates (processor sharing is fair).
+    let mut server = ServerSim::with_default_platform();
+    let spec = catalog::by_name("Cactus")
+        .expect("catalog")
+        .with_frame_count(80)
+        .expect("frames");
+    for i in 0..4 {
+        server.add_session(
+            SessionConfig::single_video(spec.clone(), 9 + i),
+            fixed(10, 2.9),
+        );
+    }
+    let summary = server.run_to_completion(10_000_000).expect("run completes");
+    let fps: Vec<f64> = summary.sessions.iter().map(|s| s.mean_fps).collect();
+    let min = fps.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = fps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        max / min < 1.1,
+        "fair sharing violated: fps spread {fps:?}"
+    );
+}
+
+#[test]
+fn lr_streams_are_cheaper_than_hr_streams() {
+    let run = |mix: MixSpec| {
+        let mut server = ServerSim::with_default_platform();
+        for cfg in homogeneous_sessions(mix, 60, 3) {
+            server.add_session(cfg, fixed(5, 2.9));
+        }
+        server.run_to_completion(10_000_000).expect("run completes")
+    };
+    let hr = run(MixSpec::new(2, 0));
+    let lr = run(MixSpec::new(0, 2));
+    // Same knob settings: LR frames retire much faster.
+    assert!(lr.mean_fps() > hr.mean_fps() * 1.5);
+}
+
+#[test]
+fn scenario_ii_sessions_complete_their_whole_playlists() {
+    let mut server = ServerSim::with_default_platform();
+    let sessions = scenario_ii_sessions(MixSpec::new(1, 1), 2, 40, 11);
+    let expected_frames: Vec<u64> = sessions.iter().map(|s| s.playlist.total_frames()).collect();
+    for cfg in sessions {
+        server.add_session(cfg, fixed(5, 3.2));
+    }
+    let summary = server.run_to_completion(10_000_000).expect("run completes");
+    for (s, expect) in summary.sessions.iter().zip(expected_frames) {
+        assert_eq!(s.frames, expect, "{} incomplete", s.name);
+    }
+}
+
+#[test]
+fn sessions_finish_independently() {
+    // A short session must finish and free capacity while a long one runs.
+    let short = catalog::by_name("BQMall")
+        .expect("catalog")
+        .with_frame_count(20)
+        .expect("frames");
+    let long = catalog::by_name("Cactus")
+        .expect("catalog")
+        .with_frame_count(200)
+        .expect("frames");
+    let mut server = ServerSim::with_default_platform();
+    server.add_session(SessionConfig::single_video(short, 1), fixed(4, 2.9));
+    server.add_session(SessionConfig::single_video(long, 2), fixed(10, 2.9));
+    let summary = server.run_to_completion(10_000_000).expect("run completes");
+    assert_eq!(summary.sessions[0].frames, 20);
+    assert_eq!(summary.sessions[1].frames, 200);
+    assert!(server.all_finished());
+}

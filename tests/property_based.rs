@@ -1,0 +1,153 @@
+//! Cross-crate property tests: invariants that must hold for *any* valid
+//! input, checked with proptest.
+
+use mamut::control::{reward, Constraints, Observation, State};
+use mamut::encoder::{wpp, HevcEncoder, Preset};
+use mamut::platform::{Platform, SessionLoad};
+use mamut::prelude::*;
+use mamut::video::{ContentModel, ContentParams, FrameInfo};
+use proptest::prelude::*;
+
+fn arb_observation() -> impl Strategy<Value = Observation> {
+    (0.0f64..200.0, 20.0f64..60.0, 0.0f64..30.0, 40.0f64..200.0).prop_map(
+        |(fps, psnr_db, bitrate_mbps, power_w)| Observation {
+            fps,
+            psnr_db,
+            bitrate_mbps,
+            power_w,
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn state_index_is_always_in_range(obs in arb_observation()) {
+        let c = Constraints::paper_defaults();
+        let s = State::from_observation(&obs, &c);
+        prop_assert!(s.index() < mamut::control::STATE_COUNT);
+        prop_assert_eq!(State::from_index(s.index()), Some(s));
+    }
+
+    #[test]
+    fn total_reward_is_bounded(obs in arb_observation()) {
+        let c = Constraints::paper_defaults();
+        let w = reward::RewardWeights::default();
+        let r = reward::total_reward(&obs, &c, &w);
+        // Four terms, each in [-4, 1].
+        prop_assert!((-16.0..=4.0).contains(&r), "reward {} out of range", r);
+    }
+
+    #[test]
+    fn fps_reward_is_maximal_exactly_at_target(
+        target in 10.0f64..60.0,
+        fps in 0.0f64..200.0,
+    ) {
+        let at_target = reward::fps_reward(target, target);
+        let elsewhere = reward::fps_reward(fps, target);
+        prop_assert!(elsewhere <= at_target + 1e-12);
+    }
+
+    #[test]
+    fn encoder_outputs_are_monotone_in_qp(
+        qp_lo in 0u8..50,
+        complexity in 0.25f64..3.0,
+    ) {
+        let qp_hi = qp_lo + 1;
+        let enc = HevcEncoder::new(Resolution::FULL_HD, Preset::Ultrafast);
+        let frame = FrameInfo { index: 0, complexity, scene_cut: false };
+        let lo = enc.encode(qp_lo, &frame).unwrap();
+        let hi = enc.encode(qp_hi, &frame).unwrap();
+        prop_assert!(hi.bitrate_mbps < lo.bitrate_mbps);
+        prop_assert!(hi.psnr_db <= lo.psnr_db);
+        prop_assert!(hi.cycles < lo.cycles);
+    }
+
+    #[test]
+    fn encoder_costs_more_for_busier_content(
+        qp in 10u8..45,
+        c_lo in 0.25f64..1.4,
+        bump in 0.1f64..1.5,
+    ) {
+        let c_hi = (c_lo + bump).min(3.0);
+        let enc = HevcEncoder::new(Resolution::WVGA, Preset::Slow);
+        let lo = enc.encode(qp, &FrameInfo { index: 0, complexity: c_lo, scene_cut: false }).unwrap();
+        let hi = enc.encode(qp, &FrameInfo { index: 0, complexity: c_hi, scene_cut: false }).unwrap();
+        prop_assert!(hi.cycles > lo.cycles);
+        prop_assert!(hi.bitrate_mbps > lo.bitrate_mbps);
+        prop_assert!(hi.psnr_db <= lo.psnr_db);
+    }
+
+    #[test]
+    fn wpp_speedup_is_bounded_by_thread_count(
+        rows in 1u32..40,
+        cols in 1u32..60,
+        threads in 1u32..48,
+    ) {
+        let s = wpp::speedup(rows, cols, threads);
+        // Positive and never superlinear. (It *can* dip below 1.0 for
+        // narrow frames where the wavefront ramp dominates — spawning more
+        // threads than the frame can feed genuinely hurts.)
+        prop_assert!(s > 0.0, "non-positive speedup {}", s);
+        prop_assert!(s <= f64::from(threads.min(rows)) + 1e-9, "superlinear speedup {}", s);
+        // One thread is always exactly serial.
+        let s1 = wpp::speedup(rows, cols, 1);
+        prop_assert!((s1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_draw_is_bounded_and_above_idle(
+        threads in 1u32..64,
+        freq in 1.2f64..3.2,
+    ) {
+        let p = Platform::xeon_e5_2667_v4();
+        let draw = p.power_draw(&[SessionLoad::new(threads, freq)]);
+        prop_assert!(draw >= p.idle_power_w());
+        prop_assert!(draw < 200.0, "implausible draw {}", draw);
+    }
+
+    #[test]
+    fn contention_scale_is_a_fraction(total in 0u32..200) {
+        let p = Platform::xeon_e5_2667_v4();
+        let s = p.throughput_scale(total);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn content_streams_stay_in_bounds(seed in 0u64..1000) {
+        let mut m = ContentModel::new(ContentParams::busy(), seed);
+        for _ in 0..300 {
+            let f = m.next_frame();
+            prop_assert!(f.complexity >= mamut::video::MIN_COMPLEXITY);
+            prop_assert!(f.complexity <= mamut::video::MAX_COMPLEXITY);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Heavier end-to-end property: any fixed operating point from the
+    // action space yields a consistent simulation (time advances, energy
+    // integrates, every frame completes).
+    #[test]
+    fn simulator_is_consistent_for_any_operating_point(
+        qp_idx in 0usize..7,
+        threads in 1u32..13,
+        freq_idx in 0usize..6,
+        seed in 0u64..50,
+    ) {
+        let qp = [22u8, 25, 27, 29, 32, 35, 37][qp_idx];
+        let freq = [1.6, 1.9, 2.3, 2.6, 2.9, 3.2][freq_idx];
+        let spec = catalog::by_name("ParkScene").unwrap().with_frame_count(30).unwrap();
+        let mut server = ServerSim::with_default_platform();
+        server.add_session(
+            SessionConfig::single_video(spec, seed),
+            Box::new(FixedController::new(KnobSettings::new(qp, threads, freq))),
+        );
+        let summary = server.run_to_completion(1_000_000).unwrap();
+        prop_assert_eq!(summary.sessions[0].frames, 30);
+        prop_assert!(summary.duration_s > 0.0);
+        prop_assert!(summary.mean_power_w >= Platform::xeon_e5_2667_v4().idle_power_w() - 1e-9);
+        prop_assert!(summary.sessions[0].mean_fps > 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Trace recording and report plumbing across the full stack.
+
+use mamut::metrics::{Align, Table};
+use mamut::prelude::*;
+
+#[test]
+fn traces_capture_every_frame_with_sane_values() {
+    let spec = catalog::by_name("ParkScene")
+        .expect("catalog")
+        .with_frame_count(100)
+        .expect("frames");
+    let mut server = ServerSim::with_default_platform();
+    server.add_session(
+        SessionConfig::single_video(spec, 4).with_trace(),
+        Box::new(FixedController::new(KnobSettings::new(32, 10, 2.9))),
+    );
+    server.run_to_completion(1_000_000).expect("run completes");
+
+    let trace = server.session(0).expect("session").trace();
+    assert_eq!(trace.len(), 100);
+    let mut last_t = 0.0;
+    for row in trace.rows() {
+        assert!(row.time_s > last_t, "time must strictly increase");
+        last_t = row.time_s;
+        assert!(row.fps > 0.0 && row.fps < 500.0);
+        assert!(row.psnr_db > 20.0 && row.psnr_db < 60.0);
+        assert!(row.bitrate_mbps > 0.0);
+        assert_eq!(row.qp, 32);
+        assert_eq!(row.threads, 10);
+        assert!((row.freq_ghz - 2.9).abs() < 1e-9);
+        assert!(row.power_w > 40.0);
+    }
+}
+
+#[test]
+fn trace_csv_is_parseable() {
+    let spec = catalog::by_name("BQMall")
+        .expect("catalog")
+        .with_frame_count(20)
+        .expect("frames");
+    let mut server = ServerSim::with_default_platform();
+    server.add_session(
+        SessionConfig::single_video(spec, 4).with_trace(),
+        Box::new(FixedController::new(KnobSettings::new(27, 4, 3.2))),
+    );
+    server.run_to_completion(1_000_000).expect("run completes");
+
+    let csv = server.session(0).expect("session").trace().to_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 21, "header + 20 rows");
+    let header_cols = lines[0].split(',').count();
+    for line in &lines[1..] {
+        assert_eq!(line.split(',').count(), header_cols);
+        // Every numeric field parses.
+        for (i, field) in line.split(',').enumerate() {
+            assert!(
+                field.parse::<f64>().is_ok(),
+                "column {i} not numeric: {field}"
+            );
+        }
+    }
+}
+
+#[test]
+fn untraced_sessions_stay_empty() {
+    let spec = catalog::by_name("BQMall")
+        .expect("catalog")
+        .with_frame_count(10)
+        .expect("frames");
+    let mut server = ServerSim::with_default_platform();
+    server.add_session(
+        SessionConfig::single_video(spec, 4),
+        Box::new(FixedController::new(KnobSettings::new(27, 4, 3.2))),
+    );
+    server.run_to_completion(1_000_000).expect("run completes");
+    assert!(server.session(0).expect("session").trace().is_empty());
+}
+
+#[test]
+fn summaries_render_into_tables() {
+    let spec = catalog::by_name("Kimono")
+        .expect("catalog")
+        .with_frame_count(30)
+        .expect("frames");
+    let mut server = ServerSim::with_default_platform();
+    server.add_session(
+        SessionConfig::single_video(spec, 2),
+        Box::new(FixedController::new(KnobSettings::new(32, 8, 2.6))),
+    );
+    let summary = server.run_to_completion(1_000_000).expect("run completes");
+
+    let mut table = Table::new(
+        ["session", "fps", "delta%"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    table.set_alignments(vec![Align::Left, Align::Right, Align::Right]);
+    for s in &summary.sessions {
+        table.add_row(vec![
+            s.name.clone(),
+            format!("{:.1}", s.mean_fps),
+            format!("{:.1}", s.violation_percent),
+        ]);
+    }
+    let md = table.to_markdown();
+    assert!(md.contains("Kimono"));
+    assert!(table.to_csv().lines().count() == 2);
+    assert!(!table.to_plain().is_empty());
+}
+
+#[test]
+fn energy_is_power_times_time() {
+    let spec = catalog::by_name("Cactus")
+        .expect("catalog")
+        .with_frame_count(50)
+        .expect("frames");
+    let mut server = ServerSim::with_default_platform();
+    server.add_session(
+        SessionConfig::single_video(spec, 2),
+        Box::new(FixedController::new(KnobSettings::new(32, 8, 2.6))),
+    );
+    let summary = server.run_to_completion(1_000_000).expect("run completes");
+    assert!(
+        (summary.energy_j - summary.mean_power_w * summary.duration_s).abs()
+            < 1e-6 * summary.energy_j,
+        "energy accounting inconsistent"
+    );
+}
