@@ -179,7 +179,7 @@ impl Controller for HeuristicController {
         obs: &Observation,
         constraints: &Constraints,
     ) -> Option<KnobSettings> {
-        if frame % self.config.period != 0 {
+        if !frame.is_multiple_of(self.config.period) {
             return None;
         }
         let cfg = &self.config;
@@ -267,11 +267,17 @@ mod tests {
     fn acts_on_its_period_only() {
         let mut c = ctl();
         let cons = Constraints::paper_defaults();
-        assert!(c.begin_frame(0, &obs(24.0, 40.0, 4.0, 80.0), &cons).is_some());
+        assert!(c
+            .begin_frame(0, &obs(24.0, 40.0, 4.0, 80.0), &cons)
+            .is_some());
         for f in 1..6 {
-            assert!(c.begin_frame(f, &obs(24.0, 40.0, 4.0, 80.0), &cons).is_none());
+            assert!(c
+                .begin_frame(f, &obs(24.0, 40.0, 4.0, 80.0), &cons)
+                .is_none());
         }
-        assert!(c.begin_frame(6, &obs(24.0, 40.0, 4.0, 80.0), &cons).is_some());
+        assert!(c
+            .begin_frame(6, &obs(24.0, 40.0, 4.0, 80.0), &cons)
+            .is_some());
     }
 
     #[test]
@@ -282,7 +288,9 @@ mod tests {
         };
         let mut c = HeuristicController::new(cfg).unwrap();
         let cons = Constraints::paper_defaults();
-        let k = c.begin_frame(0, &obs(20.0, 40.0, 4.0, 80.0), &cons).unwrap();
+        let k = c
+            .begin_frame(0, &obs(20.0, 40.0, 4.0, 80.0), &cons)
+            .unwrap();
         assert_eq!(k.freq_ghz, 3.2);
         assert_eq!(k.threads, 4, "threads untouched while freq had headroom");
     }
@@ -291,10 +299,14 @@ mod tests {
     fn fps_miss_at_max_frequency_adds_threads_while_they_help() {
         let mut c = ctl(); // starts at 3.2 GHz
         let cons = Constraints::paper_defaults();
-        let k = c.begin_frame(0, &obs(16.0, 40.0, 4.0, 80.0), &cons).unwrap();
+        let k = c
+            .begin_frame(0, &obs(16.0, 40.0, 4.0, 80.0), &cons)
+            .unwrap();
         assert_eq!(k.threads, 5);
         // The addition helped (+2 FPS): climb again.
-        let k = c.begin_frame(6, &obs(18.0, 40.0, 4.0, 80.0), &cons).unwrap();
+        let k = c
+            .begin_frame(6, &obs(18.0, 40.0, 4.0, 80.0), &cons)
+            .unwrap();
         assert_eq!(k.threads, 6);
     }
 
@@ -333,10 +345,14 @@ mod tests {
     fn overshoot_sheds_threads() {
         let mut c = ctl();
         let cons = Constraints::paper_defaults();
-        let k = c.begin_frame(0, &obs(30.0, 40.0, 4.0, 80.0), &cons).unwrap();
+        let k = c
+            .begin_frame(0, &obs(30.0, 40.0, 4.0, 80.0), &cons)
+            .unwrap();
         assert_eq!(k.threads, 3);
         // 28 FPS is above target but inside the hysteresis band: hold.
-        let k = c.begin_frame(6, &obs(27.9, 40.0, 4.0, 80.0), &cons).unwrap();
+        let k = c
+            .begin_frame(6, &obs(27.9, 40.0, 4.0, 80.0), &cons)
+            .unwrap();
         assert_eq!(k.threads, 3);
     }
 
@@ -345,7 +361,9 @@ mod tests {
         let mut c = ctl();
         let cons = Constraints::paper_defaults();
         // Power violated AND fps low: power wins, frequency steps down.
-        let k = c.begin_frame(0, &obs(20.0, 40.0, 4.0, 150.0), &cons).unwrap();
+        let k = c
+            .begin_frame(0, &obs(20.0, 40.0, 4.0, 150.0), &cons)
+            .unwrap();
         assert_eq!(k.freq_ghz, 2.9);
         assert_eq!(k.threads, 4, "throughput rule skipped this round");
     }
@@ -355,10 +373,14 @@ mod tests {
         let mut c = ctl();
         let cons = Constraints::paper_defaults();
         // PSNR below set-point: qp decreases (more quality).
-        let k = c.begin_frame(0, &obs(24.0, 35.0, 4.0, 80.0), &cons).unwrap();
+        let k = c
+            .begin_frame(0, &obs(24.0, 35.0, 4.0, 80.0), &cons)
+            .unwrap();
         assert_eq!(k.qp, 31);
         // PSNR above set-point: qp increases.
-        let k = c.begin_frame(6, &obs(24.0, 44.0, 4.0, 80.0), &cons).unwrap();
+        let k = c
+            .begin_frame(6, &obs(24.0, 44.0, 4.0, 80.0), &cons)
+            .unwrap();
         assert_eq!(k.qp, 32);
     }
 
@@ -367,7 +389,9 @@ mod tests {
         let mut c = ctl();
         let cons = Constraints::paper_defaults();
         // Low PSNR *and* bitrate over bandwidth: QP must go up, not down.
-        let k = c.begin_frame(0, &obs(24.0, 33.0, 8.0, 80.0), &cons).unwrap();
+        let k = c
+            .begin_frame(0, &obs(24.0, 33.0, 8.0, 80.0), &cons)
+            .unwrap();
         assert_eq!(k.qp, 33);
     }
 

@@ -243,7 +243,7 @@ impl Controller for MonoAgentController {
         obs: &Observation,
         constraints: &Constraints,
     ) -> Option<KnobSettings> {
-        if frame % self.config.period != 0 {
+        if !frame.is_multiple_of(self.config.period) {
             return None;
         }
         let state = self.finalize_pending(obs, constraints);
@@ -260,7 +260,11 @@ impl Controller for MonoAgentController {
                         .copied()
                         .filter(|&a| self.agent.visits(state, a) == 0)
                         .collect();
-                    let pool = if untried.is_empty() { &immature } else { &untried };
+                    let pool = if untried.is_empty() {
+                        &immature
+                    } else {
+                        &untried
+                    };
                     pool[self.rng.gen_range(0..pool.len())]
                 }
             }

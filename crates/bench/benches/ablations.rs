@@ -85,6 +85,9 @@ fn main() {
         eprintln!("ablations: {name} done");
     }
 
-    println!("Ablations — MAMUT design mechanisms on {} ({reps} seeds)", mix.label());
+    println!(
+        "Ablations — MAMUT design mechanisms on {} ({reps} seeds)",
+        mix.label()
+    );
     println!("{table}");
 }

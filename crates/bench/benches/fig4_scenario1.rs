@@ -19,7 +19,13 @@ fn main() {
 
     let mut table = Table::new(
         [
-            "workload", "heur dP%", "heur W", "mono dP%", "mono W", "MAMUT dP%", "MAMUT W",
+            "workload",
+            "heur dP%",
+            "heur W",
+            "mono dP%",
+            "mono W",
+            "MAMUT dP%",
+            "MAMUT W",
         ]
         .iter()
         .map(|s| s.to_string())

@@ -53,18 +53,24 @@ fn main() {
 
     // Windowed summary table (paper plots 0..500 frames).
     let mut table = Table::new(
-        ["frames", "fps", "psnr_db", "qp", "threads", "freq_ghz", "power_w"]
-            .iter()
-            .map(|s| s.to_string())
+        [
+            "frames", "fps", "psnr_db", "qp", "threads", "freq_ghz", "power_w",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+    );
+    table.set_alignments(
+        vec![Align::Left; 1]
+            .into_iter()
+            .chain(vec![Align::Right; 6])
             .collect(),
     );
-    table.set_alignments(vec![Align::Left; 1].into_iter().chain(vec![Align::Right; 6]).collect());
     let window = 25;
     for chunk in trace.rows().chunks(window) {
         let n = chunk.len() as f64;
-        let mean = |f: &dyn Fn(&mamut_metrics::TraceRow) -> f64| {
-            chunk.iter().map(|r| f(r)).sum::<f64>() / n
-        };
+        let mean =
+            |f: &dyn Fn(&mamut_metrics::TraceRow) -> f64| chunk.iter().map(f).sum::<f64>() / n;
         table.add_row(vec![
             format!(
                 "{}..{}",
@@ -80,7 +86,10 @@ fn main() {
         ]);
     }
 
-    println!("Figure 5 — MAMUT execution trace, one HR video ({} frames)", trace.len());
+    println!(
+        "Figure 5 — MAMUT execution trace, one HR video ({} frames)",
+        trace.len()
+    );
     println!("{table}");
     println!("full per-frame trace: {out}");
     let below: usize = trace.rows().iter().filter(|r| r.fps < 24.0).count();

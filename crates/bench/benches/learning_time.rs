@@ -15,14 +15,13 @@ use mamut_transcode::{homogeneous_sessions, MixSpec, ServerSim};
 
 /// Cumulative non-exploration share of a controller's decisions.
 fn exploit_share(ctl: &dyn mamut_core::Controller) -> f64 {
-    let (explore, exploit) =
-        if let Some(m) = ctl.as_any().downcast_ref::<MamutController>() {
-            (m.exploration_decisions(), m.exploitation_decisions())
-        } else if let Some(m) = ctl.as_any().downcast_ref::<MonoAgentController>() {
-            (m.exploration_decisions(), m.exploitation_decisions())
-        } else {
-            (0, 0)
-        };
+    let (explore, exploit) = if let Some(m) = ctl.as_any().downcast_ref::<MamutController>() {
+        (m.exploration_decisions(), m.exploitation_decisions())
+    } else if let Some(m) = ctl.as_any().downcast_ref::<MonoAgentController>() {
+        (m.exploration_decisions(), m.exploitation_decisions())
+    } else {
+        (0, 0)
+    };
     let total = explore + exploit;
     if total == 0 {
         0.0
@@ -31,7 +30,12 @@ fn exploit_share(ctl: &dyn mamut_core::Controller) -> f64 {
     }
 }
 
-fn frames_to_share(kind: ControllerKind, target_share: f64, horizon: u64, seed: u64) -> Option<u64> {
+fn frames_to_share(
+    kind: ControllerKind,
+    target_share: f64,
+    horizon: u64,
+    seed: u64,
+) -> Option<u64> {
     let mix = MixSpec::new(1, 1);
     let sessions = homogeneous_sessions(mix, horizon, seed);
     let mut server = ServerSim::with_default_platform();
@@ -82,10 +86,7 @@ fn main() {
                 .map(|r| r.map_or(format!(">{horizon}"), |f| f.to_string()))
                 .collect();
             let mean: Option<f64> = if results.iter().all(Option::is_some) {
-                Some(
-                    results.iter().map(|r| r.unwrap() as f64).sum::<f64>()
-                        / results.len() as f64,
-                )
+                Some(results.iter().map(|r| r.unwrap() as f64).sum::<f64>() / results.len() as f64)
             } else {
                 None
             };

@@ -7,16 +7,14 @@
 //! operation below must land well under that.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use mamut_core::{
-    Constraints, Controller, MamutConfig, MamutController, Observation, State,
-};
+use mamut_core::{Constraints, Controller, MamutConfig, MamutController, Observation, State};
 use mamut_encoder::{HevcEncoder, Preset};
 use mamut_transcode::{homogeneous_sessions, MixSpec, ServerSim};
 use mamut_video::{FrameInfo, Resolution};
 
 fn trained_controller() -> MamutController {
-    let mut ctl = MamutController::new(MamutConfig::paper_hr().with_seed(3))
-        .expect("paper config is valid");
+    let mut ctl =
+        MamutController::new(MamutConfig::paper_hr().with_seed(3)).expect("paper config is valid");
     let c = Constraints::paper_defaults();
     let mut obs = Observation {
         fps: 25.0,

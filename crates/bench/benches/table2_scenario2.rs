@@ -53,8 +53,6 @@ fn main() {
         table.add_row(cells);
     }
 
-    println!(
-        "Table II — Scenario II batches (initial + {followers} followers, {reps} seeds)"
-    );
+    println!("Table II — Scenario II batches (initial + {followers} followers, {reps} seeds)");
     println!("{table}");
 }

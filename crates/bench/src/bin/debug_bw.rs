@@ -4,18 +4,34 @@ use mamut_transcode::{homogeneous_sessions, MixSpec, ServerSim};
 
 fn main() {
     for w in [1.0, 2.0, 4.0] {
-        let loose = Constraints { bandwidth_mbps: 12.0, ..Constraints::paper_defaults() };
-        let cfg = MamutConfig::paper_hr().with_seed(21)
+        let loose = Constraints {
+            bandwidth_mbps: 12.0,
+            ..Constraints::paper_defaults()
+        };
+        let cfg = MamutConfig::paper_hr()
+            .with_seed(21)
             .with_constraints(loose)
-            .with_reward_weights(RewardWeights { psnr: w, ..Default::default() });
+            .with_reward_weights(RewardWeights {
+                psnr: w,
+                ..Default::default()
+            });
         let mut t = ServerSim::with_default_platform();
         for c in homogeneous_sessions(MixSpec::new(1, 0), 30_000, 71_021) {
-            t.add_session(c.with_constraints(loose), Box::new(MamutController::new(cfg.clone()).unwrap()));
+            t.add_session(
+                c.with_constraints(loose),
+                Box::new(MamutController::new(cfg.clone()).unwrap()),
+            );
         }
         t.run_to_completion(100_000_000).unwrap();
         let s = t.summary();
-        println!("psnr_w={w}: fps={:.1} delta={:.1}% psnr={:.1} br={:.2} nth={:.1} freq={:.2}",
-            s.sessions[0].mean_fps, s.sessions[0].violation_percent, s.sessions[0].mean_psnr_db,
-            s.sessions[0].mean_bitrate_mbps, s.sessions[0].mean_threads, s.sessions[0].mean_freq_ghz);
+        println!(
+            "psnr_w={w}: fps={:.1} delta={:.1}% psnr={:.1} br={:.2} nth={:.1} freq={:.2}",
+            s.sessions[0].mean_fps,
+            s.sessions[0].violation_percent,
+            s.sessions[0].mean_psnr_db,
+            s.sessions[0].mean_bitrate_mbps,
+            s.sessions[0].mean_threads,
+            s.sessions[0].mean_freq_ghz
+        );
     }
 }

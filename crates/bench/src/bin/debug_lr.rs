@@ -4,17 +4,32 @@ use mamut_transcode::{ServerSim, SessionConfig};
 use mamut_video::catalog;
 
 fn main() {
-    let spec = catalog::by_name("RaceHorses").unwrap().with_frame_count(30_000).unwrap();
+    let spec = catalog::by_name("RaceHorses")
+        .unwrap()
+        .with_frame_count(30_000)
+        .unwrap();
     let cfg = MamutConfig::paper_lr().with_seed(9);
     let mut srv = ServerSim::with_default_platform();
-    srv.add_session(SessionConfig::single_video(spec, 57_007), Box::new(MamutController::new(cfg).unwrap()));
+    srv.add_session(
+        SessionConfig::single_video(spec, 57_007),
+        Box::new(MamutController::new(cfg).unwrap()),
+    );
     srv.run_to_completion(50_000_000).unwrap();
     let sum = srv.summary();
-    println!("train: fps={:.1} delta={:.1}% nth={:.1} freq={:.2} qp(psnr)={:.1}",
-        sum.sessions[0].mean_fps, sum.sessions[0].violation_percent,
-        sum.sessions[0].mean_threads, sum.sessions[0].mean_freq_ghz, sum.sessions[0].mean_psnr_db);
+    println!(
+        "train: fps={:.1} delta={:.1}% nth={:.1} freq={:.2} qp(psnr)={:.1}",
+        sum.sessions[0].mean_fps,
+        sum.sessions[0].violation_percent,
+        sum.sessions[0].mean_threads,
+        sum.sessions[0].mean_freq_ghz,
+        sum.sessions[0].mean_psnr_db
+    );
     let s = srv.session(0).unwrap();
-    let m = s.controller().as_any().downcast_ref::<MamutController>().unwrap();
+    let m = s
+        .controller()
+        .as_any()
+        .downcast_ref::<MamutController>()
+        .unwrap();
     // dominant states: reconstruct plausible ones
     for fps_b in 0..2u8 {
         for psnr_b in 1..3u8 {
@@ -23,9 +38,18 @@ fn main() {
             for kind in AgentKind::ALL {
                 let ag = m.agent(kind);
                 let visits: u32 = (0..ag.n_actions()).map(|a| ag.visits(idx, a)).sum();
-                if visits == 0 { continue; }
-                let row: Vec<String> = (0..ag.n_actions()).map(|a| format!("{:.1}({})", ag.q_table().get(idx, a), ag.visits(idx, a))).collect();
-                println!("state(fps{},psnr{},br0,pow0) {kind}: {}", fps_b, psnr_b, row.join(" "));
+                if visits == 0 {
+                    continue;
+                }
+                let row: Vec<String> = (0..ag.n_actions())
+                    .map(|a| format!("{:.1}({})", ag.q_table().get(idx, a), ag.visits(idx, a)))
+                    .collect();
+                println!(
+                    "state(fps{},psnr{},br0,pow0) {kind}: {}",
+                    fps_b,
+                    psnr_b,
+                    row.join(" ")
+                );
             }
         }
     }

@@ -6,7 +6,11 @@ use mamut_transcode::{homogeneous_sessions, MixSpec, ServerSim};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let pretrain: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(30_000);
-    let plan = RunPlan { frames: 500, pretrain_frames: pretrain, max_events: 50_000_000 };
+    let plan = RunPlan {
+        frames: 500,
+        pretrain_frames: pretrain,
+        max_events: 50_000_000,
+    };
     for mix in [MixSpec::new(1, 0), MixSpec::new(1, 1), MixSpec::new(3, 3)] {
         println!("== mix {} (pretrain {}) ==", mix.label(), pretrain);
         for kind in ControllerKind::ALL {
@@ -14,9 +18,12 @@ fn main() {
             let reps = 5;
             for rep in 0..reps {
                 let s = mamut_bench::run_mix(kind, mix, plan, 1000 + rep * 7);
-                agg[0] += s.mean_power_w; agg[1] += s.mean_violation_percent();
-                agg[2] += s.mean_fps(); agg[3] += s.mean_threads();
-                agg[4] += s.mean_freq_ghz(); agg[5] += s.mean_psnr_db();
+                agg[0] += s.mean_power_w;
+                agg[1] += s.mean_violation_percent();
+                agg[2] += s.mean_fps();
+                agg[3] += s.mean_threads();
+                agg[4] += s.mean_freq_ghz();
+                agg[5] += s.mean_psnr_db();
             }
             let n = reps as f64;
             println!(
@@ -30,7 +37,12 @@ fn main() {
     let sessions = homogeneous_sessions(mix, pretrain, 92_000);
     let mut srv = ServerSim::with_default_platform();
     for (i, cfg) in sessions.into_iter().enumerate() {
-        let is_hr = cfg.playlist.get(0).unwrap().resolution().is_high_resolution();
+        let is_hr = cfg
+            .playlist
+            .get(0)
+            .unwrap()
+            .resolution()
+            .is_high_resolution();
         let c = cfg.constraints;
         srv.add_session(cfg, ControllerKind::Mamut.build(is_hr, c, i as u64));
     }
@@ -40,10 +52,17 @@ fn main() {
             let rep = m.maturity();
             println!("session {} ({}) maturity:", s.id(), s.name());
             for (k, am) in AgentKind::ALL.iter().zip(&rep.per_agent) {
-                println!("  {k}: visited={} exploiting={} decisions={}", am.visited_states, am.exploiting_states, am.decisions);
+                println!(
+                    "  {k}: visited={} exploiting={} decisions={}",
+                    am.visited_states, am.exploiting_states, am.decisions
+                );
             }
-            println!("  recent_exploit_frac={:.2} explore_decisions={} exploit_decisions={}",
-                m.recent_exploitation_fraction(), m.exploration_decisions(), m.exploitation_decisions());
+            println!(
+                "  recent_exploit_frac={:.2} explore_decisions={} exploit_decisions={}",
+                m.recent_exploitation_fraction(),
+                m.exploration_decisions(),
+                m.exploitation_decisions()
+            );
         }
     }
 }

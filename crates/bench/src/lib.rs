@@ -53,12 +53,7 @@ impl ControllerKind {
     }
 
     /// Builds a controller instance for one session.
-    pub fn build(
-        &self,
-        is_hr: bool,
-        constraints: Constraints,
-        seed: u64,
-    ) -> Box<dyn Controller> {
+    pub fn build(&self, is_hr: bool, constraints: Constraints, seed: u64) -> Box<dyn Controller> {
         match self {
             ControllerKind::Mamut => {
                 let cfg = if is_hr {
@@ -334,7 +329,7 @@ mod tests {
 
     #[test]
     fn formatting_helpers() {
-        assert_eq!(f1(3.14159), "3.1");
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f1(2.34567), "2.3");
+        assert_eq!(f2(2.34567), "2.35");
     }
 }

@@ -159,9 +159,7 @@ impl Agent {
     ) {
         self.transitions.record(state, action, next_state);
         self.action_counts[action] += 1;
-        let alpha = self
-            .alpha(state, action, peer_min_sum)
-            .min(1.0); // first visits can push Eq. 3 above 1; clamp for stability
+        let alpha = self.alpha(state, action, peer_min_sum).min(1.0); // first visits can push Eq. 3 above 1; clamp for stability
         let bootstrap = self.q.max_q(next_state);
         let target = reward + self.gamma * bootstrap;
         self.q.update(state, action, target, alpha);
@@ -258,7 +256,10 @@ mod tests {
         }
         let q = ag.q_table().get(0, 0);
         assert!(q > 1.2, "q = {q} should be well above the raw reward");
-        assert!(q <= 2.5 + 1e-9, "q = {q} must not overshoot the fixed point");
+        assert!(
+            q <= 2.5 + 1e-9,
+            "q = {q} must not overshoot the fixed point"
+        );
     }
 
     #[test]

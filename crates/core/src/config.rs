@@ -67,9 +67,18 @@ impl MamutConfig {
         MamutConfig {
             actions,
             schedules: [
-                AgentSchedule { period: 24, offset: 0 },
-                AgentSchedule { period: 12, offset: 1 },
-                AgentSchedule { period: 6, offset: 2 },
+                AgentSchedule {
+                    period: 24,
+                    offset: 0,
+                },
+                AgentSchedule {
+                    period: 12,
+                    offset: 1,
+                },
+                AgentSchedule {
+                    period: 6,
+                    offset: 2,
+                },
             ],
             gamma: 0.6,
             learning: LearningRateParams::paper_defaults(),
@@ -196,9 +205,27 @@ mod tests {
         let c = MamutConfig::paper_hr();
         assert_eq!(c.gamma, 0.6);
         assert_eq!(c.learning, LearningRateParams::paper_defaults());
-        assert_eq!(c.schedules[0], AgentSchedule { period: 24, offset: 0 });
-        assert_eq!(c.schedules[1], AgentSchedule { period: 12, offset: 1 });
-        assert_eq!(c.schedules[2], AgentSchedule { period: 6, offset: 2 });
+        assert_eq!(
+            c.schedules[0],
+            AgentSchedule {
+                period: 24,
+                offset: 0
+            }
+        );
+        assert_eq!(
+            c.schedules[1],
+            AgentSchedule {
+                period: 12,
+                offset: 1
+            }
+        );
+        assert_eq!(
+            c.schedules[2],
+            AgentSchedule {
+                period: 6,
+                offset: 2
+            }
+        );
         assert!(c.null_averaging);
         assert!(c.cooperative_lookahead);
     }
@@ -241,9 +268,18 @@ mod tests {
     fn colliding_schedules_rejected_by_validate() {
         let mut c = MamutConfig::paper_hr();
         c.schedules = [
-            AgentSchedule { period: 6, offset: 0 },
-            AgentSchedule { period: 6, offset: 0 },
-            AgentSchedule { period: 6, offset: 2 },
+            AgentSchedule {
+                period: 6,
+                offset: 0,
+            },
+            AgentSchedule {
+                period: 6,
+                offset: 0,
+            },
+            AgentSchedule {
+                period: 6,
+                offset: 2,
+            },
         ];
         assert!(c.validate().is_err());
     }

@@ -6,8 +6,8 @@ use rand::{Rng, SeedableRng};
 use crate::observation::ObservationAccumulator;
 use crate::reward::total_reward;
 use crate::{
-    exploitation, Agent, AgentKind, Constraints, Controller, CoreError, KnobSettings,
-    MamutConfig, Observation, Phase, Sequencer, State, STATE_COUNT,
+    exploitation, Agent, AgentKind, Constraints, Controller, CoreError, KnobSettings, MamutConfig,
+    Observation, Phase, Sequencer, State, STATE_COUNT,
 };
 
 /// A decision awaiting its outcome: agent `agent` took `action` in `state`
@@ -191,7 +191,11 @@ impl MamutController {
                         .copied()
                         .filter(|&a| self.agents[actor].visits(state, a) == 0)
                         .collect();
-                    let pool = if untried.is_empty() { &immature } else { &untried };
+                    let pool = if untried.is_empty() {
+                        &immature
+                    } else {
+                        &untried
+                    };
                     pool[self.rng.gen_range(0..pool.len())]
                 }
             }
@@ -421,8 +425,7 @@ mod tests {
         let mut actions_a = Vec::new();
         let mut actions_b = Vec::new();
         for (seed, log) in [(1u64, &mut actions_a), (2u64, &mut actions_b)] {
-            let mut ctl =
-                MamutController::new(MamutConfig::paper_hr().with_seed(seed)).unwrap();
+            let mut ctl = MamutController::new(MamutConfig::paper_hr().with_seed(seed)).unwrap();
             for f in 0..200 {
                 if let Some(k) = ctl.begin_frame(f, &obs(24.0), &c) {
                     log.push(k);

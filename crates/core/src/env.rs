@@ -18,7 +18,12 @@ use crate::{Constraints, KnobSettings, Observation};
 /// Implementations in this workspace: [`MamutController`](crate::MamutController)
 /// (the paper's system), plus the mono-agent Q-learning, heuristic and
 /// static baselines in `mamut-baselines`.
-pub trait Controller: std::any::Any {
+///
+/// `Send` is a supertrait so sessions (and the servers that own them) can
+/// be advanced on worker threads — the fleet simulator runs one node per
+/// thread within an epoch. Controllers are still driven from one thread
+/// at a time; they only need to be movable across threads.
+pub trait Controller: std::any::Any + Send {
     /// Short human-readable name for reports ("mamut", "heuristic", …).
     fn name(&self) -> &str;
 
@@ -119,7 +124,10 @@ mod tests {
         let c0 = c.begin_frame(0, &obs(), &Constraints::paper_defaults());
         assert_eq!(c0, Some(knobs));
         for f in 1..10 {
-            assert_eq!(c.begin_frame(f, &obs(), &Constraints::paper_defaults()), None);
+            assert_eq!(
+                c.begin_frame(f, &obs(), &Constraints::paper_defaults()),
+                None
+            );
             c.end_frame(f, &obs(), &Constraints::paper_defaults());
         }
         assert_eq!(c.knobs(), knobs);

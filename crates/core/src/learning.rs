@@ -90,8 +90,7 @@ impl LearningRateParams {
         if num_sa == 0 {
             return f64::INFINITY;
         }
-        self.beta / f64::from(num_sa)
-            + self.beta_prime / (1.0 + f64::from(peer_min_sum))
+        self.beta / f64::from(num_sa) + self.beta_prime / (1.0 + f64::from(peer_min_sum))
     }
 
     /// Classifies a single α against the two thresholds.

@@ -62,7 +62,7 @@ impl PolicySnapshot {
                 greedy_q: ag.q_table().get(idx, greedy),
             });
         }
-        entries.sort_by(|a, b| b.visits.cmp(&a.visits));
+        entries.sort_by_key(|e| std::cmp::Reverse(e.visits));
         PolicySnapshot { agent, entries }
     }
 

@@ -98,9 +98,18 @@ impl Sequencer {
     /// 12 (offset 1), DVFS every 6 (offset 2) — §III-B(d).
     pub fn paper_defaults() -> Self {
         Sequencer::new(vec![
-            AgentSchedule { period: 24, offset: 0 },
-            AgentSchedule { period: 12, offset: 1 },
-            AgentSchedule { period: 6, offset: 2 },
+            AgentSchedule {
+                period: 24,
+                offset: 0,
+            },
+            AgentSchedule {
+                period: 12,
+                offset: 1,
+            },
+            AgentSchedule {
+                period: 6,
+                offset: 2,
+            },
         ])
         .expect("paper schedules are collision-free")
     }
@@ -211,8 +220,14 @@ mod tests {
     #[test]
     fn colliding_schedules_rejected() {
         let err = Sequencer::new(vec![
-            AgentSchedule { period: 4, offset: 0 },
-            AgentSchedule { period: 8, offset: 4 },
+            AgentSchedule {
+                period: 4,
+                offset: 0,
+            },
+            AgentSchedule {
+                period: 8,
+                offset: 4,
+            },
         ]);
         assert!(err.is_err());
     }
@@ -220,8 +235,14 @@ mod tests {
     #[test]
     fn disjoint_schedules_accepted() {
         let seq = Sequencer::new(vec![
-            AgentSchedule { period: 4, offset: 0 },
-            AgentSchedule { period: 4, offset: 1 },
+            AgentSchedule {
+                period: 4,
+                offset: 0,
+            },
+            AgentSchedule {
+                period: 4,
+                offset: 1,
+            },
         ])
         .unwrap();
         assert_eq!(seq.n_agents(), 2);
@@ -242,8 +263,14 @@ mod tests {
     fn chain_is_bounded_by_agent_count() {
         // Every frame has an agent: the chain must not loop forever.
         let seq = Sequencer::new(vec![
-            AgentSchedule { period: 2, offset: 0 },
-            AgentSchedule { period: 2, offset: 1 },
+            AgentSchedule {
+                period: 2,
+                offset: 0,
+            },
+            AgentSchedule {
+                period: 2,
+                offset: 1,
+            },
         ])
         .unwrap();
         assert_eq!(seq.chain_after(0).len(), 2);
@@ -252,7 +279,19 @@ mod tests {
     #[test]
     fn schedule_accessor() {
         let seq = Sequencer::paper_defaults();
-        assert_eq!(seq.schedule(0), AgentSchedule { period: 24, offset: 0 });
-        assert_eq!(seq.schedule(2), AgentSchedule { period: 6, offset: 2 });
+        assert_eq!(
+            seq.schedule(0),
+            AgentSchedule {
+                period: 24,
+                offset: 0
+            }
+        );
+        assert_eq!(
+            seq.schedule(2),
+            AgentSchedule {
+                period: 6,
+                offset: 2
+            }
+        );
     }
 }

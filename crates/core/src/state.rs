@@ -257,12 +257,12 @@ mod tests {
 
     #[test]
     fn index_round_trips_for_all_states() {
-        let mut seen = vec![false; STATE_COUNT];
-        for i in 0..STATE_COUNT {
+        let mut seen = [false; STATE_COUNT];
+        for (i, slot) in seen.iter_mut().enumerate() {
             let s = State::from_index(i).unwrap();
             assert_eq!(s.index(), i);
-            assert!(!seen[i], "index {i} duplicated");
-            seen[i] = true;
+            assert!(!*slot, "index {i} duplicated");
+            *slot = true;
         }
         assert!(State::from_index(STATE_COUNT).is_none());
     }

@@ -157,7 +157,13 @@ impl HevcEncoder {
     ///
     /// `rate = freq·threads·wpp_efficiency`; used by the Fig. 2
     /// characterization bench and by capacity planning in examples.
-    pub fn throughput_fps(&self, qp: u8, frame: &FrameInfo, threads: u32, freq_ghz: f64) -> Result<f64, EncoderError> {
+    pub fn throughput_fps(
+        &self,
+        qp: u8,
+        frame: &FrameInfo,
+        threads: u32,
+        freq_ghz: f64,
+    ) -> Result<f64, EncoderError> {
         if threads == 0 {
             return Err(EncoderError::ZeroThreads);
         }

@@ -165,7 +165,10 @@ mod tests {
 
     #[test]
     fn paper_resolution_mapping() {
-        assert_eq!(Preset::for_resolution(Resolution::FULL_HD), Preset::Ultrafast);
+        assert_eq!(
+            Preset::for_resolution(Resolution::FULL_HD),
+            Preset::Ultrafast
+        );
         assert_eq!(Preset::for_resolution(Resolution::WVGA), Preset::Slow);
     }
 

@@ -55,11 +55,10 @@ pub(crate) fn psnr_db(
 ) -> f64 {
     let pixels = resolution.pixel_count() as f64;
     let octaves_smaller = (REF_PIXELS / pixels).log2().max(0.0);
-    let value = p.base_db
-        + preset.psnr_offset_db()
-        + p.resolution_bonus_per_octave * octaves_smaller
-        - p.qp_slope * (f64::from(qp) - 32.0)
-        - p.content_penalty * (complexity - 1.0);
+    let value =
+        p.base_db + preset.psnr_offset_db() + p.resolution_bonus_per_octave * octaves_smaller
+            - p.qp_slope * (f64::from(qp) - 32.0)
+            - p.content_penalty * (complexity - 1.0);
     value.clamp(p.floor_db, p.ceil_db)
 }
 

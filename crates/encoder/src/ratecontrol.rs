@@ -97,8 +97,7 @@ mod tests {
         // The paper's bitrate states split at 3 and 6 Mb/s; the QP action
         // set must be able to land an HR stream in each band.
         let p = params();
-        let rate =
-            |qp| bitrate_mbps(&p, Resolution::FULL_HD, Preset::Ultrafast, qp, 1.0);
+        let rate = |qp| bitrate_mbps(&p, Resolution::FULL_HD, Preset::Ultrafast, qp, 1.0);
         assert!(rate(22) > 6.0);
         assert!(rate(32) > 3.0 && rate(32) < 6.0);
         assert!(rate(37) < 3.0);

@@ -145,10 +145,7 @@ mod tests {
 
     #[test]
     fn speedup_at_uses_ctu_grid() {
-        assert_eq!(
-            speedup_at(Resolution::FULL_HD, 10),
-            speedup(17, 30, 10)
-        );
+        assert_eq!(speedup_at(Resolution::FULL_HD, 10), speedup(17, 30, 10));
         assert_eq!(speedup_at(Resolution::WVGA, 4), speedup(8, 13, 4));
     }
 }

@@ -1,0 +1,75 @@
+use mamut_transcode::TranscodeError;
+
+/// Errors from fleet construction and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// `run` was called on a fleet with no nodes.
+    NoNodes,
+    /// The epoch budget elapsed before the workload drained (a guard
+    /// against dispatch policies that can never place a queued session).
+    EpochBudgetExhausted {
+        /// Epochs simulated before giving up.
+        epochs: u64,
+    },
+    /// A node's simulator failed while advancing an epoch.
+    Node {
+        /// The failing node's id.
+        node: usize,
+        /// The underlying simulator error.
+        source: TranscodeError,
+    },
+    /// A configuration value was out of range.
+    InvalidConfig(String),
+    /// The dispatch policy returned a node id the fleet does not have.
+    InvalidDispatch {
+        /// The offending node id.
+        node: usize,
+        /// How many nodes the fleet has.
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::NoNodes => write!(f, "fleet has no nodes"),
+            FleetError::EpochBudgetExhausted { epochs } => {
+                write!(f, "epoch budget exhausted after {epochs} epochs")
+            }
+            FleetError::Node { node, source } => {
+                write!(f, "node {node} failed: {source}")
+            }
+            FleetError::InvalidConfig(msg) => write!(f, "invalid fleet config: {msg}"),
+            FleetError::InvalidDispatch { node, nodes } => write!(
+                f,
+                "dispatcher assigned node {node} but the fleet has {nodes} nodes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Node { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(FleetError::NoNodes.to_string(), "fleet has no nodes");
+        let e = FleetError::Node {
+            node: 3,
+            source: TranscodeError::NoSessions,
+        };
+        assert!(e.to_string().contains("node 3"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

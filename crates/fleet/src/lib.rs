@@ -1,0 +1,75 @@
+//! Multi-node fleet simulation for MAMUT: session churn, dispatch
+//! policies, and parallel node execution.
+//!
+//! The paper evaluates one dual-Xeon server; serving "heavy traffic from
+//! millions of users" is a *fleet* problem — many such servers behind a
+//! dispatcher, with users joining and leaving continuously (the framing
+//! of the KaaS follow-up to MAMUT and of Fu & van der Schaar's
+//! multi-user QoS work). This crate composes the single-server pieces
+//! into that layer:
+//!
+//! * [`Workload`] — seeded session-churn generator (Poisson-like
+//!   arrivals, HR/LR mix, live vs. VOD duration profiles) plus replay of
+//!   explicit arrival traces;
+//! * [`Dispatcher`] — placement policies: [`RoundRobin`],
+//!   [`LeastLoaded`], [`PowerAware`], and [`AdmissionGated`] (which
+//!   reuses the single-server admission planner to refuse or queue
+//!   sessions a node cannot fit);
+//! * [`FleetSim`] — the epoch loop: dispatch at boundaries, advance all
+//!   nodes **in parallel across OS threads** (nodes are independent
+//!   within an epoch, so results are identical for any worker count),
+//!   with per-node controller factories so MAMUT, mono-agent and
+//!   heuristic nodes can be mixed in one cluster;
+//! * [`FleetSummary`] — per-node and cluster-wide ∆, power, energy,
+//!   rejected/queued counts and a utilization histogram, built on
+//!   `mamut_metrics::fleet`.
+//!
+//! # Example
+//!
+//! ```
+//! use mamut_core::{FixedController, KnobSettings};
+//! use mamut_fleet::{
+//!     FleetConfig, FleetSim, LeastLoaded, Workload, WorkloadConfig,
+//! };
+//!
+//! let workload = Workload::generate(&WorkloadConfig {
+//!     sessions: 6,
+//!     vod_frames: (24, 48),
+//!     live_frames: (48, 96),
+//!     ..WorkloadConfig::default()
+//! });
+//! let mut fleet = FleetSim::new(
+//!     FleetConfig::default(),
+//!     Box::new(LeastLoaded::new()),
+//!     workload,
+//! );
+//! for _ in 0..2 {
+//!     fleet.add_node(Box::new(|req| {
+//!         let threads = if req.hr { 10 } else { 4 };
+//!         Box::new(FixedController::new(KnobSettings::new(32, threads, 2.9)))
+//!     }));
+//! }
+//! let summary = fleet.run().unwrap();
+//! assert_eq!(summary.total_sessions, 6);
+//! println!("{summary}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dispatch;
+mod error;
+mod node;
+mod sim;
+mod summary;
+mod workload;
+
+pub use dispatch::{
+    AdmissionGated, DispatchDecision, Dispatcher, GateMode, LeastLoaded, NodeSnapshot, PowerAware,
+    RoundRobin,
+};
+pub use error::FleetError;
+pub use node::{ControllerFactory, FleetNode};
+pub use sim::{FleetConfig, FleetSim};
+pub use summary::{FleetSummary, NodeReport};
+pub use workload::{SessionRequest, Workload, WorkloadConfig};

@@ -1,0 +1,202 @@
+//! One fleet node: a [`ServerSim`] plus the bookkeeping a dispatcher
+//! needs (planning shapes of resident sessions, admission counters) and
+//! the per-node controller factory that decides which run-time manager —
+//! MAMUT, mono-agent, heuristic, fixed — drives sessions placed here.
+
+use mamut_core::Controller;
+use mamut_platform::Platform;
+use mamut_transcode::{RunSummary, ServerSim, StreamShape, TranscodeError};
+
+use crate::dispatch::NodeSnapshot;
+use crate::workload::SessionRequest;
+
+/// Builds a controller for a session arriving at this node.
+///
+/// Boxed and `Send` so nodes can move to worker threads between epochs.
+/// Different nodes may use different factories — that is how a fleet
+/// mixes MAMUT nodes with baseline-controlled ones in one run.
+pub type ControllerFactory = Box<dyn Fn(&SessionRequest) -> Box<dyn Controller> + Send>;
+
+/// One server in the fleet.
+pub struct FleetNode {
+    id: usize,
+    server: ServerSim,
+    factory: ControllerFactory,
+    power_cap_w: f64,
+    /// `(session id, planning shape)` of admitted sessions; pruned of
+    /// finished sessions at snapshot time.
+    shapes: Vec<(usize, StreamShape)>,
+    sessions_admitted: u64,
+}
+
+impl std::fmt::Debug for FleetNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetNode")
+            .field("id", &self.id)
+            .field("sessions_admitted", &self.sessions_admitted)
+            .field("time", &self.server.time())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetNode {
+    /// Creates a node over `platform` with a power budget and a factory.
+    pub fn new(
+        id: usize,
+        platform: Platform,
+        power_cap_w: f64,
+        factory: ControllerFactory,
+    ) -> Self {
+        FleetNode {
+            id,
+            server: ServerSim::new(platform),
+            factory,
+            power_cap_w,
+            shapes: Vec::new(),
+            sessions_admitted: 0,
+        }
+    }
+
+    /// Node id (index in the fleet).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The underlying server simulator.
+    pub fn server(&self) -> &ServerSim {
+        &self.server
+    }
+
+    /// Sessions admitted over the node's lifetime.
+    pub fn sessions_admitted(&self) -> u64 {
+        self.sessions_admitted
+    }
+
+    /// Admits a session: builds its controller through the node's factory
+    /// and registers it with the server. Returns the session id.
+    pub fn admit(&mut self, request: &SessionRequest) -> usize {
+        let controller = (self.factory)(request);
+        let sid = self
+            .server
+            .add_session(request.session_config(), controller);
+        self.shapes
+            .push((sid, StreamShape::for_spec(&request.spec())));
+        self.sessions_admitted += 1;
+        sid
+    }
+
+    /// The dispatcher's view of this node right now.
+    pub fn snapshot(&mut self) -> NodeSnapshot {
+        self.shapes.retain(|(sid, _)| {
+            self.server
+                .session(*sid)
+                .map(|s| !s.is_finished())
+                .unwrap_or(false)
+        });
+        let load = self.server.load();
+        let planned_threads = self.shapes.iter().map(|(_, s)| s.knobs.threads).sum();
+        NodeSnapshot {
+            node_id: self.id,
+            active_sessions: load.active_sessions,
+            threads_demanded: load.threads_demanded,
+            planned_threads,
+            hw_threads: load.hw_threads,
+            power_w: load.power_w,
+            power_cap_w: self.power_cap_w,
+            resident_shapes: self.shapes.iter().map(|(_, s)| s.clone()).collect(),
+        }
+    }
+
+    /// Advances the node's virtual clock to `until`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TranscodeError::EventBudgetExhausted`] from the server.
+    pub fn run_epoch(&mut self, until: f64, max_events: u64) -> Result<u64, TranscodeError> {
+        self.server.run_epoch(until, max_events)
+    }
+
+    /// Whether every admitted session has finished.
+    pub fn all_finished(&self) -> bool {
+        self.server.all_finished()
+    }
+
+    /// Per-session results measured so far.
+    pub fn summary(&self) -> RunSummary {
+        self.server.summary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mamut_core::{FixedController, KnobSettings};
+
+    fn fixed_factory() -> ControllerFactory {
+        Box::new(|req| {
+            let threads = if req.hr { 10 } else { 4 };
+            Box::new(FixedController::new(KnobSettings::new(32, threads, 2.9)))
+        })
+    }
+
+    fn request(id: u64, hr: bool, frames: u64) -> SessionRequest {
+        SessionRequest {
+            id,
+            arrival_s: 0.0,
+            hr,
+            live: false,
+            frames,
+            seed: id,
+        }
+    }
+
+    fn node() -> FleetNode {
+        FleetNode::new(0, Platform::xeon_e5_2667_v4(), 110.0, fixed_factory())
+    }
+
+    #[test]
+    fn admit_registers_sessions_and_shapes() {
+        let mut n = node();
+        n.admit(&request(1, true, 50));
+        n.admit(&request(2, false, 50));
+        assert_eq!(n.sessions_admitted(), 2);
+        let snap = n.snapshot();
+        assert_eq!(snap.active_sessions, 2);
+        assert_eq!(snap.resident_shapes.len(), 2);
+        assert_eq!(snap.power_cap_w, 110.0);
+    }
+
+    #[test]
+    fn snapshot_prunes_finished_sessions() {
+        let mut n = node();
+        n.admit(&request(1, false, 5));
+        n.run_epoch(60.0, 1_000_000).unwrap();
+        assert!(n.all_finished());
+        let snap = n.snapshot();
+        assert_eq!(snap.active_sessions, 0);
+        assert!(snap.resident_shapes.is_empty());
+        assert_eq!(n.sessions_admitted(), 1, "lifetime count survives churn");
+    }
+
+    #[test]
+    fn factory_decides_per_request() {
+        let mut n = node();
+        n.admit(&request(1, true, 30));
+        n.run_epoch(0.2, 1_000_000).unwrap();
+        let snap = n.snapshot();
+        assert_eq!(snap.threads_demanded, 10, "HR factory knobs in force");
+    }
+
+    #[test]
+    fn epochs_advance_the_clock_monotonically() {
+        let mut n = node();
+        n.admit(&request(1, false, 2_000));
+        n.run_epoch(1.0, 1_000_000).unwrap();
+        assert_eq!(n.server().time(), 1.0);
+        n.run_epoch(2.5, 1_000_000).unwrap();
+        assert_eq!(n.server().time(), 2.5);
+        let s = n.summary();
+        assert_eq!(s.sessions.len(), 1);
+        assert!(s.sessions[0].frames > 0);
+    }
+}

@@ -1,0 +1,410 @@
+//! The fleet event loop: dispatch arrivals at epoch boundaries, advance
+//! every node through the epoch in parallel, aggregate fleet metrics.
+//!
+//! # Time model
+//!
+//! Virtual time advances in fixed-length epochs. At each boundary the
+//! coordinator (one thread) drains due arrivals through the dispatch
+//! policy — queued leftovers first, FIFO — then hands the nodes to a
+//! scoped thread pool that advances each one to the next boundary.
+//! Within an epoch nodes are independent (a session placed at a
+//! boundary starts at that boundary; nothing migrates mid-epoch), so
+//! node advancement is embarrassingly parallel and, crucially,
+//! **deterministic regardless of worker count**: every node computes
+//! exactly the same event sequence whether the fleet runs on 1 thread
+//! or 16, and aggregation always folds nodes in id order.
+
+use std::collections::VecDeque;
+
+use mamut_metrics::fleet::FleetAggregate;
+use mamut_platform::Platform;
+
+use crate::dispatch::{DispatchDecision, Dispatcher};
+use crate::error::FleetError;
+use crate::node::{ControllerFactory, FleetNode};
+use crate::summary::FleetSummary;
+use crate::workload::{SessionRequest, Workload};
+
+/// Fleet-level simulation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Epoch length (virtual seconds); arrivals quantize up to the next
+    /// boundary (admitted slightly late, never before they arrive).
+    pub epoch_s: f64,
+    /// OS worker threads advancing nodes within an epoch (clamped to
+    /// `[1, nodes]`). Results do not depend on this value.
+    pub worker_threads: usize,
+    /// Per-node power budget (W) exposed to power-aware dispatch.
+    pub power_cap_w: f64,
+    /// Guard: max completions one node may process per epoch.
+    pub max_events_per_epoch: u64,
+    /// Guard: max epochs before the run is declared stuck.
+    pub max_epochs: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            epoch_s: 1.0,
+            worker_threads: 4,
+            power_cap_w: 120.0,
+            max_events_per_epoch: 10_000_000,
+            max_epochs: 100_000,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Overrides the worker-thread count.
+    pub fn with_worker_threads(mut self, workers: usize) -> Self {
+        self.worker_threads = workers;
+        self
+    }
+
+    /// Overrides the epoch length.
+    pub fn with_epoch_s(mut self, epoch_s: f64) -> Self {
+        self.epoch_s = epoch_s;
+        self
+    }
+}
+
+/// A cluster of transcoding nodes behind one dispatcher.
+pub struct FleetSim {
+    config: FleetConfig,
+    dispatcher: Box<dyn Dispatcher>,
+    nodes: Vec<FleetNode>,
+    pending: VecDeque<SessionRequest>,
+    queued: VecDeque<SessionRequest>,
+    aggregate: FleetAggregate,
+    epoch: u64,
+}
+
+impl std::fmt::Debug for FleetSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetSim")
+            .field("nodes", &self.nodes.len())
+            .field("epoch", &self.epoch)
+            .field("pending", &self.pending.len())
+            .field("queued", &self.queued.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetSim {
+    /// Creates a fleet over `workload` with a dispatch policy. Nodes are
+    /// added afterwards with [`FleetSim::add_node`].
+    pub fn new(config: FleetConfig, dispatcher: Box<dyn Dispatcher>, workload: Workload) -> Self {
+        FleetSim {
+            config,
+            dispatcher,
+            pending: workload.arrivals().to_vec().into(),
+            queued: VecDeque::new(),
+            nodes: Vec::new(),
+            aggregate: FleetAggregate::default(),
+            epoch: 0,
+        }
+    }
+
+    /// Adds a node on the paper's default platform. The factory decides
+    /// which controller drives each session placed on this node — mixing
+    /// factories across nodes mixes run-time managers across the fleet.
+    pub fn add_node(&mut self, factory: ControllerFactory) -> usize {
+        self.add_node_on(Platform::xeon_e5_2667_v4(), factory)
+    }
+
+    /// Adds a node on an explicit platform model.
+    pub fn add_node_on(&mut self, platform: Platform, factory: ControllerFactory) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(FleetNode::new(
+            id,
+            platform,
+            self.config.power_cap_w,
+            factory,
+        ));
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The nodes, in id order.
+    pub fn nodes(&self) -> &[FleetNode] {
+        &self.nodes
+    }
+
+    /// Runs the whole workload to completion: every arrival dispatched
+    /// (or rejected), every admitted session transcoded to the end.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::NoNodes`] without nodes; [`FleetError::Node`] if a
+    /// node's simulator trips its event budget;
+    /// [`FleetError::EpochBudgetExhausted`] if the workload cannot drain
+    /// (e.g. a gating policy queues a session no node can ever fit).
+    pub fn run(&mut self) -> Result<FleetSummary, FleetError> {
+        if self.nodes.is_empty() {
+            return Err(FleetError::NoNodes);
+        }
+        if !(self.config.epoch_s.is_finite() && self.config.epoch_s > 0.0) {
+            return Err(FleetError::InvalidConfig(format!(
+                "epoch_s must be positive, got {}",
+                self.config.epoch_s
+            )));
+        }
+        self.aggregate = FleetAggregate::new(self.nodes.len());
+        loop {
+            let epoch_start = self.epoch as f64 * self.config.epoch_s;
+            let boundary = (self.epoch + 1) as f64 * self.config.epoch_s;
+            self.dispatch_due(epoch_start)?;
+            // Utilization is sampled after placement, before advancement:
+            // it describes the demand each node carries *through* the
+            // epoch being simulated.
+            let utilizations: Vec<f64> = self
+                .nodes
+                .iter_mut()
+                .map(|n| n.snapshot().utilization())
+                .collect();
+            self.advance_nodes(boundary)?;
+            for (id, util) in utilizations.into_iter().enumerate() {
+                let node = &self.nodes[id];
+                let server = node.server();
+                let (frames, violations) =
+                    server.sessions().iter().fold((0u64, 0u64), |(f, v), s| {
+                        (f + s.qos().frames(), v + s.qos().violations())
+                    });
+                self.aggregate.record_node_epoch(
+                    id,
+                    frames,
+                    violations,
+                    server.sensor().total_energy_j(),
+                    server.time(),
+                    util,
+                );
+            }
+            self.epoch += 1;
+            let drained = self.pending.is_empty() && self.queued.is_empty();
+            if drained && self.nodes.iter().all(FleetNode::all_finished) {
+                break;
+            }
+            if self.epoch >= self.config.max_epochs {
+                return Err(FleetError::EpochBudgetExhausted { epochs: self.epoch });
+            }
+        }
+        let sessions: Vec<u64> = self
+            .nodes
+            .iter()
+            .map(FleetNode::sessions_admitted)
+            .collect();
+        Ok(FleetSummary::assemble(
+            self.dispatcher.name().to_owned(),
+            self.epoch,
+            self.epoch as f64 * self.config.epoch_s,
+            &sessions,
+            &self.aggregate,
+            self.nodes.iter().map(FleetNode::summary).collect(),
+        ))
+    }
+
+    /// Routes queued leftovers and arrivals due by `now` (an epoch start)
+    /// through the dispatch policy. Arrivals quantize *up*: a session
+    /// arriving mid-epoch is admitted at the next boundary — slightly
+    /// late, never before it exists (placement must stay causal for the
+    /// policy comparisons to mean anything).
+    fn dispatch_due(&mut self, now: f64) -> Result<(), FleetError> {
+        let mut due: Vec<SessionRequest> = self.queued.drain(..).collect();
+        while self.pending.front().is_some_and(|r| r.arrival_s <= now) {
+            due.push(self.pending.pop_front().expect("front checked"));
+        }
+        for request in due {
+            // Fresh snapshots per request so consecutive placements in
+            // one epoch see each other's load.
+            let snapshots: Vec<_> = self.nodes.iter_mut().map(FleetNode::snapshot).collect();
+            match self.dispatcher.dispatch(&request, &snapshots) {
+                DispatchDecision::Assign(id) if id < self.nodes.len() => {
+                    self.nodes[id].admit(&request);
+                }
+                DispatchDecision::Assign(id) => {
+                    // A policy bug, not a capacity rejection — surface it.
+                    return Err(FleetError::InvalidDispatch {
+                        node: id,
+                        nodes: self.nodes.len(),
+                    });
+                }
+                DispatchDecision::Reject => {
+                    self.aggregate.record_rejection();
+                }
+                DispatchDecision::Queue => {
+                    self.aggregate.record_queued_wait();
+                    self.queued.push_back(request);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances every node to `boundary`, fanning nodes out over scoped
+    /// OS threads. Nodes are partitioned into contiguous chunks; each
+    /// worker advances its chunk sequentially. Since nodes share nothing
+    /// within an epoch, the partition affects wall-clock time only.
+    fn advance_nodes(&mut self, boundary: f64) -> Result<(), FleetError> {
+        let workers = self.config.worker_threads.clamp(1, self.nodes.len());
+        let chunk_len = self.nodes.len().div_ceil(workers);
+        let max_events = self.config.max_events_per_epoch;
+        let failures: Vec<(usize, mamut_transcode::TranscodeError)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .nodes
+                .chunks_mut(chunk_len)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut errs = Vec::new();
+                        for node in chunk {
+                            if let Err(e) = node.run_epoch(boundary, max_events) {
+                                errs.push((node.id(), e));
+                            }
+                        }
+                        errs
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("fleet worker thread panicked"))
+                .collect()
+        });
+        match failures.into_iter().next() {
+            Some((node, source)) => Err(FleetError::Node { node, source }),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::{LeastLoaded, NodeSnapshot, RoundRobin};
+    use crate::workload::WorkloadConfig;
+    use mamut_core::{FixedController, KnobSettings};
+
+    fn fixed_factory() -> ControllerFactory {
+        Box::new(|req| {
+            let threads = if req.hr { 10 } else { 4 };
+            Box::new(FixedController::new(KnobSettings::new(32, threads, 2.9)))
+        })
+    }
+
+    fn small_workload(seed: u64) -> Workload {
+        Workload::generate(&WorkloadConfig {
+            seed,
+            sessions: 8,
+            mean_interarrival_s: 1.0,
+            vod_frames: (30, 90),
+            live_frames: (90, 180),
+            ..WorkloadConfig::default()
+        })
+    }
+
+    fn fleet(nodes: usize, workers: usize, dispatcher: Box<dyn Dispatcher>) -> FleetSim {
+        let mut sim = FleetSim::new(
+            FleetConfig::default().with_worker_threads(workers),
+            dispatcher,
+            small_workload(11),
+        );
+        for _ in 0..nodes {
+            sim.add_node(fixed_factory());
+        }
+        sim
+    }
+
+    #[test]
+    fn no_nodes_errors() {
+        let mut sim = FleetSim::new(
+            FleetConfig::default(),
+            Box::new(RoundRobin::new()),
+            small_workload(1),
+        );
+        assert_eq!(sim.run().unwrap_err(), FleetError::NoNodes);
+    }
+
+    #[test]
+    fn bad_epoch_errors() {
+        let mut sim = FleetSim::new(
+            FleetConfig {
+                epoch_s: 0.0,
+                ..FleetConfig::default()
+            },
+            Box::new(RoundRobin::new()),
+            small_workload(1),
+        );
+        sim.add_node(fixed_factory());
+        assert!(matches!(
+            sim.run().unwrap_err(),
+            FleetError::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn out_of_range_assignment_surfaces_the_policy_bug() {
+        struct OffByOne;
+        impl Dispatcher for OffByOne {
+            fn name(&self) -> &'static str {
+                "off-by-one"
+            }
+            fn dispatch(
+                &mut self,
+                _request: &SessionRequest,
+                nodes: &[NodeSnapshot],
+            ) -> DispatchDecision {
+                DispatchDecision::Assign(nodes.len())
+            }
+        }
+        let mut sim = fleet(2, 1, Box::new(OffByOne));
+        assert_eq!(
+            sim.run().unwrap_err(),
+            FleetError::InvalidDispatch { node: 2, nodes: 2 }
+        );
+    }
+
+    #[test]
+    fn every_arrival_lands_and_finishes() {
+        let mut sim = fleet(3, 2, Box::new(RoundRobin::new()));
+        let summary = sim.run().unwrap();
+        assert_eq!(summary.total_sessions + summary.rejected_sessions, 8);
+        assert_eq!(summary.rejected_sessions, 0, "round robin rejects nobody");
+        assert!(summary.total_frames > 0);
+        assert!(summary.epochs > 0);
+        assert!(sim.nodes().iter().all(FleetNode::all_finished));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let run = |workers: usize| {
+            fleet(4, workers, Box::new(LeastLoaded::new()))
+                .run()
+                .unwrap()
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(4));
+        assert_eq!(one, run(9));
+    }
+
+    #[test]
+    fn same_seed_same_summary() {
+        let run = || fleet(2, 2, Box::new(RoundRobin::new())).run().unwrap();
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn nodes_idle_along_with_their_busy_peers() {
+        // One node serves everything; the other must still account idle
+        // time for the full duration.
+        let mut sim = fleet(2, 2, Box::new(RoundRobin::new()));
+        let summary = sim.run().unwrap();
+        let duration = summary.duration_s;
+        for run in &summary.node_runs {
+            assert!((run.duration_s - duration).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Fleet-level run report: per-node rows plus cluster-wide aggregates.
+
+use mamut_metrics::fleet::FleetAggregate;
+use mamut_metrics::{Align, Table, UtilizationHistogram};
+use mamut_transcode::RunSummary;
+
+/// One node's row in a [`FleetSummary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeReport {
+    /// Node id.
+    pub node_id: usize,
+    /// Sessions admitted over the run.
+    pub sessions: u64,
+    /// Frames completed.
+    pub frames: u64,
+    /// The node's ∆ (percentage of frames below target).
+    pub violation_percent: f64,
+    /// Lifetime mean power (W).
+    pub mean_power_w: f64,
+    /// Energy drawn (J).
+    pub energy_j: f64,
+    /// Mean thread-demand utilization over epochs.
+    pub mean_utilization: f64,
+}
+
+/// Whole-fleet results: what `examples/fleet_churn.rs` prints and the
+/// determinism tests compare byte-for-byte (the [`std::fmt::Display`]
+/// rendering contains only virtual-time quantities — never wall-clock —
+/// so it is identical across runs and worker-thread counts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSummary {
+    /// Dispatch policy that drove the run.
+    pub policy: String,
+    /// Epochs simulated.
+    pub epochs: u64,
+    /// Virtual duration (s).
+    pub duration_s: f64,
+    /// Per-node rows in id order.
+    pub nodes: Vec<NodeReport>,
+    /// Cluster-wide ∆, frames-weighted.
+    pub cluster_violation_percent: f64,
+    /// Mean node power (W).
+    pub mean_power_w: f64,
+    /// Total cluster energy (J).
+    pub total_energy_j: f64,
+    /// Frames completed across the cluster.
+    pub total_frames: u64,
+    /// Sessions admitted across the cluster.
+    pub total_sessions: u64,
+    /// Sessions the dispatcher rejected.
+    pub rejected_sessions: u64,
+    /// Session-epochs spent waiting in the pending queue.
+    pub queued_waits: u64,
+    /// Node-epoch utilization histogram.
+    pub utilization: UtilizationHistogram,
+    /// Full per-node run summaries (not rendered; for drill-down).
+    pub node_runs: Vec<RunSummary>,
+}
+
+impl FleetSummary {
+    /// Assembles the report from the aggregate and per-node summaries.
+    pub(crate) fn assemble(
+        policy: String,
+        epochs: u64,
+        duration_s: f64,
+        sessions_admitted: &[u64],
+        aggregate: &FleetAggregate,
+        node_runs: Vec<RunSummary>,
+    ) -> FleetSummary {
+        let nodes = aggregate
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(id, n)| NodeReport {
+                node_id: id,
+                sessions: sessions_admitted.get(id).copied().unwrap_or(0),
+                frames: n.frames,
+                violation_percent: n.violation_percent(),
+                mean_power_w: n.mean_power_w(),
+                energy_j: n.energy_j,
+                mean_utilization: n.utilization.mean(),
+            })
+            .collect();
+        FleetSummary {
+            policy,
+            epochs,
+            duration_s,
+            nodes,
+            cluster_violation_percent: aggregate.cluster_violation_percent(),
+            mean_power_w: aggregate.mean_power_w(),
+            total_energy_j: aggregate.total_energy_j(),
+            total_frames: aggregate.total_frames(),
+            total_sessions: sessions_admitted.iter().sum(),
+            rejected_sessions: aggregate.rejected_sessions,
+            queued_waits: aggregate.queued_waits,
+            utilization: aggregate.utilization.clone(),
+            node_runs,
+        }
+    }
+
+    /// The per-node table rendered in [`std::fmt::Display`].
+    pub fn node_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "node".into(),
+            "sessions".into(),
+            "frames".into(),
+            "delta%".into(),
+            "power W".into(),
+            "energy J".into(),
+            "util".into(),
+        ]);
+        t.set_alignments(vec![
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
+        for n in &self.nodes {
+            t.add_row(vec![
+                format!("n{}", n.node_id),
+                n.sessions.to_string(),
+                n.frames.to_string(),
+                format!("{:.2}", n.violation_percent),
+                format!("{:.1}", n.mean_power_w),
+                format!("{:.0}", n.energy_j),
+                format!("{:.2}", n.mean_utilization),
+            ]);
+        }
+        t
+    }
+}
+
+impl std::fmt::Display for FleetSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "FleetSummary [{}] — {} nodes, {} epochs, {:.1} s virtual",
+            self.policy,
+            self.nodes.len(),
+            self.epochs,
+            self.duration_s
+        )?;
+        write!(f, "{}", self.node_table().to_plain())?;
+        writeln!(
+            f,
+            "cluster: delta {:.2}% | {} sessions ({} rejected, {} queued-waits) | {} frames | {:.1} W mean | {:.0} J",
+            self.cluster_violation_percent,
+            self.total_sessions,
+            self.rejected_sessions,
+            self.queued_waits,
+            self.total_frames,
+            self.mean_power_w,
+            self.total_energy_j
+        )?;
+        writeln!(f, "node-epoch utilization: {}", self.utilization.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mamut_metrics::fleet::FleetAggregate;
+
+    fn sample() -> FleetSummary {
+        let mut agg = FleetAggregate::new(2);
+        agg.record_node_epoch(0, 400, 40, 800.0, 10.0, 0.5);
+        agg.record_node_epoch(1, 100, 0, 600.0, 10.0, 0.25);
+        agg.record_rejection();
+        FleetSummary::assemble("least-loaded".into(), 10, 10.0, &[3, 2], &agg, Vec::new())
+    }
+
+    #[test]
+    fn assemble_computes_cluster_rows() {
+        let s = sample();
+        assert_eq!(s.nodes.len(), 2);
+        assert_eq!(s.total_sessions, 5);
+        assert_eq!(s.total_frames, 500);
+        assert_eq!(s.rejected_sessions, 1);
+        assert!((s.cluster_violation_percent - 8.0).abs() < 1e-12);
+        assert!((s.mean_power_w - 70.0).abs() < 1e-12);
+        assert!((s.nodes[0].violation_percent - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_policy_nodes_and_delta() {
+        let text = sample().to_string();
+        assert!(text.contains("least-loaded"));
+        assert!(text.contains("n0"));
+        assert!(text.contains("n1"));
+        assert!(text.contains("delta 8.00%"));
+        assert!(text.contains("1 rejected"));
+    }
+
+    #[test]
+    fn display_is_reproducible() {
+        assert_eq!(sample().to_string(), sample().to_string());
+    }
+}

@@ -1,0 +1,272 @@
+//! Fleet-level aggregation: rolling per-node and cluster-wide QoS, power
+//! and utilization accounting for multi-server simulations.
+//!
+//! The fleet simulator (`mamut-fleet`) feeds plain numbers in here — this
+//! crate stays a leaf with no knowledge of servers or sessions, the same
+//! way [`QosTracker`](crate::QosTracker) only sees frame timings. Per
+//! node the aggregate keeps the ∆ numerator/denominator (violations over
+//! frames), energy totals, and a utilization series;
+//! cluster-wide it folds those into a frames-weighted ∆, dispatch
+//! outcome counts, and a histogram of node-epoch utilization samples.
+
+use crate::RunningStats;
+
+/// Number of buckets in a [`UtilizationHistogram`] (deciles).
+pub const UTILIZATION_BUCKETS: usize = 10;
+
+/// Histogram of utilization samples in deciles of `[0, 1]`.
+///
+/// Samples above 1.0 (an oversubscribed node) land in the top bucket, so
+/// the histogram answers "how often was a node near saturation" without
+/// losing overload events.
+///
+/// # Example
+///
+/// ```
+/// let mut h = mamut_metrics::fleet::UtilizationHistogram::new();
+/// h.record(0.05);
+/// h.record(0.55);
+/// h.record(1.4); // oversubscribed: clamps into the top decile
+/// assert_eq!(h.counts()[0], 1);
+/// assert_eq!(h.counts()[5], 1);
+/// assert_eq!(h.counts()[9], 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UtilizationHistogram {
+    counts: [u64; UTILIZATION_BUCKETS],
+}
+
+impl UtilizationHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        UtilizationHistogram::default()
+    }
+
+    /// Records one utilization sample (clamped into `[0, 1]`; NaN ignored).
+    pub fn record(&mut self, utilization: f64) {
+        if !utilization.is_finite() {
+            return;
+        }
+        let clamped = utilization.clamp(0.0, 1.0);
+        let bucket = ((clamped * UTILIZATION_BUCKETS as f64) as usize).min(UTILIZATION_BUCKETS - 1);
+        self.counts[bucket] += 1;
+    }
+
+    /// Per-decile sample counts.
+    pub fn counts(&self) -> &[u64; UTILIZATION_BUCKETS] {
+        &self.counts
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Compact textual rendering (`0-10%:3 … 90-100%:1`), skipping empty
+    /// buckets.
+    pub fn render(&self) -> String {
+        let mut parts = Vec::new();
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n > 0 {
+                parts.push(format!("{}-{}%:{}", i * 10, (i + 1) * 10, n));
+            }
+        }
+        if parts.is_empty() {
+            "(no samples)".to_owned()
+        } else {
+            parts.join(" ")
+        }
+    }
+}
+
+/// Rolling per-node aggregate, fed once per node epoch.
+#[derive(Debug, Clone, Default)]
+pub struct NodeAggregate {
+    /// Frames completed on this node.
+    pub frames: u64,
+    /// Frames below the FPS target (∆ numerator).
+    pub violations: u64,
+    /// Energy drawn by this node (J).
+    pub energy_j: f64,
+    /// Time this node has been simulated (s).
+    pub duration_s: f64,
+    /// Thread-demand utilization samples, one per epoch.
+    pub utilization: RunningStats,
+}
+
+impl NodeAggregate {
+    /// The node's ∆: percentage of frames below target (0.0 if no frames).
+    pub fn violation_percent(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            100.0 * self.violations as f64 / self.frames as f64
+        }
+    }
+
+    /// Lifetime mean power (0.0 before any time elapses).
+    pub fn mean_power_w(&self) -> f64 {
+        if self.duration_s <= 0.0 {
+            0.0
+        } else {
+            self.energy_j / self.duration_s
+        }
+    }
+}
+
+/// Cluster-wide aggregate over all nodes and dispatch decisions.
+#[derive(Debug, Clone, Default)]
+pub struct FleetAggregate {
+    /// Per-node aggregates in node-id order.
+    pub nodes: Vec<NodeAggregate>,
+    /// Sessions the dispatcher rejected outright.
+    pub rejected_sessions: u64,
+    /// Times a session was parked in the pending queue (one session can
+    /// be queued over several epochs; each wait epoch counts).
+    pub queued_waits: u64,
+    /// Node-epoch utilization samples across the whole fleet.
+    pub utilization: UtilizationHistogram,
+}
+
+impl FleetAggregate {
+    /// Creates an aggregate for `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        FleetAggregate {
+            nodes: (0..nodes).map(|_| NodeAggregate::default()).collect(),
+            ..FleetAggregate::default()
+        }
+    }
+
+    /// Counts a session rejected by the dispatcher.
+    pub fn record_rejection(&mut self) {
+        self.rejected_sessions += 1;
+    }
+
+    /// Counts one epoch of queueing delay for a pending session.
+    pub fn record_queued_wait(&mut self) {
+        self.queued_waits += 1;
+    }
+
+    /// Folds one node epoch into the aggregate. `frames`/`violations`/
+    /// `energy_j`/`duration_s` are the node's *running totals* (the
+    /// sources all expose totals, not deltas); `utilization` is this
+    /// epoch's thread-demand fraction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_node_epoch(
+        &mut self,
+        node: usize,
+        frames: u64,
+        violations: u64,
+        energy_j: f64,
+        duration_s: f64,
+        utilization: f64,
+    ) {
+        let agg = &mut self.nodes[node];
+        agg.frames = frames;
+        agg.violations = violations;
+        agg.energy_j = energy_j;
+        agg.duration_s = duration_s;
+        agg.utilization.push(utilization);
+        self.utilization.record(utilization);
+    }
+
+    /// Frames completed across the cluster.
+    pub fn total_frames(&self) -> u64 {
+        self.nodes.iter().map(|n| n.frames).sum()
+    }
+
+    /// Cluster-wide ∆, weighted by frames (a node that served more frames
+    /// counts proportionally — the fleet analogue of the paper's ∆).
+    pub fn cluster_violation_percent(&self) -> f64 {
+        let frames = self.total_frames();
+        if frames == 0 {
+            0.0
+        } else {
+            let violations: u64 = self.nodes.iter().map(|n| n.violations).sum();
+            100.0 * violations as f64 / frames as f64
+        }
+    }
+
+    /// Mean node power over the run (total energy / total node-time).
+    pub fn mean_power_w(&self) -> f64 {
+        let time: f64 = self.nodes.iter().map(|n| n.duration_s).sum();
+        if time <= 0.0 {
+            0.0
+        } else {
+            self.nodes.iter().map(|n| n.energy_j).sum::<f64>() / time
+        }
+    }
+
+    /// Total cluster energy (J).
+    pub fn total_energy_j(&self) -> f64 {
+        self.nodes.iter().map(|n| n.energy_j).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_bounds() {
+        let mut h = UtilizationHistogram::new();
+        h.record(0.0);
+        h.record(0.09);
+        h.record(0.1);
+        h.record(0.99);
+        h.record(1.0);
+        h.record(2.5);
+        h.record(-1.0);
+        h.record(f64::NAN);
+        assert_eq!(h.counts()[0], 3); // 0.0, 0.09, clamped -1.0
+        assert_eq!(h.counts()[1], 1); // 0.1
+        assert_eq!(h.counts()[9], 3); // 0.99, 1.0, clamped 2.5
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn histogram_render_skips_empty_buckets() {
+        let mut h = UtilizationHistogram::new();
+        assert_eq!(h.render(), "(no samples)");
+        h.record(0.25);
+        h.record(0.25);
+        assert_eq!(h.render(), "20-30%:2");
+    }
+
+    #[test]
+    fn node_aggregate_percentages() {
+        let mut n = NodeAggregate::default();
+        assert_eq!(n.violation_percent(), 0.0);
+        assert_eq!(n.mean_power_w(), 0.0);
+        n.frames = 200;
+        n.violations = 30;
+        n.energy_j = 500.0;
+        n.duration_s = 10.0;
+        assert!((n.violation_percent() - 15.0).abs() < 1e-12);
+        assert!((n.mean_power_w() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_delta_is_frames_weighted() {
+        let mut f = FleetAggregate::new(2);
+        // Node 0: 900 frames, 0 violations; node 1: 100 frames, all bad.
+        f.record_node_epoch(0, 900, 0, 9_000.0, 100.0, 0.4);
+        f.record_node_epoch(1, 100, 100, 1_000.0, 100.0, 0.9);
+        assert!((f.cluster_violation_percent() - 10.0).abs() < 1e-12);
+        assert_eq!(f.total_frames(), 1_000);
+        assert!((f.mean_power_w() - 50.0).abs() < 1e-12);
+        assert_eq!(f.utilization.total(), 2);
+    }
+
+    #[test]
+    fn record_overwrites_totals_not_sums() {
+        let mut f = FleetAggregate::new(1);
+        f.record_node_epoch(0, 10, 1, 100.0, 1.0, 0.5);
+        f.record_node_epoch(0, 25, 2, 260.0, 2.0, 0.6);
+        assert_eq!(f.nodes[0].frames, 25);
+        assert_eq!(f.nodes[0].violations, 2);
+        assert_eq!(f.nodes[0].utilization.count(), 2);
+        assert!((f.total_energy_j() - 260.0).abs() < 1e-12);
+    }
+}

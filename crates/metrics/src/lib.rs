@@ -10,7 +10,9 @@
 //! * **execution traces** — per-frame time series behind Fig. 5
 //!   ([`Trace`], with CSV export);
 //! * **tables** — Markdown/plain renderings of Table I/II-style results
-//!   ([`Table`]).
+//!   ([`Table`]);
+//! * **fleet aggregation** — per-node and cluster-wide ∆, power and
+//!   utilization accounting for multi-server runs ([`fleet`]).
 //!
 //! # Example
 //!
@@ -31,12 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 mod percentile;
 mod qos;
 mod stats;
 mod table;
 mod trace;
 
+pub use fleet::{FleetAggregate, NodeAggregate, UtilizationHistogram};
 pub use percentile::PercentileTracker;
 pub use qos::QosTracker;
 pub use stats::RunningStats;

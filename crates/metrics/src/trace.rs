@@ -109,8 +109,8 @@ impl Trace {
     /// let fps: Vec<f64> = t.column(|r| r.fps);
     /// assert_eq!(fps, vec![25.0]);
     /// ```
-    pub fn column<F: FnMut(&TraceRow) -> f64>(&self, mut select: F) -> Vec<f64> {
-        self.rows.iter().map(|r| select(r)).collect()
+    pub fn column<F: FnMut(&TraceRow) -> f64>(&self, select: F) -> Vec<f64> {
+        self.rows.iter().map(select).collect()
     }
 }
 

@@ -33,7 +33,10 @@ impl DvfsLevel {
                 value: voltage_v,
             });
         }
-        Ok(DvfsLevel { freq_ghz, voltage_v })
+        Ok(DvfsLevel {
+            freq_ghz,
+            voltage_v,
+        })
     }
 }
 

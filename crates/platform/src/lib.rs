@@ -12,7 +12,7 @@
 //!   which is what makes "more threads at lower frequency" win in
 //!   performance-per-watt — the trade-off MAMUT learns, Table I);
 //! * [`PowerModel`] — `P = P_static + Σ_threads c_eff·V²·f (+SMT discount)
-//!   + per-socket uncore`, calibrated against the paper's observed range
+//!   plus per-socket uncore`, calibrated against the paper's observed range
 //!   (≈52–82 W for one 1080p stream, ≈135 W at full load);
 //! * [`ContentionModel`] — fair-share throughput scaling when sessions
 //!   request more threads than the machine has, with diminished returns for

@@ -142,7 +142,8 @@ impl PowerModel {
             .fold(0.0_f64, f64::max)
             .max(dvfs.min_freq_ghz());
         let rel = f_max / dvfs.max_freq_ghz();
-        let uncore = f64::from(active_sockets) * (self.uncore_base_w + self.uncore_dyn_w * rel.powi(3))
+        let uncore = f64::from(active_sockets)
+            * (self.uncore_base_w + self.uncore_dyn_w * rel.powi(3))
             + f64::from(idle_sockets) * self.uncore_idle_w;
 
         self.static_w + core_power + uncore
@@ -168,7 +169,10 @@ mod tests {
     }
 
     fn one(threads: u32, freq: f64) -> Vec<ThreadGroup> {
-        vec![ThreadGroup { threads, freq_ghz: freq }]
+        vec![ThreadGroup {
+            threads,
+            freq_ghz: freq,
+        }]
     }
 
     #[test]
@@ -263,8 +267,14 @@ mod tests {
         let m = model();
         let d = dvfs();
         let groups = vec![
-            ThreadGroup { threads: 8, freq_ghz: 2.9 },
-            ThreadGroup { threads: 4, freq_ghz: 1.6 },
+            ThreadGroup {
+                threads: 8,
+                freq_ghz: 2.9,
+            },
+            ThreadGroup {
+                threads: 4,
+                freq_ghz: 1.6,
+            },
         ];
         let p = m.power(&groups, &d);
         let hi_only = m.power(&one(8, 2.9), &d);

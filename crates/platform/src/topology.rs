@@ -25,7 +25,11 @@ impl CpuTopology {
     /// # Errors
     ///
     /// Returns [`PlatformError::ZeroTopology`] if any dimension is zero.
-    pub fn new(sockets: u32, cores_per_socket: u32, smt_per_core: u32) -> Result<Self, PlatformError> {
+    pub fn new(
+        sockets: u32,
+        cores_per_socket: u32,
+        smt_per_core: u32,
+    ) -> Result<Self, PlatformError> {
         if sockets == 0 || cores_per_socket == 0 || smt_per_core == 0 {
             return Err(PlatformError::ZeroTopology);
         }

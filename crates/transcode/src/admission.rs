@@ -128,7 +128,11 @@ impl AdmissionPlanner {
             .collect();
         AdmissionVerdict {
             feasible: streams.is_empty() || worst >= self.target_fps,
-            worst_fps: if streams.is_empty() { f64::INFINITY } else { worst },
+            worst_fps: if streams.is_empty() {
+                f64::INFINITY
+            } else {
+                worst
+            },
             power_w: self.platform.power_draw(&loads),
             total_threads: streams.iter().map(|s| s.knobs.threads).sum(),
         }

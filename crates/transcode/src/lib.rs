@@ -51,6 +51,6 @@ mod summary;
 pub use admission::{AdmissionPlanner, AdmissionVerdict, StreamShape};
 pub use error::TranscodeError;
 pub use scenario::{homogeneous_sessions, scenario_ii_sessions, MixSpec};
-pub use server::ServerSim;
+pub use server::{ServerLoad, ServerSim};
 pub use session::{SessionConfig, TranscodeSession};
 pub use summary::{RunSummary, SessionSummary};

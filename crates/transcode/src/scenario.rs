@@ -55,7 +55,10 @@ pub fn homogeneous_sessions(mix: MixSpec, frames: u64, seed: u64) -> Vec<Session
     let mut sessions = Vec::with_capacity(mix.total());
     for i in 0..mix.n_hr {
         let spec = pick(&class_b, i + seed as usize, frames);
-        sessions.push(SessionConfig::single_video(spec, seed.wrapping_add(i as u64)));
+        sessions.push(SessionConfig::single_video(
+            spec,
+            seed.wrapping_add(i as u64),
+        ));
     }
     for i in 0..mix.n_lr {
         let spec = pick(&class_c, i + seed as usize, frames);
@@ -89,14 +92,13 @@ pub fn scenario_ii_sessions(
     let mut sessions = Vec::with_capacity(mix.total());
     for i in 0..mix.n_hr {
         let initial = pick(&class_b, i + seed as usize, frames_per_video);
-        let playlist = Playlist::scenario_ii(
-            &initial,
-            &pool,
-            followers,
-            seed.wrapping_add(77 + i as u64),
-        )
-        .expect("catalog has same-resolution followers");
-        sessions.push(SessionConfig::playlist(playlist, seed.wrapping_add(i as u64)));
+        let playlist =
+            Playlist::scenario_ii(&initial, &pool, followers, seed.wrapping_add(77 + i as u64))
+                .expect("catalog has same-resolution followers");
+        sessions.push(SessionConfig::playlist(
+            playlist,
+            seed.wrapping_add(i as u64),
+        ));
     }
     for i in 0..mix.n_lr {
         let initial = pick(&class_c, i + seed as usize, frames_per_video);
@@ -161,11 +163,7 @@ mod tests {
         let a = scenario_ii_sessions(MixSpec::new(1, 0), 4, 50, 1);
         let b = scenario_ii_sessions(MixSpec::new(1, 0), 4, 50, 2);
         let names = |ss: &[SessionConfig]| -> Vec<String> {
-            ss[0]
-                .playlist
-                .iter()
-                .map(|v| v.name().to_owned())
-                .collect()
+            ss[0].playlist.iter().map(|v| v.name().to_owned()).collect()
         };
         // Either the initial video or the followers must differ.
         assert_ne!(names(&a), names(&b));

@@ -10,6 +10,41 @@ const COMPLETION_EPSILON_CYCLES: f64 = 1.0;
 /// Power-observation smoothing window in seconds (≈ a RAPL sampling span).
 const POWER_WINDOW_S: f64 = 0.25;
 
+/// Outcome of one bounded simulation step.
+enum BoundedStep {
+    /// A frame completion was processed.
+    Event,
+    /// The time bound was reached first; partial work was retired.
+    Boundary,
+    /// No session has work in flight (everything finished or empty).
+    Idle,
+}
+
+/// Snapshot of a server's instantaneous load (dispatcher's view).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerLoad {
+    /// Sessions still transcoding (not yet through their playlists).
+    pub active_sessions: usize,
+    /// Threads those sessions collectively request.
+    pub threads_demanded: u32,
+    /// Hardware threads the platform offers.
+    pub hw_threads: u32,
+    /// Instantaneous power at the current knobs (W).
+    pub power_w: f64,
+}
+
+impl ServerLoad {
+    /// Thread demand as a fraction of hardware threads (can exceed 1.0
+    /// when the box is oversubscribed).
+    pub fn utilization(&self) -> f64 {
+        if self.hw_threads == 0 {
+            0.0
+        } else {
+            f64::from(self.threads_demanded) / f64::from(self.hw_threads)
+        }
+    }
+}
+
 /// The multi-user transcoding server: platform + sessions + virtual clock.
 ///
 /// See the [crate documentation](crate) for the event-loop semantics.
@@ -69,13 +104,10 @@ impl ServerSim {
     }
 
     /// Adds a session; returns its id.
-    pub fn add_session(
-        &mut self,
-        config: SessionConfig,
-        controller: Box<dyn Controller>,
-    ) -> usize {
+    pub fn add_session(&mut self, config: SessionConfig, controller: Box<dyn Controller>) -> usize {
         let id = self.sessions.len();
-        self.sessions.push(TranscodeSession::new(id, config, controller));
+        self.sessions
+            .push(TranscodeSession::new(id, config, controller));
         id
     }
 
@@ -95,7 +127,9 @@ impl ServerSim {
     ///
     /// Returns [`TranscodeError::UnknownSession`] for a bad id.
     pub fn session(&self, id: usize) -> Result<&TranscodeSession, TranscodeError> {
-        self.sessions.get(id).ok_or(TranscodeError::UnknownSession(id))
+        self.sessions
+            .get(id)
+            .ok_or(TranscodeError::UnknownSession(id))
     }
 
     /// Replaces a session's constraints mid-run (failure injection).
@@ -166,7 +200,11 @@ impl ServerSim {
     /// # Errors
     ///
     /// Same as [`ServerSim::run_to_completion`].
-    pub fn run_frames(&mut self, frames: u64, max_events: u64) -> Result<RunSummary, TranscodeError> {
+    pub fn run_frames(
+        &mut self,
+        frames: u64,
+        max_events: u64,
+    ) -> Result<RunSummary, TranscodeError> {
         if self.sessions.is_empty() {
             return Err(TranscodeError::NoSessions);
         }
@@ -192,6 +230,15 @@ impl ServerSim {
     ///
     /// Returns `false` when everything is finished (no event processed).
     pub fn step(&mut self) -> bool {
+        matches!(self.step_bounded(f64::INFINITY), BoundedStep::Event)
+    }
+
+    /// Advances to the next frame completion, but never past virtual time
+    /// `limit`: if the earliest completion lies beyond it, work and energy
+    /// are retired up to `limit` exactly and the partial frame stays in
+    /// flight. This is what lets a fleet advance many servers in lockstep
+    /// epochs without perturbing any server's own event sequence.
+    fn step_bounded(&mut self, limit: f64) -> BoundedStep {
         // 1. Make sure every unfinished session has a frame in flight.
         for s in &mut self.sessions {
             if !s.is_finished() && s.in_flight.is_none() {
@@ -208,7 +255,7 @@ impl ServerSim {
             .map(|(i, _)| i)
             .collect();
         if active.is_empty() {
-            return false;
+            return BoundedStep::Idle;
         }
         let total_threads: u32 = active
             .iter()
@@ -238,13 +285,35 @@ impl ServerSim {
         // 4. Time to the earliest completion.
         let mut dt = f64::INFINITY;
         for (idx, &i) in active.iter().enumerate() {
-            let fly = self.sessions[i].in_flight.as_ref().expect("active has in-flight");
+            let fly = self.sessions[i]
+                .in_flight
+                .as_ref()
+                .expect("active has in-flight");
             let t = fly.work_remaining / rates[idx];
             if t < dt {
                 dt = t;
             }
         }
         debug_assert!(dt.is_finite() && dt >= 0.0);
+
+        // 4b. Next completion beyond the bound: retire partial work up to
+        // the bound and stop there. Frames that happen to run dry exactly
+        // at the bound complete on the next call with a zero-length step.
+        if self.time + dt > limit {
+            let dt = limit - self.time;
+            if dt > 0.0 {
+                self.time = limit;
+                self.sensor.record(power, dt);
+                for (idx, &i) in active.iter().enumerate() {
+                    let fly = self.sessions[i]
+                        .in_flight
+                        .as_mut()
+                        .expect("active has in-flight");
+                    fly.work_remaining -= rates[idx] * dt;
+                }
+            }
+            return BoundedStep::Boundary;
+        }
 
         // 5. Advance the clock, charge energy, retire work.
         self.time += dt;
@@ -271,7 +340,62 @@ impl ServerSim {
         }
 
         self.events += 1;
-        true
+        BoundedStep::Event
+    }
+
+    /// Runs until virtual time `until`, processing every frame completion
+    /// on the way. Unlike [`ServerSim::run_to_completion`] this is happy
+    /// with an empty or fully finished server: the clock idles forward to
+    /// `until` while the platform's idle power keeps being charged, so a
+    /// fleet's drained node stays time-aligned (and power-accounted) with
+    /// its busy peers.
+    ///
+    /// Returns the number of events processed in this epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`TranscodeError::EventBudgetExhausted`] if more than `max_events`
+    /// completions fire before `until` is reached.
+    pub fn run_epoch(&mut self, until: f64, max_events: u64) -> Result<u64, TranscodeError> {
+        let start_events = self.events;
+        while self.time < until {
+            if self.events - start_events >= max_events {
+                return Err(TranscodeError::EventBudgetExhausted {
+                    events: self.events - start_events,
+                });
+            }
+            match self.step_bounded(until) {
+                BoundedStep::Event => {}
+                BoundedStep::Boundary => break,
+                BoundedStep::Idle => {
+                    let dt = until - self.time;
+                    self.sensor.record(self.platform.power_draw(&[]), dt);
+                    self.time = until;
+                    break;
+                }
+            }
+        }
+        Ok(self.events - start_events)
+    }
+
+    /// Instantaneous load of the server: what a fleet dispatcher inspects
+    /// before placing the next session.
+    pub fn load(&self) -> ServerLoad {
+        let loads: Vec<SessionLoad> = self
+            .sessions
+            .iter()
+            .filter(|s| !s.is_finished())
+            .map(|s| {
+                let k = s.knobs();
+                SessionLoad::new(k.threads, k.freq_ghz)
+            })
+            .collect();
+        ServerLoad {
+            active_sessions: loads.len(),
+            threads_demanded: loads.iter().map(|l| l.threads).sum(),
+            hw_threads: self.platform.topology().hw_threads(),
+            power_w: self.platform.power_draw(&loads),
+        }
     }
 
     /// Builds the summary of everything measured so far.
@@ -296,11 +420,17 @@ mod tests {
     use mamut_video::catalog;
 
     fn hr_spec(frames: u64) -> mamut_video::SequenceSpec {
-        catalog::by_name("Kimono").unwrap().with_frame_count(frames).unwrap()
+        catalog::by_name("Kimono")
+            .unwrap()
+            .with_frame_count(frames)
+            .unwrap()
     }
 
     fn lr_spec(frames: u64) -> mamut_video::SequenceSpec {
-        catalog::by_name("BQMall").unwrap().with_frame_count(frames).unwrap()
+        catalog::by_name("BQMall")
+            .unwrap()
+            .with_frame_count(frames)
+            .unwrap()
     }
 
     fn fixed(threads: u32, freq: f64) -> Box<dyn Controller> {
@@ -398,7 +528,10 @@ mod tests {
         // time = work / rate; reconstruct work from the recorded fps.
         let fps = s.mean_fps();
         let implied_work = 3.2e9 * speedup / fps;
-        assert!(implied_work > 1e8 && implied_work < 1e9, "work = {implied_work}");
+        assert!(
+            implied_work > 1e8 && implied_work < 1e9,
+            "work = {implied_work}"
+        );
     }
 
     #[test]
@@ -441,6 +574,77 @@ mod tests {
         let ctls = srv.into_controllers();
         assert_eq!(ctls.len(), 2);
         assert_eq!(ctls[0].name(), "fixed");
+    }
+
+    #[test]
+    fn run_epoch_stops_exactly_at_the_boundary() {
+        let mut srv = ServerSim::with_default_platform();
+        srv.add_session(SessionConfig::single_video(hr_spec(500), 1), fixed(10, 3.2));
+        srv.run_epoch(0.5, 100_000).unwrap();
+        assert_eq!(srv.time(), 0.5);
+        let mid_frames = srv.session(0).unwrap().frames_completed();
+        assert!(mid_frames > 0, "an epoch should complete frames");
+        srv.run_epoch(1.0, 100_000).unwrap();
+        assert_eq!(srv.time(), 1.0);
+        assert!(srv.session(0).unwrap().frames_completed() > mid_frames);
+    }
+
+    #[test]
+    fn epoch_slicing_matches_an_unsliced_run() {
+        // Advancing in epochs must not perturb the event sequence: same
+        // final state as one uninterrupted run.
+        // Both runs cover the same horizon (completion plus an idle tail)
+        // so the energy integrals are directly comparable.
+        let horizon = 10.0;
+        let run_sliced = |epoch: f64| {
+            let mut srv = ServerSim::with_default_platform();
+            srv.add_session(SessionConfig::single_video(hr_spec(60), 42), fixed(8, 2.9));
+            srv.add_session(SessionConfig::single_video(lr_spec(60), 43), fixed(4, 2.6));
+            let mut t = 0.0;
+            while t < horizon {
+                t += epoch;
+                srv.run_epoch(t.min(horizon), 100_000).unwrap();
+            }
+            assert!(srv.all_finished(), "horizon must cover the whole run");
+            let s = srv.summary();
+            (s.energy_j, s.sessions[0].mean_fps, s.sessions[1].mean_fps)
+        };
+        let mut whole = ServerSim::with_default_platform();
+        whole.add_session(SessionConfig::single_video(hr_spec(60), 42), fixed(8, 2.9));
+        whole.add_session(SessionConfig::single_video(lr_spec(60), 43), fixed(4, 2.6));
+        whole.run_to_completion(100_000).unwrap();
+        whole.run_epoch(horizon, 100_000).unwrap();
+        let s = whole.summary();
+        let unsliced = (s.energy_j, s.sessions[0].mean_fps, s.sessions[1].mean_fps);
+        assert_eq!(run_sliced(0.25), unsliced);
+        assert_eq!(run_sliced(1.0), unsliced);
+    }
+
+    #[test]
+    fn idle_server_advances_clock_and_charges_idle_power() {
+        let mut srv = ServerSim::with_default_platform();
+        let events = srv.run_epoch(2.0, 10).unwrap();
+        assert_eq!(events, 0);
+        assert_eq!(srv.time(), 2.0);
+        let idle = srv.platform().idle_power_w();
+        assert!((srv.sensor().lifetime_average() - idle).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_reports_demand_and_drops_finished_sessions() {
+        let mut srv = ServerSim::with_default_platform();
+        srv.add_session(SessionConfig::single_video(hr_spec(5), 1), fixed(10, 3.2));
+        srv.add_session(SessionConfig::single_video(lr_spec(400), 2), fixed(4, 2.6));
+        srv.step(); // apply each controller's announced knobs
+        let load = srv.load();
+        assert_eq!(load.active_sessions, 2);
+        assert_eq!(load.threads_demanded, 14);
+        assert_eq!(load.hw_threads, 32);
+        assert!(load.power_w > srv.platform().idle_power_w());
+        assert!((load.utilization() - 14.0 / 32.0).abs() < 1e-12);
+        // Let the short HR session finish: demand shrinks.
+        srv.run_epoch(1_000.0, 1_000_000).unwrap();
+        assert!(srv.load().active_sessions <= 1);
     }
 
     #[test]

@@ -269,8 +269,7 @@ impl TranscodeSession {
                     match self.config.playlist.get(self.playlist_pos) {
                         Some(spec) => {
                             self.name = spec.name().to_owned();
-                            self.encoder =
-                                HevcEncoder::new(spec.resolution(), self.config.preset);
+                            self.encoder = HevcEncoder::new(spec.resolution(), self.config.preset);
                             self.decoder = HevcDecoder::new(spec.resolution());
                             self.source = VideoSource::new(
                                 spec,
@@ -440,8 +439,14 @@ mod tests {
 
     #[test]
     fn playlist_advances_to_next_video() {
-        let a = catalog::by_name("Kimono").unwrap().with_frame_count(2).unwrap();
-        let b = catalog::by_name("Cactus").unwrap().with_frame_count(2).unwrap();
+        let a = catalog::by_name("Kimono")
+            .unwrap()
+            .with_frame_count(2)
+            .unwrap();
+        let b = catalog::by_name("Cactus")
+            .unwrap()
+            .with_frame_count(2)
+            .unwrap();
         let playlist = Playlist::new(vec![a, b]).unwrap();
         let mut s = TranscodeSession::new(
             0,
@@ -467,7 +472,11 @@ mod tests {
             t += 1.0 / 30.0; // steady 30 FPS
             s.complete_frame(t, 70.0);
         }
-        assert!((s.last_obs.fps - 30.0).abs() < 0.5, "fps = {}", s.last_obs.fps);
+        assert!(
+            (s.last_obs.fps - 30.0).abs() < 0.5,
+            "fps = {}",
+            s.last_obs.fps
+        );
     }
 
     #[test]

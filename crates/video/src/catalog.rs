@@ -29,21 +29,77 @@ fn entry(
 /// JCT-VC class B lookalikes: 1920×1080 ("HR" workload in the paper).
 pub fn class_b() -> Vec<SequenceSpec> {
     vec![
-        entry("Kimono", Resolution::FULL_HD, 0.75, 0.95, 0.030, 1.0 / 450.0),
-        entry("ParkScene", Resolution::FULL_HD, 0.90, 0.94, 0.040, 1.0 / 400.0),
-        entry("Cactus", Resolution::FULL_HD, 1.10, 0.92, 0.050, 1.0 / 300.0),
-        entry("BQTerrace", Resolution::FULL_HD, 1.25, 0.90, 0.060, 1.0 / 250.0),
-        entry("BasketballDrive", Resolution::FULL_HD, 1.45, 0.88, 0.085, 1.0 / 180.0),
+        entry(
+            "Kimono",
+            Resolution::FULL_HD,
+            0.75,
+            0.95,
+            0.030,
+            1.0 / 450.0,
+        ),
+        entry(
+            "ParkScene",
+            Resolution::FULL_HD,
+            0.90,
+            0.94,
+            0.040,
+            1.0 / 400.0,
+        ),
+        entry(
+            "Cactus",
+            Resolution::FULL_HD,
+            1.10,
+            0.92,
+            0.050,
+            1.0 / 300.0,
+        ),
+        entry(
+            "BQTerrace",
+            Resolution::FULL_HD,
+            1.25,
+            0.90,
+            0.060,
+            1.0 / 250.0,
+        ),
+        entry(
+            "BasketballDrive",
+            Resolution::FULL_HD,
+            1.45,
+            0.88,
+            0.085,
+            1.0 / 180.0,
+        ),
     ]
 }
 
 /// JCT-VC class C lookalikes: 832×480 ("LR" workload in the paper).
 pub fn class_c() -> Vec<SequenceSpec> {
     vec![
-        entry("BasketballDrill", Resolution::WVGA, 1.15, 0.90, 0.060, 1.0 / 250.0),
+        entry(
+            "BasketballDrill",
+            Resolution::WVGA,
+            1.15,
+            0.90,
+            0.060,
+            1.0 / 250.0,
+        ),
         entry("BQMall", Resolution::WVGA, 1.05, 0.92, 0.050, 1.0 / 300.0),
-        entry("PartyScene", Resolution::WVGA, 1.40, 0.88, 0.080, 1.0 / 200.0),
-        entry("RaceHorses", Resolution::WVGA, 1.50, 0.86, 0.095, 1.0 / 170.0),
+        entry(
+            "PartyScene",
+            Resolution::WVGA,
+            1.40,
+            0.88,
+            0.080,
+            1.0 / 200.0,
+        ),
+        entry(
+            "RaceHorses",
+            Resolution::WVGA,
+            1.50,
+            0.86,
+            0.095,
+            1.0 / 170.0,
+        ),
     ]
 }
 

@@ -87,7 +87,11 @@ impl ContentParams {
             "scene_cut_rate",
             scene_cut_rate,
         )?;
-        check(cut_spike.is_finite() && cut_spike >= 1.0, "cut_spike", cut_spike)?;
+        check(
+            cut_spike.is_finite() && cut_spike >= 1.0,
+            "cut_spike",
+            cut_spike,
+        )?;
         Ok(ContentParams {
             mean_complexity,
             ar_coefficient,
@@ -99,8 +103,7 @@ impl ContentParams {
 
     /// A moderate default: mean 1.0, smooth drift, a cut every ~300 frames.
     pub fn moderate() -> Self {
-        ContentParams::new(1.0, 0.92, 0.05, 1.0 / 300.0, 1.35)
-            .expect("moderate defaults are valid")
+        ContentParams::new(1.0, 0.92, 0.05, 1.0 / 300.0, 1.35).expect("moderate defaults are valid")
     }
 
     /// Calm, low-motion content (e.g. `Kimono`-like).
@@ -180,8 +183,8 @@ impl ContentModel {
         // Mean-reverting AR(1) step around the current scene level.
         let eps: f64 = self.rng.gen_range(-1.0..1.0);
         let p = &self.params;
-        let next = self.level + p.ar_coefficient * (self.current - self.level)
-            + p.noise_sigma * eps;
+        let next =
+            self.level + p.ar_coefficient * (self.current - self.level) + p.noise_sigma * eps;
         self.current = clamp_complexity(next);
 
         let complexity = if scene_cut {
@@ -288,8 +291,7 @@ mod tests {
     fn mean_tracks_configured_mean() {
         let params = ContentParams::new(1.2, 0.9, 0.04, 0.005, 1.3).unwrap();
         let mut m = ContentModel::new(params, 17);
-        let mean =
-            (0..10_000).map(|_| m.next_frame().complexity).sum::<f64>() / 10_000.0;
+        let mean = (0..10_000).map(|_| m.next_frame().complexity).sum::<f64>() / 10_000.0;
         assert!((mean - 1.2).abs() < 0.15, "mean = {mean}");
     }
 }

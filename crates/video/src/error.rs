@@ -27,7 +27,10 @@ impl fmt::Display for VideoError {
         match self {
             VideoError::ZeroDimension => write!(f, "resolution dimensions must be non-zero"),
             VideoError::MalformedResolution(s) => {
-                write!(f, "malformed resolution string {s:?}, expected WIDTHxHEIGHT")
+                write!(
+                    f,
+                    "malformed resolution string {s:?}, expected WIDTHxHEIGHT"
+                )
             }
             VideoError::InvalidContentParam { name, value } => {
                 write!(f, "content parameter {name} has invalid value {value}")

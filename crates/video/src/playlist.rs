@@ -116,7 +116,10 @@ mod tests {
 
     #[test]
     fn empty_playlist_rejected() {
-        assert_eq!(Playlist::new(vec![]).unwrap_err(), VideoError::EmptySequence);
+        assert_eq!(
+            Playlist::new(vec![]).unwrap_err(),
+            VideoError::EmptySequence
+        );
     }
 
     #[test]

@@ -212,14 +212,10 @@ mod tests {
     #[test]
     fn bad_fps_rejected() {
         for fps in [0.0, -24.0, f64::NAN, f64::INFINITY] {
-            assert!(SequenceSpec::new(
-                "Bad",
-                Resolution::WVGA,
-                10,
-                fps,
-                ContentParams::moderate()
-            )
-            .is_err());
+            assert!(
+                SequenceSpec::new("Bad", Resolution::WVGA, 10, fps, ContentParams::moderate())
+                    .is_err()
+            );
         }
     }
 

@@ -29,8 +29,12 @@ impl Kind {
     fn build(self, is_hr: bool, seed: u64) -> Box<dyn Controller> {
         match self {
             Kind::Mamut => {
-                let cfg = if is_hr { MamutConfig::paper_hr() } else { MamutConfig::paper_lr() }
-                    .with_seed(seed);
+                let cfg = if is_hr {
+                    MamutConfig::paper_hr()
+                } else {
+                    MamutConfig::paper_lr()
+                }
+                .with_seed(seed);
                 Box::new(MamutController::new(cfg).expect("valid config"))
             }
             Kind::Mono => {
@@ -79,25 +83,40 @@ fn run_once(kind: Kind, seed: u64) -> RunSummary {
     for (cfg, ctl) in warm.into_iter().zip(ctls) {
         trainer.add_session(cfg, ctl);
     }
-    trainer.run_to_completion(50_000_000).expect("pretraining completes");
+    trainer
+        .run_to_completion(50_000_000)
+        .expect("pretraining completes");
     let trained = trainer.into_controllers();
 
     // …then measure.
     let mut server = ServerSim::with_default_platform();
-    for (cfg, ctl) in homogeneous_sessions(mix, 500, seed).into_iter().zip(trained) {
+    for (cfg, ctl) in homogeneous_sessions(mix, 500, seed)
+        .into_iter()
+        .zip(trained)
+    {
         server.add_session(cfg, ctl);
     }
-    server.run_to_completion(50_000_000).expect("measured run completes")
+    server
+        .run_to_completion(50_000_000)
+        .expect("measured run completes")
 }
 
 fn main() {
     println!("comparing controllers on a 2HR1LR workload (5 seeds each)…\n");
 
     let mut table = Table::new(
-        ["controller", "watts", "delta %", "fps", "threads", "freq GHz", "psnr dB"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        [
+            "controller",
+            "watts",
+            "delta %",
+            "fps",
+            "threads",
+            "freq GHz",
+            "psnr dB",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     );
     let mut aligns = vec![Align::Left];
     aligns.extend(vec![Align::Right; 6]);

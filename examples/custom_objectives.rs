@@ -28,7 +28,9 @@ fn run(label: &str, constraints: Constraints, weights: RewardWeights) {
             Box::new(MamutController::new(config.clone()).expect("valid config")),
         );
     }
-    trainer.run_to_completion(50_000_000).expect("pretraining completes");
+    trainer
+        .run_to_completion(50_000_000)
+        .expect("pretraining completes");
     let trained = trainer.into_controllers();
 
     let mut server = ServerSim::with_default_platform();

@@ -18,9 +18,7 @@ use mamut::transcode::homogeneous_sessions;
 
 fn segment_stats(rows: &[mamut::metrics::TraceRow]) -> (f64, f64, f64, f64) {
     let n = rows.len().max(1) as f64;
-    let mean = |f: &dyn Fn(&mamut::metrics::TraceRow) -> f64| {
-        rows.iter().map(|r| f(r)).sum::<f64>() / n
-    };
+    let mean = |f: &dyn Fn(&mamut::metrics::TraceRow) -> f64| rows.iter().map(f).sum::<f64>() / n;
     (
         mean(&|r| r.bitrate_mbps),
         mean(&|r| f64::from(r.qp)),
@@ -37,9 +35,14 @@ fn main() {
     let mut trainer = ServerSim::with_default_platform();
     for (i, cfg) in warm.into_iter().enumerate() {
         let c = MamutConfig::paper_hr().with_seed(seed + i as u64);
-        trainer.add_session(cfg, Box::new(MamutController::new(c).expect("valid config")));
+        trainer.add_session(
+            cfg,
+            Box::new(MamutController::new(c).expect("valid config")),
+        );
     }
-    trainer.run_to_completion(50_000_000).expect("pretraining completes");
+    trainer
+        .run_to_completion(50_000_000)
+        .expect("pretraining completes");
     let trained = trainer.into_controllers();
 
     // Measured run: three 600-frame segments with different constraints.

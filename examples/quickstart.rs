@@ -36,13 +36,19 @@ fn main() {
 
     println!("\n== results ==");
     println!("frames            : {}", s.frames);
-    println!("mean FPS          : {:.1} (target {})", s.mean_fps, constraints.target_fps);
+    println!(
+        "mean FPS          : {:.1} (target {})",
+        s.mean_fps, constraints.target_fps
+    );
     println!("QoS violations ∆  : {:.1}%", s.violation_percent);
     println!("mean PSNR         : {:.1} dB", s.mean_psnr_db);
     println!("mean bitrate      : {:.2} Mb/s", s.mean_bitrate_mbps);
     println!("mean threads      : {:.1}", s.mean_threads);
     println!("mean frequency    : {:.2} GHz", s.mean_freq_ghz);
-    println!("server power      : {:.1} W over {:.1} s", summary.mean_power_w, summary.duration_s);
+    println!(
+        "server power      : {:.1} W over {:.1} s",
+        summary.mean_power_w, summary.duration_s
+    );
 
     // Peek inside the controller: how much has each agent learned?
     let session = server.session(id).expect("session exists");

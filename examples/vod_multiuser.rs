@@ -38,7 +38,10 @@ fn main() {
     let seed = 7;
 
     // Phase 1 — online learning on the workload family (30k frames each).
-    println!("pretraining MAMUT controllers on a {} workload…", mix.label());
+    println!(
+        "pretraining MAMUT controllers on a {} workload…",
+        mix.label()
+    );
     let warm = homogeneous_sessions(mix, 30_000, seed + 50_000);
     let mut trainer = ServerSim::with_default_platform();
     let ctls = controllers_for(&warm, seed);
@@ -53,7 +56,10 @@ fn main() {
     // Phase 2 — serve a fresh mix with the trained controllers.
     println!("serving a fresh {} mix…\n", mix.label());
     let mut server = ServerSim::with_default_platform();
-    for (cfg, ctl) in homogeneous_sessions(mix, 500, seed).into_iter().zip(trained) {
+    for (cfg, ctl) in homogeneous_sessions(mix, 500, seed)
+        .into_iter()
+        .zip(trained)
+    {
         server.add_session(cfg, ctl);
     }
     let summary = server.run_to_completion(50_000_000).expect("run completes");
@@ -72,7 +78,13 @@ fn main() {
         );
     }
     println!("\n== server ==");
-    println!("power : {:.1} W (idle would be {:.1} W)", summary.mean_power_w,
-        Platform::xeon_e5_2667_v4().idle_power_w());
-    println!("energy: {:.0} J over {:.1} s", summary.energy_j, summary.duration_s);
+    println!(
+        "power : {:.1} W (idle would be {:.1} W)",
+        summary.mean_power_w,
+        Platform::xeon_e5_2667_v4().idle_power_w()
+    );
+    println!(
+        "energy: {:.0} J over {:.1} s",
+        summary.energy_j, summary.duration_s
+    );
 }

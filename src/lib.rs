@@ -19,6 +19,7 @@
 //! | [`transcode`] | `mamut-transcode` | discrete-event multi-user server          |
 //! | [`baselines`] | `mamut-baselines` | mono-agent QL + heuristic baselines       |
 //! | [`metrics`]   | `mamut-metrics`   | QoS (∆), stats, traces, tables            |
+//! | [`fleet`]     | `mamut-fleet`     | multi-node cluster, churn, dispatch       |
 //!
 //! # Quickstart
 //!
@@ -54,6 +55,7 @@
 pub use mamut_baselines as baselines;
 pub use mamut_core as control;
 pub use mamut_encoder as encoder;
+pub use mamut_fleet as fleet;
 pub use mamut_metrics as metrics;
 pub use mamut_platform as platform;
 pub use mamut_transcode as transcode;
@@ -67,13 +69,16 @@ pub use mamut_video as video;
 /// ```
 pub mod prelude {
     pub use mamut_baselines::{
-        FixedController, HeuristicConfig, HeuristicController, MonoAgentConfig,
-        MonoAgentController,
+        FixedController, HeuristicConfig, HeuristicController, MonoAgentConfig, MonoAgentController,
     };
     pub use mamut_core::{
         Constraints, Controller, KnobSettings, MamutConfig, MamutController, Observation,
     };
     pub use mamut_encoder::{HevcEncoder, Preset};
+    pub use mamut_fleet::{
+        AdmissionGated, Dispatcher, FleetConfig, FleetSim, FleetSummary, GateMode, LeastLoaded,
+        PowerAware, RoundRobin, Workload, WorkloadConfig,
+    };
     pub use mamut_platform::Platform;
     pub use mamut_transcode::{MixSpec, RunSummary, ServerSim, SessionConfig};
     pub use mamut_video::{catalog, Playlist, Resolution, SequenceSpec};

@@ -52,7 +52,10 @@ fn run(kind: &str, mix: MixSpec, seed: u64) -> RunSummary {
     let trained = trainer.into_controllers();
 
     let mut server = ServerSim::with_default_platform();
-    for (cfg, ctl) in homogeneous_sessions(mix, 400, seed).into_iter().zip(trained) {
+    for (cfg, ctl) in homogeneous_sessions(mix, 400, seed)
+        .into_iter()
+        .zip(trained)
+    {
         server.add_session(cfg, ctl);
     }
     server.run_to_completion(100_000_000).expect("measure ok")
@@ -103,7 +106,10 @@ fn heuristic_parks_at_max_frequency_ml_does_not() {
     let mix = MixSpec::new(2, 0);
     let mamut = run("mamut", mix, 4_000);
     let heuristic = run("heuristic", mix, 4_000);
-    assert!(heuristic.mean_freq_ghz() > 3.15, "heuristic should peg 3.2 GHz");
+    assert!(
+        heuristic.mean_freq_ghz() > 3.15,
+        "heuristic should peg 3.2 GHz"
+    );
     assert!(
         mamut.mean_freq_ghz() < heuristic.mean_freq_ghz(),
         "MAMUT {:.2} GHz vs heuristic {:.2} GHz",

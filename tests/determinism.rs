@@ -64,7 +64,10 @@ fn heuristic_is_deterministic_without_any_seed() {
             } else {
                 HeuristicConfig::paper_lr()
             };
-            server.add_session(cfg, Box::new(HeuristicController::new(hcfg).expect("valid")));
+            server.add_session(
+                cfg,
+                Box::new(HeuristicController::new(hcfg).expect("valid")),
+            );
         }
         server.run_to_completion(10_000_000).expect("run completes")
     };

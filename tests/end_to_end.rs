@@ -32,7 +32,10 @@ fn pretrained_run(mix: MixSpec, pretrain: u64, frames: u64, seed: u64) -> RunSum
     let trained = trainer.into_controllers();
 
     let mut server = ServerSim::with_default_platform();
-    for (cfg, ctl) in homogeneous_sessions(mix, frames, seed).into_iter().zip(trained) {
+    for (cfg, ctl) in homogeneous_sessions(mix, frames, seed)
+        .into_iter()
+        .zip(trained)
+    {
         server.add_session(cfg, ctl);
     }
     server
@@ -100,7 +103,9 @@ fn learning_progresses_through_phases() {
         let c = MamutConfig::paper_hr().with_seed(1);
         server.add_session(cfg, Box::new(Ctl::new(c).expect("valid config")));
     }
-    server.run_to_completion(100_000_000).expect("run completes");
+    server
+        .run_to_completion(100_000_000)
+        .expect("run completes");
     let session = server.session(0).expect("session exists");
     let ctl = session
         .controller()

@@ -67,13 +67,15 @@ fn bandwidth_drop_raises_qp_and_lowers_bitrate() {
     }
     server.run_frames(400, 100_000_000).expect("normal segment");
     server.set_constraints_all(tight);
-    server.run_to_completion(100_000_000).expect("tight segment");
+    server
+        .run_to_completion(100_000_000)
+        .expect("tight segment");
 
     let trace = server.session(0).expect("session").trace();
     let rows = trace.rows();
     let (normal_rows, tight_rows) = rows.split_at(400.min(rows.len()));
     let mean = |rs: &[mamut::metrics::TraceRow], f: &dyn Fn(&mamut::metrics::TraceRow) -> f64| {
-        rs.iter().map(|r| f(r)).sum::<f64>() / rs.len().max(1) as f64
+        rs.iter().map(f).sum::<f64>() / rs.len().max(1) as f64
     };
     // Skip the adaptation transient after the event.
     let settled = &tight_rows[tight_rows.len().min(150)..];
@@ -89,8 +91,11 @@ fn bandwidth_drop_raises_qp_and_lowers_bitrate() {
         br_after < 1.1,
         "bitrate must fall toward the 1 Mb/s budget: {br_before:.2} -> {br_after:.2} Mb/s"
     );
+    // The heuristic moves QP in whole steps and stops as soon as the rate
+    // is under budget; a settle exactly one 2-unit step up is a pass, so
+    // the margin sits between "no move" (0) and the minimal rise (2).
     assert!(
-        qp_after > qp_before + 2.0,
+        qp_after > qp_before + 1.5,
         "QP must rise after the bandwidth drop: {qp_before:.1} -> {qp_after:.1}"
     );
 }
@@ -114,7 +119,9 @@ fn power_cap_drop_reduces_draw() {
     }
     server.run_frames(400, 100_000_000).expect("normal segment");
     server.set_constraints_all(tight);
-    server.run_to_completion(100_000_000).expect("capped segment");
+    server
+        .run_to_completion(100_000_000)
+        .expect("capped segment");
 
     let trace = server.session(0).expect("session").trace();
     let rows = trace.rows();
@@ -150,11 +157,16 @@ fn heuristic_backs_off_frequency_under_a_tight_power_cap() {
                 Box::new(HeuristicController::new(hcfg).expect("valid")),
             );
         }
-        server.run_to_completion(100_000_000).expect("run completes")
+        server
+            .run_to_completion(100_000_000)
+            .expect("run completes")
     };
     let uncapped = run(140.0, 9);
     let capped = run(85.0, 9);
-    assert!(uncapped.mean_freq_ghz() > 3.15, "uncapped heuristic pegs 3.2 GHz");
+    assert!(
+        uncapped.mean_freq_ghz() > 3.15,
+        "uncapped heuristic pegs 3.2 GHz"
+    );
     assert!(
         capped.mean_freq_ghz() < uncapped.mean_freq_ghz() - 0.05,
         "capped {:.2} GHz vs uncapped {:.2} GHz",

@@ -45,10 +45,7 @@ fn equal_sessions_get_equal_service() {
     let fps: Vec<f64> = summary.sessions.iter().map(|s| s.mean_fps).collect();
     let min = fps.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = fps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    assert!(
-        max / min < 1.1,
-        "fair sharing violated: fps spread {fps:?}"
-    );
+    assert!(max / min < 1.1, "fair sharing violated: fps spread {fps:?}");
 }
 
 #[test]

@@ -1,0 +1,243 @@
+//! Minimal, dependency-free stand-in for the subset of `proptest` this
+//! workspace uses: the `proptest!` macro, range strategies, tuple
+//! strategies, `prop_map`, `prop_assert!`/`prop_assert_eq!`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! The build environment has no crates.io registry, so the real
+//! `proptest` cannot be fetched. This shim samples each strategy with a
+//! deterministic seeded RNG (seed derived from the test body's case
+//! index) rather than doing true shrinking — a failing case panics with
+//! the sampled inputs so it can still be reproduced and minimized by
+//! hand.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+
+/// Items a `proptest!` body needs in scope.
+pub mod prelude {
+    pub use crate::{__run_proptest_cases, prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Per-block configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Runs `cases` sampled invocations of `body`, panicking on the first
+/// failure with the case number so it can be reproduced (sampling is
+/// deterministic in the case number). Not part of the public API of the
+/// real proptest; used by this shim's `proptest!` expansion.
+pub fn __run_proptest_cases(
+    test_name: &str,
+    cases: u32,
+    body: &mut dyn FnMut(&mut StdRng) -> Result<(), String>,
+) {
+    use rand::SeedableRng;
+    for case in 0..cases {
+        // Stable per-test stream: name hash + case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        let mut rng = StdRng::seed_from_u64(h.wrapping_add(u64::from(case)));
+        if let Err(msg) = body(&mut rng) {
+            panic!("proptest case {case}/{cases} failed: {msg}");
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, reporting the failure
+/// as a normal proptest case failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {{
+        let holds: bool = $cond;
+        if !holds {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    }};
+    ($cond:expr, $($fmt:tt)+) => {{
+        let holds: bool = $cond;
+        if !holds {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn` becomes a `#[test]` running many
+/// sampled cases of its body.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::__run_proptest_cases(
+                    stringify!($name),
+                    config.cases,
+                    &mut |__rng| {
+                        $(let $arg = $crate::Strategy::sample(&($strategy), __rng);)+
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strategy),+) $body)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u32, f64)> {
+        (0u32..10, 0.0f64..1.0).prop_map(|(a, b)| (a * 2, b))
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f), "f = {}", f);
+        }
+
+        #[test]
+        fn mapped_strategy_applies(p in arb_pair()) {
+            prop_assert_eq!(p.0 % 2, 0);
+            prop_assert!(p.1 < 1.0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_cases_honoured(x in 0u64..1000) {
+            prop_assert!(x < 1000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_case_number() {
+        __run_proptest_cases("always_fails", 3, &mut |_rng| Err("boom".into()));
+    }
+}

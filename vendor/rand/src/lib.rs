@@ -1,0 +1,199 @@
+//! Minimal, dependency-free stand-in for the subset of the `rand` crate
+//! this workspace uses (`StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range`, `Rng::gen_bool`).
+//!
+//! The build environment has no crates.io registry, so the real `rand`
+//! cannot be fetched; this shim keeps the workspace std-only while
+//! preserving the call sites unchanged. The generator is xoshiro256**
+//! seeded through SplitMix64 — high-quality, fast, and fully
+//! deterministic for a given seed, which is all the simulator needs
+//! (reproducible pseudo-randomness, not cryptographic strength).
+
+#![forbid(unsafe_code)]
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that `Rng::gen_range` can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unit-interval double from the top 53 bits of a random word.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                // Modulo reduction: negligible bias for the small spans
+                // used in this workspace (all ≪ 2^32).
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = ((end - start) as u64).wrapping_add(1);
+                if span == 0 {
+                    // 0..=u64::MAX — every word is admissible as-is.
+                    return rng.next_u64() as $t;
+                }
+                start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                self.start + (self.end - self.start) * unit_f64(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// User-facing convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (xoshiro256**).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let i = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let f = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn full_width_inclusive_range_does_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // 0..=u64::MAX has a span of 2^64: must not wrap to a zero divisor.
+        let xs: Vec<u64> = (0..64).map(|_| rng.gen_range(0..=u64::MAX)).collect();
+        assert!(xs.iter().any(|&x| x > u64::MAX / 2), "upper half reachable");
+        assert!(xs.iter().any(|&x| x < u64::MAX / 2), "lower half reachable");
+        let b = rng.gen_range(0u8..=u8::MAX);
+        let _ = b; // full-width u8 also fine (span 256, no wrap)
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+}
