@@ -1,3 +1,4 @@
+use mamut_core::snapshot::{PolicySnapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use mamut_core::{Constraints, Controller, CoreError, KnobSettings, Observation};
 
 /// Configuration of the heuristic baseline (adapted from Grellert et al.,
@@ -241,7 +242,47 @@ impl Controller for HeuristicController {
 
     fn end_frame(&mut self, _frame: u64, _obs: &Observation, _constraints: &Constraints) {}
 
+    fn snapshot(&self) -> PolicySnapshot {
+        let mut snap = PolicySnapshot::tableless("heuristic", self.knobs);
+        let mut w = SnapshotWriter::new();
+        match self.thread_probe {
+            None => w.put_bool(false),
+            Some(fps) => {
+                w.put_bool(true);
+                w.put_f64(fps);
+            }
+        }
+        w.put_u32(self.probe_cooldown);
+        snap.extra = w.into_bytes();
+        snap
+    }
+
+    fn restore(&mut self, snapshot: &PolicySnapshot) -> Result<(), SnapshotError> {
+        snapshot.expect_controller("heuristic")?;
+        if snapshot.extra.is_empty() {
+            self.thread_probe = None;
+            self.probe_cooldown = 0;
+        } else {
+            let mut r = SnapshotReader::new(&snapshot.extra);
+            let probe = if r.get_bool()? {
+                Some(r.get_f64()?)
+            } else {
+                None
+            };
+            let cooldown = r.get_u32()?;
+            r.expect_end()?;
+            self.thread_probe = probe;
+            self.probe_cooldown = cooldown;
+        }
+        self.knobs = snapshot.knobs;
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
 }
@@ -433,6 +474,31 @@ mod tests {
         let mut cfg = HeuristicConfig::paper_hr();
         cfg.qp_bounds = (40, 22);
         assert!(HeuristicController::new(cfg).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_rule_state() {
+        let mut c = ctl();
+        let cons = Constraints::paper_defaults();
+        // Drive into a state with a live thread probe.
+        c.begin_frame(0, &obs(16.0, 40.0, 4.0, 80.0), &cons);
+        c.begin_frame(6, &obs(17.0, 40.0, 4.0, 80.0), &cons);
+        let snap = Controller::snapshot(&c);
+        let decoded = PolicySnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        let mut restored = ctl();
+        restored.restore(&decoded).unwrap();
+        // Same inputs from here on must produce the same knob sequence.
+        for f in 2..20u64 {
+            let o = obs(15.0 + (f % 5) as f64, 40.0, 4.0, 80.0);
+            assert_eq!(
+                c.begin_frame(f * 6, &o, &cons),
+                restored.begin_frame(f * 6, &o, &cons),
+                "diverged at decision {f}"
+            );
+        }
+        let mut foreign = Controller::snapshot(&c);
+        foreign.controller = "fixed".into();
+        assert!(restored.restore(&foreign).is_err());
     }
 
     #[test]

@@ -2,6 +2,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use mamut_core::reward::{total_reward, RewardWeights};
+use mamut_core::snapshot::{PolicySnapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use mamut_core::{
     Agent, AgentKind, Constraints, Controller, CoreError, KnobSettings, LearningRateParams,
     Observation, Phase, State, STATE_COUNT,
@@ -298,7 +299,90 @@ impl Controller for MonoAgentController {
         }
     }
 
+    fn snapshot(&self) -> PolicySnapshot {
+        let mut w = SnapshotWriter::new();
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        match &self.pending {
+            None => w.put_bool(false),
+            Some(p) => {
+                w.put_bool(true);
+                w.put_u32(p.state as u32);
+                w.put_u32(p.action as u32);
+                w.put_u64(p.count);
+                w.put_f64(p.sum.fps);
+                w.put_f64(p.sum.psnr_db);
+                w.put_f64(p.sum.bitrate_mbps);
+                w.put_f64(p.sum.power_w);
+            }
+        }
+        PolicySnapshot {
+            controller: "mono-agent".to_owned(),
+            knobs: self.knobs,
+            exploration_decisions: self.exploration_decisions,
+            exploitation_decisions: self.exploitation_decisions,
+            agents: vec![self.agent.to_snapshot()],
+            extra: w.into_bytes(),
+        }
+    }
+
+    fn restore(&mut self, snapshot: &PolicySnapshot) -> Result<(), SnapshotError> {
+        snapshot.expect_controller("mono-agent")?;
+        let [table] = snapshot.agents.as_slice() else {
+            return Err(SnapshotError::ShapeMismatch("expected one joint agent"));
+        };
+        let mut staged = self.agent.clone();
+        staged.restore_snapshot(table)?;
+        if snapshot.extra.is_empty() {
+            // Knowledge-only restore: fresh execution state, zeroed
+            // decision counters (they count this controller's own
+            // decisions — see `MamutController::restore`).
+            self.pending = None;
+            self.exploration_decisions = 0;
+            self.exploitation_decisions = 0;
+        } else {
+            let mut r = SnapshotReader::new(&snapshot.extra);
+            let mut rng_state = [0u64; 4];
+            for word in &mut rng_state {
+                *word = r.get_u64()?;
+            }
+            let pending = if r.get_bool()? {
+                let state = r.get_u32()? as usize;
+                let action = r.get_u32()? as usize;
+                if state >= STATE_COUNT || action >= self.grid.len() {
+                    return Err(SnapshotError::Corrupt("pending decision out of range"));
+                }
+                Some(Pending {
+                    state,
+                    action,
+                    count: r.get_u64()?,
+                    sum: Observation {
+                        fps: r.get_f64()?,
+                        psnr_db: r.get_f64()?,
+                        bitrate_mbps: r.get_f64()?,
+                        power_w: r.get_f64()?,
+                    },
+                })
+            } else {
+                None
+            };
+            r.expect_end()?;
+            self.pending = pending;
+            self.rng = StdRng::from_state(rng_state);
+            self.exploration_decisions = snapshot.exploration_decisions;
+            self.exploitation_decisions = snapshot.exploitation_decisions;
+        }
+        self.agent = staged;
+        self.knobs = snapshot.knobs;
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
 }
@@ -417,5 +501,42 @@ mod tests {
     fn name_is_stable() {
         let ctl = MonoAgentController::new(MonoAgentConfig::paper_hr()).unwrap();
         assert_eq!(ctl.name(), "mono-agent");
+    }
+
+    #[test]
+    fn snapshot_restore_replays_identical_decisions() {
+        let cfg = MonoAgentConfig::paper_hr().with_seed(5);
+        let mut original = MonoAgentController::new(cfg.clone()).unwrap();
+        let c = Constraints::paper_defaults();
+        for f in 0..900u64 {
+            original.begin_frame(f, &obs(22.0 + (f % 6) as f64), &c);
+            original.end_frame(f, &obs(22.0 + (f % 6) as f64), &c);
+        }
+        let bytes = Controller::snapshot(&original).to_bytes();
+        let snap = PolicySnapshot::from_bytes(&bytes).unwrap();
+        let mut restored = MonoAgentController::new(cfg.with_seed(31)).unwrap();
+        restored.restore(&snap).unwrap();
+        for f in 900..2_400u64 {
+            let o = obs(20.0 + (f % 8) as f64);
+            assert_eq!(
+                original.begin_frame(f, &o, &c),
+                restored.begin_frame(f, &o, &c),
+                "diverged at frame {f}"
+            );
+            original.end_frame(f, &o, &c);
+            restored.end_frame(f, &o, &c);
+        }
+        assert_eq!(
+            Controller::snapshot(&original).to_bytes(),
+            Controller::snapshot(&restored).to_bytes()
+        );
+    }
+
+    #[test]
+    fn restore_rejects_foreign_snapshots() {
+        let mut ctl = MonoAgentController::new(MonoAgentConfig::paper_hr()).unwrap();
+        let mut snap = Controller::snapshot(&ctl);
+        snap.controller = "mamut".into();
+        assert!(ctl.restore(&snap).is_err());
     }
 }

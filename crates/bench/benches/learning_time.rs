@@ -8,25 +8,19 @@
 //! exploration phase. Reported: frames until that share crosses 50 % and
 //! 80 %. Expected shape: MAMUT crosses an order of magnitude sooner.
 
-use mamut_baselines::MonoAgentController;
 use mamut_bench::ControllerKind;
-use mamut_core::MamutController;
 use mamut_transcode::{homogeneous_sessions, MixSpec, ServerSim};
 
-/// Cumulative non-exploration share of a controller's decisions.
+/// Cumulative non-exploration share of a controller's decisions. The
+/// typed snapshot carries the phase counters for every controller type,
+/// so no downcasting is needed.
 fn exploit_share(ctl: &dyn mamut_core::Controller) -> f64 {
-    let (explore, exploit) = if let Some(m) = ctl.as_any().downcast_ref::<MamutController>() {
-        (m.exploration_decisions(), m.exploitation_decisions())
-    } else if let Some(m) = ctl.as_any().downcast_ref::<MonoAgentController>() {
-        (m.exploration_decisions(), m.exploitation_decisions())
-    } else {
-        (0, 0)
-    };
-    let total = explore + exploit;
+    let snap = ctl.snapshot();
+    let total = snap.exploration_decisions + snap.exploitation_decisions;
     if total == 0 {
         0.0
     } else {
-        exploit as f64 / total as f64
+        snap.exploitation_decisions as f64 / total as f64
     }
 }
 

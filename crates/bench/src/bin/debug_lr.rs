@@ -24,25 +24,29 @@ fn main() {
         sum.sessions[0].mean_freq_ghz,
         sum.sessions[0].mean_psnr_db
     );
-    let s = srv.session(0).unwrap();
-    let m = s
-        .controller()
-        .as_any()
-        .downcast_ref::<MamutController>()
-        .unwrap();
+    // The typed snapshot exposes every agent's Q-values and visit
+    // counts without downcasting to the concrete controller.
+    let snap = srv.session(0).unwrap().controller().snapshot();
     // dominant states: reconstruct plausible ones
     for fps_b in 0..2u8 {
         for psnr_b in 1..3u8 {
             let st = State::from_buckets(fps_b, psnr_b, 0, 0).unwrap();
             let idx = st.index();
             for kind in AgentKind::ALL {
-                let ag = m.agent(kind);
-                let visits: u32 = (0..ag.n_actions()).map(|a| ag.visits(idx, a)).sum();
+                let ag = snap.agent(kind).expect("mamut snapshot has all agents");
+                let n_actions = ag.n_actions as usize;
+                let visit_matrix = ag.visit_matrix();
+                let cell =
+                    |a: usize| (ag.q[idx * n_actions + a], visit_matrix[idx * n_actions + a]);
+                let visits: u32 = (0..n_actions).map(|a| cell(a).1).sum();
                 if visits == 0 {
                     continue;
                 }
-                let row: Vec<String> = (0..ag.n_actions())
-                    .map(|a| format!("{:.1}({})", ag.q_table().get(idx, a), ag.visits(idx, a)))
+                let row: Vec<String> = (0..n_actions)
+                    .map(|a| {
+                        let (q, v) = cell(a);
+                        format!("{q:.1}({v})")
+                    })
                     .collect();
                 println!(
                     "state(fps{},psnr{},br0,pow0) {kind}: {}",

@@ -1,3 +1,4 @@
+use crate::snapshot::{AgentSnapshot, SnapshotError, TransitionRecord};
 use crate::{AgentKind, LearningRateParams, Phase, QTable, TransitionModel};
 
 /// One Q-learning agent: a Q-table, a transition model, visit counters and
@@ -173,6 +174,70 @@ impl Agent {
     /// Learning-rate parameters.
     pub fn learning_params(&self) -> &LearningRateParams {
         &self.lr
+    }
+
+    /// Captures the agent's learned state in portable form.
+    pub fn to_snapshot(&self) -> AgentSnapshot {
+        AgentSnapshot {
+            kind: self.kind,
+            n_states: self.q.n_states() as u32,
+            n_actions: self.q.n_actions() as u32,
+            q: self.q.values().to_vec(),
+            action_counts: self.action_counts.clone(),
+            transitions: self
+                .transitions
+                .records()
+                .into_iter()
+                .map(|(s, a, next, count)| TransitionRecord {
+                    state: s as u32,
+                    action: a as u32,
+                    next_state: next as u32,
+                    count,
+                })
+                .collect(),
+        }
+    }
+
+    /// Overwrites the agent's learned state from a snapshot of the same
+    /// kind and shape. Learning parameters (β, γ, thresholds) are *not*
+    /// in the snapshot — they stay whatever this agent was built with.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::ShapeMismatch`] if the snapshot's kind, state
+    /// count or action count differ from this agent's.
+    pub fn restore_snapshot(&mut self, snap: &AgentSnapshot) -> Result<(), SnapshotError> {
+        if snap.kind != self.kind {
+            return Err(SnapshotError::ShapeMismatch("agent kind differs"));
+        }
+        if snap.n_states as usize != self.q.n_states() {
+            return Err(SnapshotError::ShapeMismatch("state count differs"));
+        }
+        if snap.n_actions as usize != self.q.n_actions() {
+            return Err(SnapshotError::ShapeMismatch("action count differs"));
+        }
+        if snap.q.len() != self.q.values().len()
+            || snap.action_counts.len() != self.action_counts.len()
+        {
+            return Err(SnapshotError::ShapeMismatch("table length differs"));
+        }
+        if snap.transitions.iter().any(|t| {
+            t.state >= snap.n_states || t.next_state >= snap.n_states || t.action >= snap.n_actions
+        }) {
+            return Err(SnapshotError::ShapeMismatch("transition out of range"));
+        }
+        self.q.load_values(&snap.q);
+        self.action_counts.copy_from_slice(&snap.action_counts);
+        self.transitions.clear();
+        for t in &snap.transitions {
+            self.transitions.record_many(
+                t.state as usize,
+                t.action as usize,
+                t.next_state as usize,
+                t.count,
+            );
+        }
+        Ok(())
     }
 
     /// Number of states whose phase is at least `phase` among those visited

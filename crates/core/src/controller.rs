@@ -5,6 +5,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::observation::ObservationAccumulator;
 use crate::reward::total_reward;
+use crate::snapshot::{PolicySnapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::{
     exploitation, Agent, AgentKind, Constraints, Controller, CoreError, KnobSettings, MamutConfig,
     Observation, Phase, Sequencer, State, STATE_COUNT,
@@ -274,6 +275,109 @@ impl MamutController {
     pub fn exploitation_decisions(&self) -> u64 {
         self.exploitation_decisions
     }
+
+    /// Encodes the controller-private execution state (RNG, per-agent
+    /// decision counts, phase ring, pending update window) for the
+    /// snapshot's `extra` section.
+    fn encode_private(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        w.put_u32(self.decisions_per_agent.len() as u32);
+        for &d in &self.decisions_per_agent {
+            w.put_u64(d);
+        }
+        w.put_u32(self.recent_phases.len() as u32);
+        for &p in &self.recent_phases {
+            w.put_u8(phase_code(p));
+        }
+        match &self.pending {
+            None => w.put_bool(false),
+            Some(p) => {
+                w.put_bool(true);
+                w.put_u32(p.agent as u32);
+                w.put_u32(p.state as u32);
+                w.put_u32(p.action as u32);
+                w.put_u64(p.acc.count());
+                let (fps, psnr, br, pow) = p.acc.sums();
+                w.put_f64(fps);
+                w.put_f64(psnr);
+                w.put_f64(br);
+                w.put_f64(pow);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes what [`MamutController::encode_private`] wrote.
+    fn restore_private(&mut self, extra: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapshotReader::new(extra);
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = r.get_u64()?;
+        }
+        let n_agents = r.get_u32()? as usize;
+        if n_agents != self.decisions_per_agent.len() {
+            return Err(SnapshotError::ShapeMismatch("decision counter length"));
+        }
+        let mut decisions = Vec::with_capacity(n_agents);
+        for _ in 0..n_agents {
+            decisions.push(r.get_u64()?);
+        }
+        let n_phases = r.get_u32()? as usize;
+        if n_phases > RECENT_PHASE_WINDOW {
+            return Err(SnapshotError::Corrupt("phase ring too long"));
+        }
+        let mut phases = VecDeque::with_capacity(RECENT_PHASE_WINDOW);
+        for _ in 0..n_phases {
+            phases.push_back(phase_from_code(r.get_u8()?)?);
+        }
+        let pending = if r.get_bool()? {
+            let agent = r.get_u32()? as usize;
+            let state = r.get_u32()? as usize;
+            let action = r.get_u32()? as usize;
+            if agent >= self.agents.len() || state >= STATE_COUNT {
+                return Err(SnapshotError::Corrupt("pending decision out of range"));
+            }
+            if action >= self.agents[agent].n_actions() {
+                return Err(SnapshotError::Corrupt("pending action out of range"));
+            }
+            let count = r.get_u64()?;
+            let sums = (r.get_f64()?, r.get_f64()?, r.get_f64()?, r.get_f64()?);
+            Some(Pending {
+                agent,
+                state,
+                action,
+                acc: ObservationAccumulator::from_parts(count, sums),
+            })
+        } else {
+            None
+        };
+        r.expect_end()?;
+        self.rng = StdRng::from_state(rng_state);
+        self.decisions_per_agent = decisions;
+        self.recent_phases = phases;
+        self.pending = pending;
+        Ok(())
+    }
+}
+
+fn phase_code(phase: Phase) -> u8 {
+    match phase {
+        Phase::Exploration => 0,
+        Phase::ExplorationExploitation => 1,
+        Phase::Exploitation => 2,
+    }
+}
+
+fn phase_from_code(code: u8) -> Result<Phase, SnapshotError> {
+    match code {
+        0 => Ok(Phase::Exploration),
+        1 => Ok(Phase::ExplorationExploitation),
+        2 => Ok(Phase::Exploitation),
+        _ => Err(SnapshotError::Corrupt("unknown phase code")),
+    }
 }
 
 impl Controller for MamutController {
@@ -310,7 +414,55 @@ impl Controller for MamutController {
         }
     }
 
+    fn snapshot(&self) -> PolicySnapshot {
+        PolicySnapshot {
+            controller: "mamut".to_owned(),
+            knobs: self.knobs,
+            exploration_decisions: self.exploration_decisions,
+            exploitation_decisions: self.exploitation_decisions,
+            agents: self.agents.iter().map(Agent::to_snapshot).collect(),
+            extra: self.encode_private(),
+        }
+    }
+
+    fn restore(&mut self, snapshot: &PolicySnapshot) -> Result<(), SnapshotError> {
+        snapshot.expect_controller("mamut")?;
+        if snapshot.agents.len() != self.agents.len() {
+            return Err(SnapshotError::ShapeMismatch("agent count differs"));
+        }
+        // Validate every table before mutating anything, so a failed
+        // restore leaves the controller untouched.
+        let mut staged = self.agents.clone();
+        for (agent, snap) in staged.iter_mut().zip(&snapshot.agents) {
+            agent.restore_snapshot(snap)?;
+        }
+        if snapshot.extra.is_empty() {
+            // Knowledge-only snapshot (e.g. from a fleet store): adopt
+            // the learned tables and operating point, keep this
+            // controller's own RNG stream, and zero the decision
+            // counters — they describe decisions *this* controller
+            // makes, which is exactly what warm-start experiments
+            // measure against a cold start.
+            self.pending = None;
+            self.recent_phases.clear();
+            self.decisions_per_agent = vec![0; self.agents.len()];
+            self.exploration_decisions = 0;
+            self.exploitation_decisions = 0;
+        } else {
+            self.restore_private(&snapshot.extra)?;
+            self.exploration_decisions = snapshot.exploration_decisions;
+            self.exploitation_decisions = snapshot.exploitation_decisions;
+        }
+        self.agents = staged;
+        self.knobs = snapshot.knobs;
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
 }
@@ -500,5 +652,77 @@ mod tests {
         let ctl = MamutController::new(MamutConfig::paper_hr()).unwrap();
         assert_eq!(ctl.maturity().exploitation_fraction(), 1.0);
         assert_eq!(ctl.recent_exploitation_fraction(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_restore_replays_identical_decisions() {
+        let cfg = MamutConfig::paper_hr().with_seed(21);
+        let mut original = MamutController::new(cfg.clone()).unwrap();
+        run_frames(&mut original, 0..1_000, 24.5);
+        // Capture mid-run (a pending update window is live), ship the
+        // bytes, restore into a differently seeded fresh controller.
+        let bytes = Controller::snapshot(&original).to_bytes();
+        let snap = crate::snapshot::PolicySnapshot::from_bytes(&bytes).unwrap();
+        let mut restored = MamutController::new(cfg.with_seed(99)).unwrap();
+        restored.restore(&snap).unwrap();
+        let c = Constraints::paper_defaults();
+        for f in 1_000..3_000u64 {
+            let o = obs(20.0 + (f % 9) as f64);
+            assert_eq!(
+                original.begin_frame(f, &o, &c),
+                restored.begin_frame(f, &o, &c),
+                "decisions diverged at frame {f}"
+            );
+            original.end_frame(f, &o, &c);
+            restored.end_frame(f, &o, &c);
+        }
+        assert_eq!(
+            Controller::snapshot(&original).to_bytes(),
+            Controller::snapshot(&restored).to_bytes(),
+            "states diverged after identical replay"
+        );
+    }
+
+    #[test]
+    fn knowledge_only_restore_warm_starts_tables() {
+        let mut trained = MamutController::new(MamutConfig::paper_hr().with_seed(2)).unwrap();
+        run_frames(&mut trained, 0..40_000, 24.5);
+        let knowledge = Controller::snapshot(&trained).into_knowledge();
+        let mut fresh = MamutController::new(MamutConfig::paper_hr().with_seed(77)).unwrap();
+        fresh.restore(&knowledge).unwrap();
+        // Knowledge-only restores zero the decision counters: they count
+        // this controller's own decisions from its warm birth onward.
+        assert_eq!(fresh.exploration_decisions(), 0);
+        assert_eq!(fresh.exploitation_decisions(), 0);
+        // The tables are mature: the warm-started controller must make
+        // almost all of its new decisions outside exploration.
+        run_frames(&mut fresh, 0..2_000, 24.5);
+        let explored = fresh.exploration_decisions();
+        let total = explored + fresh.exploitation_decisions();
+        assert!(
+            (explored as f64) < 0.2 * total as f64,
+            "warm start still explored {explored} of {total} decisions"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_foreign_and_misshapen_snapshots() {
+        let mut ctl = MamutController::new(MamutConfig::paper_hr()).unwrap();
+        let mut wrong = Controller::snapshot(&ctl);
+        wrong.controller = "heuristic".into();
+        assert!(matches!(
+            ctl.restore(&wrong),
+            Err(crate::snapshot::SnapshotError::WrongController { .. })
+        ));
+        // LR tables (5 thread actions) must not restore into an HR
+        // controller (12 thread actions).
+        let lr = MamutController::new(MamutConfig::paper_lr()).unwrap();
+        assert!(matches!(
+            ctl.restore(&Controller::snapshot(&lr)),
+            Err(crate::snapshot::SnapshotError::ShapeMismatch(_))
+        ));
+        // A failed restore must leave the controller fully usable.
+        let c = Constraints::paper_defaults();
+        assert!(ctl.begin_frame(0, &obs(24.0), &c).is_some());
     }
 }

@@ -1,3 +1,4 @@
+use crate::snapshot::{PolicySnapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::{Constraints, KnobSettings, Observation};
 
 /// A run-time manager for one transcoding session.
@@ -23,6 +24,18 @@ use crate::{Constraints, KnobSettings, Observation};
 /// be advanced on worker threads — the fleet simulator runs one node per
 /// thread within an epoch. Controllers are still driven from one thread
 /// at a time; they only need to be movable across threads.
+///
+/// # Portable knowledge
+///
+/// Learned state is first-class: [`Controller::snapshot`] captures
+/// everything the controller knows as a [`PolicySnapshot`] (a versioned,
+/// byte-exact portable form — see [`crate::snapshot`]) and
+/// [`Controller::restore`] rehydrates it. A restore from a full snapshot
+/// is exact — the restored controller replays byte-identical decisions
+/// from the same frame onward; a restore from a knowledge-only snapshot
+/// (empty `extra`, e.g. out of a fleet knowledge store) warm-starts the
+/// learned tables while keeping the controller's own RNG stream and
+/// in-flight bookkeeping fresh.
 pub trait Controller: std::any::Any + Send {
     /// Short human-readable name for reports ("mamut", "heuristic", …).
     fn name(&self) -> &str;
@@ -39,9 +52,31 @@ pub trait Controller: std::any::Any + Send {
     /// Called when `frame` completes with its measured observation.
     fn end_frame(&mut self, frame: u64, obs: &Observation, constraints: &Constraints);
 
+    /// Captures the controller's complete learned and execution state as
+    /// a portable [`PolicySnapshot`].
+    fn snapshot(&self) -> PolicySnapshot;
+
+    /// Rehydrates state captured by [`Controller::snapshot`] (or a
+    /// knowledge-only variant of it) into this controller.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::WrongController`] when the snapshot bears another
+    /// controller's tag; [`SnapshotError::ShapeMismatch`] when its tables
+    /// do not fit this controller's configuration;
+    /// [`SnapshotError::Corrupt`]/[`SnapshotError::Truncated`] for a
+    /// damaged private `extra` section.
+    fn restore(&mut self, snapshot: &PolicySnapshot) -> Result<(), SnapshotError>;
+
     /// Upcast for diagnostics (e.g. reading a trained controller's
-    /// Q-tables or maturity report after a run).
+    /// Q-tables or maturity report after a run). Prefer
+    /// [`Controller::snapshot`] where the typed snapshot suffices.
     fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable upcast — the escape hatch for in-place surgery on a
+    /// concrete controller (tests, migration shims). Every controller
+    /// must implement it; there is deliberately no default.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 }
 
 /// A trivial controller that never changes the initial knobs.
@@ -99,7 +134,32 @@ impl Controller for FixedController {
 
     fn end_frame(&mut self, _frame: u64, _obs: &Observation, _constraints: &Constraints) {}
 
+    fn snapshot(&self) -> PolicySnapshot {
+        let mut snap = PolicySnapshot::tableless("fixed", self.knobs);
+        let mut w = SnapshotWriter::new();
+        w.put_bool(self.announced);
+        snap.extra = w.into_bytes();
+        snap
+    }
+
+    fn restore(&mut self, snapshot: &PolicySnapshot) -> Result<(), SnapshotError> {
+        snapshot.expect_controller("fixed")?;
+        self.knobs = snapshot.knobs;
+        if snapshot.extra.is_empty() {
+            self.announced = false;
+        } else {
+            let mut r = SnapshotReader::new(&snapshot.extra);
+            self.announced = r.get_bool()?;
+            r.expect_end()?;
+        }
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
 }

@@ -71,6 +71,7 @@ pub mod exploitation;
 pub mod learning;
 pub mod policy;
 pub mod reward;
+pub mod snapshot;
 
 pub use action::{ActionSpace, AgentKind, KnobSettings};
 pub use agent::Agent;
@@ -82,5 +83,6 @@ pub use learning::{LearningRateParams, Phase};
 pub use observation::{Constraints, Observation, ObservationAccumulator};
 pub use qtable::QTable;
 pub use schedule::{AgentSchedule, Sequencer};
+pub use snapshot::{AgentSnapshot, PolicySnapshot, SnapshotError, TransitionRecord};
 pub use state::{State, BITRATE_BUCKETS, FPS_BUCKETS, POWER_BUCKETS, PSNR_BUCKETS, STATE_COUNT};
 pub use transition::TransitionModel;

@@ -99,6 +99,24 @@ impl ObservationAccumulator {
     pub fn clear(&mut self) {
         *self = Self::default();
     }
+
+    /// Raw running sums `(fps, psnr_db, bitrate_mbps, power_w)` — exact
+    /// internal state for portable snapshots (means would lose bits).
+    pub fn sums(&self) -> (f64, f64, f64, f64) {
+        (self.fps, self.psnr_db, self.bitrate_mbps, self.power_w)
+    }
+
+    /// Rebuilds an accumulator from a count and raw sums captured with
+    /// [`ObservationAccumulator::sums`].
+    pub fn from_parts(count: u64, sums: (f64, f64, f64, f64)) -> Self {
+        ObservationAccumulator {
+            count,
+            fps: sums.0,
+            psnr_db: sums.1,
+            bitrate_mbps: sums.2,
+            power_w: sums.3,
+        }
+    }
 }
 
 /// Per-stream and server-level constraints the controller honours.

@@ -3,12 +3,17 @@
 //! Operators of a learning controller need to audit what it has learned —
 //! both to debug pathologies (e.g. a starvation equilibrium in a
 //! violation state) and to build trust before deployment. This module
-//! extracts a human-readable snapshot of the greedy policy from a trained
+//! extracts a human-readable report of the greedy policy from a trained
 //! [`MamutController`].
+//!
+//! A [`PolicyReport`] is a *read-only view for humans*; the portable,
+//! restorable form of a controller's learned state is
+//! [`PolicySnapshot`](crate::snapshot::PolicySnapshot) in
+//! [`crate::snapshot`] — "snapshot" always means the latter.
 
 use crate::{AgentKind, MamutController, Phase, State, STATE_COUNT};
 
-/// One visited state's entry in a [`PolicySnapshot`].
+/// One visited state's entry in a [`PolicyReport`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct PolicyEntry {
     /// The state (bucketed FPS/PSNR/bitrate/power).
@@ -27,19 +32,19 @@ pub struct PolicyEntry {
 
 /// The greedy policy of one agent over every visited state.
 #[derive(Debug, Clone, PartialEq)]
-pub struct PolicySnapshot {
-    /// Which agent this snapshot describes.
+pub struct PolicyReport {
+    /// Which agent this report describes.
     pub agent: AgentKind,
     /// Entries for visited states, ordered by descending visit count.
     pub entries: Vec<PolicyEntry>,
 }
 
-impl PolicySnapshot {
-    /// Extracts the snapshot of `agent` from a controller.
+impl PolicyReport {
+    /// Extracts the report of `agent` from a controller.
     ///
     /// Only states the agent has actually visited appear; entries are
     /// sorted by visit count so the operating orbit comes first.
-    pub fn capture(controller: &MamutController, agent: AgentKind) -> PolicySnapshot {
+    pub fn capture(controller: &MamutController, agent: AgentKind) -> PolicyReport {
         let ag = controller.agent(agent);
         let peer_min = AgentKind::ALL
             .iter()
@@ -63,7 +68,7 @@ impl PolicySnapshot {
             });
         }
         entries.sort_by_key(|e| std::cmp::Reverse(e.visits));
-        PolicySnapshot { agent, entries }
+        PolicyReport { agent, entries }
     }
 
     /// Number of visited states.
@@ -130,7 +135,7 @@ mod tests {
     #[test]
     fn capture_reports_only_visited_states() {
         let ctl = trained();
-        let snap = PolicySnapshot::capture(&ctl, AgentKind::Dvfs);
+        let snap = PolicyReport::capture(&ctl, AgentKind::Dvfs);
         assert!(snap.visited_states() > 0);
         assert!(snap.visited_states() < STATE_COUNT);
         for e in &snap.entries {
@@ -143,7 +148,7 @@ mod tests {
     #[test]
     fn entries_sorted_by_visits() {
         let ctl = trained();
-        let snap = PolicySnapshot::capture(&ctl, AgentKind::Qp);
+        let snap = PolicyReport::capture(&ctl, AgentKind::Qp);
         for pair in snap.entries.windows(2) {
             assert!(pair[0].visits >= pair[1].visits);
         }
@@ -154,7 +159,7 @@ mod tests {
     #[test]
     fn fresh_controller_has_empty_policy() {
         let ctl = MamutController::new(MamutConfig::paper_hr()).expect("valid");
-        let snap = PolicySnapshot::capture(&ctl, AgentKind::Thread);
+        let snap = PolicyReport::capture(&ctl, AgentKind::Thread);
         assert_eq!(snap.visited_states(), 0);
         assert!(snap.dominant().is_none());
     }
@@ -162,7 +167,7 @@ mod tests {
     #[test]
     fn render_is_nonempty_and_mentions_agent() {
         let ctl = trained();
-        let snap = PolicySnapshot::capture(&ctl, AgentKind::Thread);
+        let snap = PolicyReport::capture(&ctl, AgentKind::Thread);
         let text = snap.render(5);
         assert!(text.contains("AGthread"));
         assert!(text.lines().count() >= 2);
@@ -172,7 +177,7 @@ mod tests {
     fn all_three_agents_capture() {
         let ctl = trained();
         for kind in AgentKind::ALL {
-            let snap = PolicySnapshot::capture(&ctl, kind);
+            let snap = PolicyReport::capture(&ctl, kind);
             assert_eq!(snap.agent, kind);
             assert!(snap.visited_states() > 0, "{kind} visited nothing");
         }

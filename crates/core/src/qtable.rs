@@ -71,6 +71,26 @@ impl QTable {
         self.values[i] += alpha * (target - self.values[i]);
     }
 
+    /// The full table, row-major (`n_states × n_actions`) — the layout
+    /// portable snapshots serialize.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Replaces the whole table from a row-major value vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not have `n_states × n_actions` entries.
+    pub fn load_values(&mut self, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.n_states * self.n_actions,
+            "value vector must match the table shape"
+        );
+        self.values.copy_from_slice(values);
+    }
+
     /// Row of Q-values for `state`.
     pub fn row(&self, state: usize) -> &[f64] {
         let start = state * self.n_actions;

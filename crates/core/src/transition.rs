@@ -103,6 +103,40 @@ impl TransitionModel {
         self.counts[self.idx(state, action)].len()
     }
 
+    /// Every recorded transition as `(state, action, next_state, count)`,
+    /// sorted — the canonical order portable snapshots serialize (the
+    /// internal maps iterate in arbitrary order).
+    pub fn records(&self) -> Vec<(usize, usize, usize, u32)> {
+        let mut out = Vec::new();
+        for state in 0..self.n_states {
+            for action in 0..self.n_actions {
+                let i = state * self.n_actions + action;
+                for (&next, &count) in &self.counts[i] {
+                    out.push((state, action, next, count));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Adds `count` observations of `(state, action) → next_state` in one
+    /// step — the bulk path used when restoring a snapshot.
+    pub fn record_many(&mut self, state: usize, action: usize, next_state: usize, count: u32) {
+        debug_assert!(next_state < self.n_states);
+        let i = self.idx(state, action);
+        *self.counts[i].entry(next_state).or_insert(0) += count;
+        self.totals[i] += count;
+    }
+
+    /// Resets the model to empty (restore starts from a clean slate).
+    pub fn clear(&mut self) {
+        for m in &mut self.counts {
+            m.clear();
+        }
+        self.totals.fill(0);
+    }
+
     /// Number of states this model covers.
     pub fn n_states(&self) -> usize {
         self.n_states

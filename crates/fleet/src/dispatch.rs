@@ -1,9 +1,12 @@
 //! Dispatch policies: which node serves the next arriving session.
 //!
-//! The dispatcher sees one [`NodeSnapshot`] per node — active sessions,
-//! thread demand, instantaneous power, and the planning shapes of the
-//! sessions already resident — and answers with a placement, a deferral
-//! to the next epoch, or a rejection. Policies range from the oblivious
+//! The dispatcher sees one [`NodeView`] per node — a *read-only* view of
+//! active sessions, thread demand, instantaneous power, and the planning
+//! shapes of the sessions already resident — and answers with a
+//! placement, a deferral to the next epoch, or a rejection. (Views were
+//! previously called "node snapshots"; that word now belongs exclusively
+//! to [`PolicySnapshot`](mamut_core::snapshot::PolicySnapshot), the
+//! portable learned-state capture.) Policies range from the oblivious
 //! ([`RoundRobin`]) through load- and power-sensitive placement
 //! ([`LeastLoaded`], [`PowerAware`]) to model-based admission control
 //! ([`AdmissionGated`], which reuses the single-server
@@ -16,9 +19,13 @@ use mamut_transcode::{AdmissionPlanner, StreamShape};
 
 use crate::workload::SessionRequest;
 
-/// A dispatcher's view of one node at dispatch time.
+/// A dispatcher's (or rebalancer's) read-only view of one node.
+///
+/// Produced by [`FleetNode::view`](crate::FleetNode::view) after an
+/// explicit [`FleetNode::refresh`](crate::FleetNode::refresh) has pruned
+/// finished sessions — building the view never mutates the node.
 #[derive(Debug, Clone)]
-pub struct NodeSnapshot {
+pub struct NodeView {
     /// Node id (index in the fleet).
     pub node_id: usize,
     /// Sessions still transcoding.
@@ -42,9 +49,9 @@ pub struct NodeSnapshot {
     pub resident_shapes: Vec<StreamShape>,
 }
 
-impl NodeSnapshot {
+impl NodeView {
     /// Thread demand over hardware threads (may exceed 1.0). Uses the
-    /// larger of current and planned demand — see [`NodeSnapshot::planned_threads`].
+    /// larger of current and planned demand — see [`NodeView::planned_threads`].
     pub fn utilization(&self) -> f64 {
         if self.hw_threads == 0 {
             0.0
@@ -79,7 +86,7 @@ pub trait Dispatcher: Send {
     fn name(&self) -> &'static str;
 
     /// Decides where `request` goes given the current node snapshots.
-    fn dispatch(&mut self, request: &SessionRequest, nodes: &[NodeSnapshot]) -> DispatchDecision;
+    fn dispatch(&mut self, request: &SessionRequest, nodes: &[NodeView]) -> DispatchDecision;
 }
 
 /// Cycles through nodes in order, ignoring load entirely.
@@ -100,7 +107,7 @@ impl Dispatcher for RoundRobin {
         "round-robin"
     }
 
-    fn dispatch(&mut self, _request: &SessionRequest, nodes: &[NodeSnapshot]) -> DispatchDecision {
+    fn dispatch(&mut self, _request: &SessionRequest, nodes: &[NodeView]) -> DispatchDecision {
         if nodes.is_empty() {
             return DispatchDecision::Reject;
         }
@@ -127,7 +134,7 @@ impl Dispatcher for LeastLoaded {
         "least-loaded"
     }
 
-    fn dispatch(&mut self, _request: &SessionRequest, nodes: &[NodeSnapshot]) -> DispatchDecision {
+    fn dispatch(&mut self, _request: &SessionRequest, nodes: &[NodeView]) -> DispatchDecision {
         let best = nodes.iter().min_by(|a, b| {
             a.utilization()
                 .partial_cmp(&b.utilization())
@@ -160,7 +167,7 @@ impl Dispatcher for PowerAware {
         "power-aware"
     }
 
-    fn dispatch(&mut self, _request: &SessionRequest, nodes: &[NodeSnapshot]) -> DispatchDecision {
+    fn dispatch(&mut self, _request: &SessionRequest, nodes: &[NodeView]) -> DispatchDecision {
         let best = nodes.iter().max_by(|a, b| {
             a.power_headroom_w()
                 .partial_cmp(&b.power_headroom_w())
@@ -214,7 +221,7 @@ impl AdmissionGated {
         }
     }
 
-    fn feasible_on(&self, node: &NodeSnapshot, shape: &StreamShape) -> bool {
+    fn feasible_on(&self, node: &NodeView, shape: &StreamShape) -> bool {
         let mut mix = node.resident_shapes.clone();
         mix.push(shape.clone());
         self.planner.admit(&mix).feasible
@@ -226,7 +233,7 @@ impl Dispatcher for AdmissionGated {
         "admission-gated"
     }
 
-    fn dispatch(&mut self, request: &SessionRequest, nodes: &[NodeSnapshot]) -> DispatchDecision {
+    fn dispatch(&mut self, request: &SessionRequest, nodes: &[NodeView]) -> DispatchDecision {
         if nodes.is_empty() {
             return DispatchDecision::Reject;
         }
@@ -240,7 +247,7 @@ impl Dispatcher for AdmissionGated {
             }
         }
         // …then any node, least-utilized first.
-        let mut order: Vec<&NodeSnapshot> = nodes.iter().collect();
+        let mut order: Vec<&NodeView> = nodes.iter().collect();
         order.sort_by(|a, b| {
             a.utilization()
                 .partial_cmp(&b.utilization())
@@ -263,8 +270,8 @@ impl Dispatcher for AdmissionGated {
 mod tests {
     use super::*;
 
-    fn snapshot(node_id: usize, threads: u32, power_w: f64) -> NodeSnapshot {
-        NodeSnapshot {
+    fn snapshot(node_id: usize, threads: u32, power_w: f64) -> NodeView {
+        NodeView {
             node_id,
             active_sessions: (threads / 4) as usize,
             threads_demanded: threads,

@@ -28,6 +28,23 @@ pub enum FleetError {
         /// How many nodes the fleet has.
         nodes: usize,
     },
+    /// A migration referenced a session the node does not hold.
+    UnknownSession {
+        /// The node that was asked.
+        node: usize,
+        /// The missing session id.
+        session: usize,
+    },
+    /// The rebalance policy produced an unusable directive (out-of-range
+    /// node id, or source and target identical).
+    InvalidMigration {
+        /// Source node id.
+        from: usize,
+        /// Target node id.
+        to: usize,
+        /// How many nodes the fleet has.
+        nodes: usize,
+    },
 }
 
 impl std::fmt::Display for FleetError {
@@ -44,6 +61,13 @@ impl std::fmt::Display for FleetError {
             FleetError::InvalidDispatch { node, nodes } => write!(
                 f,
                 "dispatcher assigned node {node} but the fleet has {nodes} nodes"
+            ),
+            FleetError::UnknownSession { node, session } => {
+                write!(f, "node {node} holds no live session {session}")
+            }
+            FleetError::InvalidMigration { from, to, nodes } => write!(
+                f,
+                "rebalancer directed {from} -> {to} in a fleet of {nodes} nodes"
             ),
         }
     }

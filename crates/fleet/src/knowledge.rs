@@ -1,0 +1,483 @@
+//! Knowledge-as-a-service for the fleet: a store of learned policies,
+//! keyed by session class and controller type, that warm-starts new
+//! sessions.
+//!
+//! The KaaS follow-up to MAMUT observes that a freshly admitted stream
+//! pays the full exploration cost even though thousands of similar
+//! streams have already learned the same environment. The
+//! [`KnowledgeStore`] closes that loop:
+//!
+//! * finished sessions **publish** their
+//!   [`PolicySnapshot`](mamut_core::snapshot::PolicySnapshot) (stripped
+//!   to knowledge-only form — tables and counters, no RNG/execution
+//!   state) keyed by [`SessionClass`] (HR or LR) *and* controller tag,
+//!   so mixed-controller fleets accumulate knowledge side by side;
+//! * publishes **merge** under a [`MergePolicy`] — last-writer-wins or a
+//!   per-cell visit-weighted average of Q-values, with visit counts and
+//!   transition statistics accumulated;
+//! * [`warm_start_factory`] wraps any
+//!   [`ControllerFactory`](crate::ControllerFactory) so each new session
+//!   is **seeded** from the store before its first frame (silently
+//!   falling back to a cold start when the store has nothing compatible).
+//!
+//! The store is shared across nodes behind `Arc<Mutex<…>>`
+//! ([`SharedKnowledgeStore`]); every access happens on the coordinating
+//! thread at epoch boundaries (publish during harvest, seed during
+//! dispatch), so fleet determinism is preserved for any worker count.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use mamut_core::snapshot::{AgentSnapshot, PolicySnapshot, TransitionRecord};
+use mamut_core::Controller;
+
+use crate::node::ControllerFactory;
+use crate::workload::SessionRequest;
+
+/// The knowledge key: which kind of stream a policy was learned on.
+///
+/// HR and LR streams have different action spaces (thread caps) and
+/// different operating points, so their knowledge never mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SessionClass {
+    /// High-resolution (1080p) streams.
+    Hr,
+    /// Low-resolution (832×480) streams.
+    Lr,
+}
+
+impl SessionClass {
+    /// The class of an arriving request.
+    pub fn of_request(request: &SessionRequest) -> SessionClass {
+        SessionClass::of_hr(request.hr)
+    }
+
+    /// The class for an HR flag.
+    pub fn of_hr(hr: bool) -> SessionClass {
+        if hr {
+            SessionClass::Hr
+        } else {
+            SessionClass::Lr
+        }
+    }
+}
+
+impl std::fmt::Display for SessionClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SessionClass::Hr => "HR",
+            SessionClass::Lr => "LR",
+        })
+    }
+}
+
+/// How a publish combines with knowledge already in the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergePolicy {
+    /// The newest publish wins outright.
+    Replace,
+    /// Q-values merge per state-action cell, weighted by each side's
+    /// visit count (`Num(s, a)`); visit counts and transition statistics
+    /// accumulate. Falls back to replacement when the incoming tables
+    /// are structurally incompatible (different controller type or
+    /// shapes).
+    VisitWeighted,
+}
+
+/// What happened to a published snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishOutcome {
+    /// First knowledge for this class.
+    Inserted,
+    /// Merged into existing knowledge.
+    Merged,
+    /// Replaced existing knowledge (policy said so, or shapes differed).
+    Replaced,
+}
+
+/// Merged knowledge for one session class.
+#[derive(Debug, Clone)]
+pub struct ClassKnowledge {
+    /// The merged, knowledge-only snapshot new sessions are seeded from.
+    pub snapshot: PolicySnapshot,
+    /// Sessions that have contributed to this entry.
+    pub contributions: u64,
+}
+
+/// The fleet's policy repository: finished sessions publish their
+/// learned tables here; new sessions of the same class are seeded from
+/// the merged knowledge (see [`warm_start_factory`]).
+#[derive(Debug)]
+pub struct KnowledgeStore {
+    policy: MergePolicy,
+    /// Knowledge keyed by `(class, controller tag)`: mixed-controller
+    /// fleets publish side by side — a finishing heuristic session can
+    /// never displace the MAMUT tables accumulated for its class.
+    entries: BTreeMap<(SessionClass, String), ClassKnowledge>,
+    publishes: u64,
+    seeds_served: u64,
+    seed_attempts: u64,
+}
+
+/// A store shared between warm-start factories and the fleet loop.
+pub type SharedKnowledgeStore = Arc<Mutex<KnowledgeStore>>;
+
+impl KnowledgeStore {
+    /// Creates an empty store with the given merge policy.
+    pub fn new(policy: MergePolicy) -> Self {
+        KnowledgeStore {
+            policy,
+            entries: BTreeMap::new(),
+            publishes: 0,
+            seeds_served: 0,
+            seed_attempts: 0,
+        }
+    }
+
+    /// Wraps the store for sharing with factories and a `FleetSim`.
+    pub fn into_shared(self) -> SharedKnowledgeStore {
+        Arc::new(Mutex::new(self))
+    }
+
+    /// The merge policy in force.
+    pub fn policy(&self) -> MergePolicy {
+        self.policy
+    }
+
+    /// Publishes one controller's snapshot under `class`. The snapshot is
+    /// reduced to knowledge-only form (execution state stripped) before
+    /// it enters the store.
+    pub fn publish(&mut self, class: SessionClass, snapshot: &PolicySnapshot) -> PublishOutcome {
+        self.publishes += 1;
+        let incoming = snapshot.clone().into_knowledge();
+        let key = (class, incoming.controller.clone());
+        match self.entries.get_mut(&key) {
+            None => {
+                self.entries.insert(
+                    key,
+                    ClassKnowledge {
+                        snapshot: incoming,
+                        contributions: 1,
+                    },
+                );
+                PublishOutcome::Inserted
+            }
+            Some(existing) => {
+                existing.contributions += 1;
+                match self.policy {
+                    MergePolicy::Replace => {
+                        existing.snapshot = incoming;
+                        PublishOutcome::Replaced
+                    }
+                    MergePolicy::VisitWeighted => {
+                        if let Some(merged) = visit_weighted_merge(&existing.snapshot, &incoming) {
+                            existing.snapshot = merged;
+                            PublishOutcome::Merged
+                        } else {
+                            existing.snapshot = incoming;
+                            PublishOutcome::Replaced
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The merged knowledge a `controller`-tagged session of `class`
+    /// would be seeded from, if any peer has published.
+    pub fn knowledge(&self, class: SessionClass, controller: &str) -> Option<&ClassKnowledge> {
+        self.entries.get(&(class, controller.to_owned()))
+    }
+
+    /// Seeds a freshly built controller from the knowledge published by
+    /// its own kind for `class`. Returns whether a warm start actually
+    /// happened — `false` when the store has nothing for the
+    /// `(class, controller)` pair or the knowledge is shape-incompatible,
+    /// in which case the controller is left cold and untouched.
+    pub fn seed(&mut self, class: SessionClass, controller: &mut dyn Controller) -> bool {
+        self.seed_attempts += 1;
+        let key = (class, controller.name().to_owned());
+        let Some(entry) = self.entries.get(&key) else {
+            return false;
+        };
+        if controller.restore(&entry.snapshot).is_ok() {
+            self.seeds_served += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total publishes accepted (all classes).
+    pub fn publishes(&self) -> u64 {
+        self.publishes
+    }
+
+    /// Sessions successfully warm-started from the store.
+    pub fn seeds_served(&self) -> u64 {
+        self.seeds_served
+    }
+
+    /// Seeding attempts, successful or not.
+    pub fn seed_attempts(&self) -> u64 {
+        self.seed_attempts
+    }
+}
+
+/// Per-cell visit-weighted merge of two knowledge snapshots, or `None`
+/// when they are structurally incompatible.
+fn visit_weighted_merge(old: &PolicySnapshot, new: &PolicySnapshot) -> Option<PolicySnapshot> {
+    if old.controller != new.controller || old.agents.len() != new.agents.len() {
+        return None;
+    }
+    let mut agents = Vec::with_capacity(old.agents.len());
+    for (a, b) in old.agents.iter().zip(&new.agents) {
+        agents.push(merge_agent(a, b)?);
+    }
+    Some(PolicySnapshot {
+        controller: new.controller.clone(),
+        // The operating point follows the newest contributor: knobs are a
+        // live setting, not an average-able statistic.
+        knobs: new.knobs,
+        exploration_decisions: old.exploration_decisions + new.exploration_decisions,
+        exploitation_decisions: old.exploitation_decisions + new.exploitation_decisions,
+        agents,
+        extra: Vec::new(),
+    })
+}
+
+fn merge_agent(old: &AgentSnapshot, new: &AgentSnapshot) -> Option<AgentSnapshot> {
+    if old.kind != new.kind || old.n_states != new.n_states || old.n_actions != new.n_actions {
+        return None;
+    }
+    let visits_old = old.visit_matrix();
+    let visits_new = new.visit_matrix();
+    let q = old
+        .q
+        .iter()
+        .zip(&new.q)
+        .enumerate()
+        .map(|(i, (&qo, &qn))| {
+            let (vo, vn) = (f64::from(visits_old[i]), f64::from(visits_new[i]));
+            if vo + vn > 0.0 {
+                (vo * qo + vn * qn) / (vo + vn)
+            } else {
+                0.5 * (qo + qn)
+            }
+        })
+        .collect();
+    let action_counts = old
+        .action_counts
+        .iter()
+        .zip(&new.action_counts)
+        .map(|(&a, &b)| a.saturating_add(b))
+        .collect();
+    let mut counts: BTreeMap<(u32, u32, u32), u32> = BTreeMap::new();
+    for t in old.transitions.iter().chain(&new.transitions) {
+        let slot = counts.entry((t.state, t.action, t.next_state)).or_insert(0);
+        *slot = slot.saturating_add(t.count);
+    }
+    let transitions = counts
+        .into_iter()
+        .map(|((state, action, next_state), count)| TransitionRecord {
+            state,
+            action,
+            next_state,
+            count,
+        })
+        .collect();
+    Some(AgentSnapshot {
+        kind: old.kind,
+        n_states: old.n_states,
+        n_actions: old.n_actions,
+        q,
+        action_counts,
+        transitions,
+    })
+}
+
+/// Wraps a controller factory so every session it builds is seeded from
+/// the store before its first frame. Cold starts happen transparently
+/// when the store has no compatible knowledge for the session's class.
+pub fn warm_start_factory(
+    store: SharedKnowledgeStore,
+    base: ControllerFactory,
+) -> ControllerFactory {
+    Box::new(move |request| {
+        let mut controller = base(request);
+        if let Ok(mut store) = store.lock() {
+            store.seed(SessionClass::of_request(request), controller.as_mut());
+        }
+        controller
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mamut_core::{Constraints, KnobSettings, MamutConfig, MamutController, Observation};
+
+    fn trained(seed: u64, frames: u64) -> MamutController {
+        let mut ctl = MamutController::new(MamutConfig::paper_hr().with_seed(seed)).unwrap();
+        let c = Constraints::paper_defaults();
+        for f in 0..frames {
+            let o = Observation {
+                fps: 24.0 + (f % 5) as f64,
+                psnr_db: 34.0,
+                bitrate_mbps: 4.0,
+                power_w: 80.0,
+            };
+            ctl.begin_frame(f, &o, &c);
+            ctl.end_frame(f, &o, &c);
+        }
+        ctl
+    }
+
+    #[test]
+    fn publish_and_seed_round_trip() {
+        let teacher = trained(1, 30_000);
+        let mut store = KnowledgeStore::new(MergePolicy::Replace);
+        assert_eq!(
+            store.publish(SessionClass::Hr, &Controller::snapshot(&teacher)),
+            PublishOutcome::Inserted
+        );
+        let mut pupil = MamutController::new(MamutConfig::paper_hr().with_seed(9)).unwrap();
+        assert!(store.seed(SessionClass::Hr, &mut pupil));
+        assert_eq!(store.seeds_served(), 1);
+        // The pupil adopted the teacher's tables.
+        let k = store.knowledge(SessionClass::Hr, "mamut").unwrap();
+        assert_eq!(Controller::snapshot(&pupil).agents, k.snapshot.agents);
+        // No LR knowledge yet.
+        let mut lr = MamutController::new(MamutConfig::paper_lr()).unwrap();
+        assert!(!store.seed(SessionClass::Lr, &mut lr));
+    }
+
+    #[test]
+    fn incompatible_knowledge_leaves_controller_cold() {
+        // HR knowledge (12 thread actions) cannot seed an LR controller.
+        let teacher = trained(1, 5_000);
+        let mut store = KnowledgeStore::new(MergePolicy::Replace);
+        store.publish(SessionClass::Lr, &Controller::snapshot(&teacher)); // mislabeled
+        let mut pupil = MamutController::new(MamutConfig::paper_lr()).unwrap();
+        assert!(!store.seed(SessionClass::Lr, &mut pupil));
+        assert_eq!(store.seeds_served(), 0);
+        assert_eq!(store.seed_attempts(), 1);
+    }
+
+    #[test]
+    fn foreign_controller_publishes_never_clobber_class_knowledge() {
+        // A mixed fleet: a heuristic session finishing must not displace
+        // the MAMUT tables for its class — entries are keyed by
+        // (class, controller tag).
+        use mamut_baselines::{HeuristicConfig, HeuristicController};
+        let teacher = trained(1, 30_000);
+        let mut store = KnowledgeStore::new(MergePolicy::VisitWeighted);
+        store.publish(SessionClass::Hr, &Controller::snapshot(&teacher));
+        let heuristic = HeuristicController::new(HeuristicConfig::paper_hr()).unwrap();
+        assert_eq!(
+            store.publish(SessionClass::Hr, &Controller::snapshot(&heuristic)),
+            PublishOutcome::Inserted,
+            "tableless snapshot lands in its own entry"
+        );
+        // MAMUT seeding still works off the intact tables.
+        let mut pupil = MamutController::new(MamutConfig::paper_hr().with_seed(3)).unwrap();
+        assert!(store.seed(SessionClass::Hr, &mut pupil));
+        assert!(store
+            .knowledge(SessionClass::Hr, "heuristic")
+            .is_some_and(|k| k.snapshot.agents.is_empty()));
+    }
+
+    #[test]
+    fn visit_weighted_merge_weights_by_visits() {
+        let mut a = PolicySnapshot::tableless("t", KnobSettings::new(32, 4, 2.6));
+        a.agents.push(AgentSnapshot {
+            kind: mamut_core::AgentKind::Qp,
+            n_states: 1,
+            n_actions: 1,
+            q: vec![1.0],
+            action_counts: vec![3],
+            transitions: vec![TransitionRecord {
+                state: 0,
+                action: 0,
+                next_state: 0,
+                count: 3,
+            }],
+        });
+        let mut b = a.clone();
+        b.agents[0].q = vec![4.0];
+        b.agents[0].action_counts = vec![1];
+        b.agents[0].transitions[0].count = 1;
+        let merged = visit_weighted_merge(&a, &b).unwrap();
+        // (3·1 + 1·4) / 4 = 1.75
+        assert!((merged.agents[0].q[0] - 1.75).abs() < 1e-12);
+        assert_eq!(merged.agents[0].action_counts, vec![4]);
+        assert_eq!(merged.agents[0].transitions[0].count, 4);
+    }
+
+    #[test]
+    fn merge_policy_governs_publishes() {
+        let teacher_a = trained(1, 8_000);
+        let teacher_b = trained(2, 8_000);
+        let mut store = KnowledgeStore::new(MergePolicy::VisitWeighted);
+        store.publish(SessionClass::Hr, &Controller::snapshot(&teacher_a));
+        assert_eq!(
+            store.publish(SessionClass::Hr, &Controller::snapshot(&teacher_b)),
+            PublishOutcome::Merged
+        );
+        let k = store.knowledge(SessionClass::Hr, "mamut").unwrap();
+        assert_eq!(k.contributions, 2);
+        let merged_visits: u64 = k.snapshot.agents.iter().map(|a| a.total_visits()).sum();
+        let sep: u64 = [&teacher_a, &teacher_b]
+            .iter()
+            .flat_map(|t| Controller::snapshot(*t).agents)
+            .map(|a| a.total_visits())
+            .sum();
+        assert_eq!(merged_visits, sep, "visits accumulate across publishes");
+        // Structurally different knowledge replaces instead of merging.
+        let lr = MamutController::new(MamutConfig::paper_lr()).unwrap();
+        assert_eq!(
+            store.publish(SessionClass::Hr, &Controller::snapshot(&lr)),
+            PublishOutcome::Replaced
+        );
+    }
+
+    #[test]
+    fn warm_start_factory_seeds_transparently() {
+        let teacher = trained(3, 30_000);
+        let mut store = KnowledgeStore::new(MergePolicy::Replace);
+        store.publish(SessionClass::Hr, &Controller::snapshot(&teacher));
+        let shared = store.into_shared();
+        let factory = warm_start_factory(
+            Arc::clone(&shared),
+            Box::new(|req| {
+                let cfg = if req.hr {
+                    MamutConfig::paper_hr()
+                } else {
+                    MamutConfig::paper_lr()
+                };
+                Box::new(MamutController::new(cfg.with_seed(req.seed)).unwrap())
+            }),
+        );
+        let hr_request = SessionRequest {
+            id: 0,
+            arrival_s: 0.0,
+            hr: true,
+            live: false,
+            frames: 100,
+            seed: 11,
+        };
+        let visits = |c: &dyn Controller| -> u64 {
+            c.snapshot().agents.iter().map(|a| a.total_visits()).sum()
+        };
+        let warm = factory(&hr_request);
+        assert!(visits(warm.as_ref()) > 0, "tables adopted");
+        let lr_request = SessionRequest {
+            hr: false,
+            ..hr_request.clone()
+        };
+        let cold = factory(&lr_request);
+        assert_eq!(visits(cold.as_ref()), 0, "no LR knowledge");
+        assert_eq!(shared.lock().unwrap().seeds_served(), 1);
+        assert_eq!(shared.lock().unwrap().seed_attempts(), 2);
+    }
+}

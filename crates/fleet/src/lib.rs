@@ -59,17 +59,24 @@
 
 mod dispatch;
 mod error;
+mod knowledge;
 mod node;
+mod rebalance;
 mod sim;
 mod summary;
 mod workload;
 
 pub use dispatch::{
-    AdmissionGated, DispatchDecision, Dispatcher, GateMode, LeastLoaded, NodeSnapshot, PowerAware,
+    AdmissionGated, DispatchDecision, Dispatcher, GateMode, LeastLoaded, NodeView, PowerAware,
     RoundRobin,
 };
 pub use error::FleetError;
-pub use node::{ControllerFactory, FleetNode};
+pub use knowledge::{
+    warm_start_factory, ClassKnowledge, KnowledgeStore, MergePolicy, PublishOutcome, SessionClass,
+    SharedKnowledgeStore,
+};
+pub use node::{ControllerFactory, FleetNode, MigratedSession};
+pub use rebalance::{MigrationDirective, Rebalancer, UtilizationBalance};
 pub use sim::{FleetConfig, FleetSim};
 pub use summary::{FleetSummary, NodeReport};
 pub use workload::{SessionRequest, Workload, WorkloadConfig};

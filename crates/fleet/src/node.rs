@@ -5,10 +5,36 @@
 
 use mamut_core::Controller;
 use mamut_platform::Platform;
-use mamut_transcode::{RunSummary, ServerSim, StreamShape, TranscodeError};
+use mamut_transcode::{RunSummary, ServerSim, StreamShape, TranscodeError, TranscodeSession};
 
-use crate::dispatch::NodeSnapshot;
+use crate::dispatch::NodeView;
+use crate::error::FleetError;
+use crate::knowledge::{KnowledgeStore, SessionClass};
 use crate::workload::SessionRequest;
+
+/// A live session in transit between two nodes: the transcoding state
+/// (controller included) plus the planning shape the dispatcher tracks.
+pub struct MigratedSession {
+    pub(crate) session: TranscodeSession,
+    pub(crate) shape: StreamShape,
+}
+
+impl MigratedSession {
+    /// The travelling session (read access; ownership stays inside until
+    /// it is attached somewhere).
+    pub fn session(&self) -> &TranscodeSession {
+        &self.session
+    }
+}
+
+impl std::fmt::Debug for MigratedSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MigratedSession")
+            .field("name", &self.session.name())
+            .field("frames_completed", &self.session.frames_completed())
+            .finish_non_exhaustive()
+    }
+}
 
 /// Builds a controller for a session arriving at this node.
 ///
@@ -24,9 +50,13 @@ pub struct FleetNode {
     factory: ControllerFactory,
     power_cap_w: f64,
     /// `(session id, planning shape)` of admitted sessions; pruned of
-    /// finished sessions at snapshot time.
+    /// finished sessions by [`FleetNode::refresh`].
     shapes: Vec<(usize, StreamShape)>,
     sessions_admitted: u64,
+    sessions_migrated_in: u64,
+    sessions_migrated_out: u64,
+    /// Session ids whose final policy already went to a knowledge store.
+    published: std::collections::BTreeSet<usize>,
 }
 
 impl std::fmt::Debug for FleetNode {
@@ -54,6 +84,9 @@ impl FleetNode {
             power_cap_w,
             shapes: Vec::new(),
             sessions_admitted: 0,
+            sessions_migrated_in: 0,
+            sessions_migrated_out: 0,
+            published: std::collections::BTreeSet::new(),
         }
     }
 
@@ -72,6 +105,16 @@ impl FleetNode {
         self.sessions_admitted
     }
 
+    /// Sessions this node received from peers via migration.
+    pub fn sessions_migrated_in(&self) -> u64 {
+        self.sessions_migrated_in
+    }
+
+    /// Sessions this node handed off to peers via migration.
+    pub fn sessions_migrated_out(&self) -> u64 {
+        self.sessions_migrated_out
+    }
+
     /// Admits a session: builds its controller through the node's factory
     /// and registers it with the server. Returns the session id.
     pub fn admit(&mut self, request: &SessionRequest) -> usize {
@@ -85,17 +128,26 @@ impl FleetNode {
         sid
     }
 
-    /// The dispatcher's view of this node right now.
-    pub fn snapshot(&mut self) -> NodeSnapshot {
+    /// Prunes bookkeeping for sessions that have finished (or migrated
+    /// away) since the last call. The explicit mutation that used to hide
+    /// inside the old `snapshot(&mut self)`; call it once per epoch
+    /// boundary before taking [`FleetNode::view`]s.
+    pub fn refresh(&mut self) {
         self.shapes.retain(|(sid, _)| {
             self.server
                 .session(*sid)
                 .map(|s| !s.is_finished())
                 .unwrap_or(false)
         });
+    }
+
+    /// The dispatcher's read-only view of this node right now. Pair with
+    /// [`FleetNode::refresh`] — an unrefreshed view may still count
+    /// planning shapes of sessions that already finished.
+    pub fn view(&self) -> NodeView {
         let load = self.server.load();
         let planned_threads = self.shapes.iter().map(|(_, s)| s.knobs.threads).sum();
-        NodeSnapshot {
+        NodeView {
             node_id: self.id,
             active_sessions: load.active_sessions,
             threads_demanded: load.threads_demanded,
@@ -105,6 +157,72 @@ impl FleetNode {
             power_cap_w: self.power_cap_w,
             resident_shapes: self.shapes.iter().map(|(_, s)| s.clone()).collect(),
         }
+    }
+
+    /// Picks the session a rebalancer would move away from this node:
+    /// the unfinished session with the most frames still to transcode
+    /// (most benefit from a less-loaded home), lowest id on ties.
+    pub fn migration_candidate(&self) -> Option<usize> {
+        self.shapes
+            .iter()
+            .filter_map(|(sid, _)| self.server.session(*sid).ok())
+            .filter(|s| !s.is_finished())
+            .max_by_key(|s| (s.frames_remaining(), std::cmp::Reverse(s.id())))
+            .map(|s| s.id())
+    }
+
+    /// Detaches session `sid` (with its planning shape) for migration to
+    /// another node.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownSession`] if the node has no such live
+    /// session.
+    pub fn detach_session(&mut self, sid: usize) -> Result<MigratedSession, FleetError> {
+        let pos = self.shapes.iter().position(|(id, _)| *id == sid).ok_or(
+            FleetError::UnknownSession {
+                node: self.id,
+                session: sid,
+            },
+        )?;
+        let session = self
+            .server
+            .detach_session(sid)
+            .map_err(|_| FleetError::UnknownSession {
+                node: self.id,
+                session: sid,
+            })?;
+        let (_, shape) = self.shapes.remove(pos);
+        self.sessions_migrated_out += 1;
+        Ok(MigratedSession { session, shape })
+    }
+
+    /// Attaches a session detached from a peer node; returns its id here.
+    /// Counts as a migration, not an admission — cluster-wide session
+    /// totals are unaffected by moves.
+    pub fn attach_session(&mut self, migrated: MigratedSession) -> usize {
+        let MigratedSession { session, shape } = migrated;
+        let sid = self.server.attach_session(session);
+        self.shapes.push((sid, shape));
+        self.sessions_migrated_in += 1;
+        sid
+    }
+
+    /// Publishes the learned policy of every session that has finished
+    /// since the last call, in session-id order. Returns how many were
+    /// published.
+    pub fn harvest_finished(&mut self, store: &mut KnowledgeStore) -> u64 {
+        let mut published = 0;
+        for session in self.server.sessions() {
+            if !session.is_finished() || self.published.contains(&session.id()) {
+                continue;
+            }
+            let class = SessionClass::of_hr(session.is_high_resolution());
+            store.publish(class, &session.controller().snapshot());
+            self.published.insert(session.id());
+            published += 1;
+        }
+        published
     }
 
     /// Advances the node's virtual clock to `until`.
@@ -160,7 +278,8 @@ mod tests {
         n.admit(&request(1, true, 50));
         n.admit(&request(2, false, 50));
         assert_eq!(n.sessions_admitted(), 2);
-        let snap = n.snapshot();
+        n.refresh();
+        let snap = n.view();
         assert_eq!(snap.active_sessions, 2);
         assert_eq!(snap.resident_shapes.len(), 2);
         assert_eq!(snap.power_cap_w, 110.0);
@@ -172,7 +291,8 @@ mod tests {
         n.admit(&request(1, false, 5));
         n.run_epoch(60.0, 1_000_000).unwrap();
         assert!(n.all_finished());
-        let snap = n.snapshot();
+        n.refresh();
+        let snap = n.view();
         assert_eq!(snap.active_sessions, 0);
         assert!(snap.resident_shapes.is_empty());
         assert_eq!(n.sessions_admitted(), 1, "lifetime count survives churn");
@@ -183,7 +303,8 @@ mod tests {
         let mut n = node();
         n.admit(&request(1, true, 30));
         n.run_epoch(0.2, 1_000_000).unwrap();
-        let snap = n.snapshot();
+        n.refresh();
+        let snap = n.view();
         assert_eq!(snap.threads_demanded, 10, "HR factory knobs in force");
     }
 

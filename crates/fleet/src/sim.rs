@@ -8,11 +8,26 @@
 //! policy — queued leftovers first, FIFO — then hands the nodes to a
 //! scoped thread pool that advances each one to the next boundary.
 //! Within an epoch nodes are independent (a session placed at a
-//! boundary starts at that boundary; nothing migrates mid-epoch), so
-//! node advancement is embarrassingly parallel and, crucially,
+//! boundary starts at that boundary; nothing moves mid-epoch), so node
+//! advancement is embarrassingly parallel and, crucially,
 //! **deterministic regardless of worker count**: every node computes
 //! exactly the same event sequence whether the fleet runs on 1 thread
 //! or 16, and aggregation always folds nodes in id order.
+//!
+//! Everything stateful beyond node advancement happens on the
+//! coordinating thread *between* epochs, in a fixed order: finished
+//! sessions publish their learned policies to the knowledge store (if
+//! one is attached, in node-id order), then the rebalance policy (if
+//! one is installed) migrates live sessions between the time-aligned
+//! nodes — so knowledge sharing and migration inherit the same
+//! worker-count independence.
+//!
+//! # Accounting across migration
+//!
+//! A session carries its QoS history with it: after a move, its frames
+//! and violations count toward the *destination* node's per-node rows
+//! (per-node totals are re-sampled every epoch). Cluster-wide totals
+//! are unaffected — a migration is a move, not an admission.
 
 use std::collections::VecDeque;
 
@@ -21,7 +36,9 @@ use mamut_platform::Platform;
 
 use crate::dispatch::{DispatchDecision, Dispatcher};
 use crate::error::FleetError;
+use crate::knowledge::SharedKnowledgeStore;
 use crate::node::{ControllerFactory, FleetNode};
+use crate::rebalance::Rebalancer;
 use crate::summary::FleetSummary;
 use crate::workload::{SessionRequest, Workload};
 
@@ -77,6 +94,8 @@ pub struct FleetSim {
     queued: VecDeque<SessionRequest>,
     aggregate: FleetAggregate,
     epoch: u64,
+    rebalancer: Option<Box<dyn Rebalancer>>,
+    knowledge: Option<SharedKnowledgeStore>,
 }
 
 impl std::fmt::Debug for FleetSim {
@@ -102,7 +121,25 @@ impl FleetSim {
             nodes: Vec::new(),
             aggregate: FleetAggregate::default(),
             epoch: 0,
+            rebalancer: None,
+            knowledge: None,
         }
+    }
+
+    /// Installs an inter-epoch session migration policy. Without one,
+    /// sessions stay where the dispatcher put them.
+    pub fn set_rebalancer(&mut self, rebalancer: Box<dyn Rebalancer>) {
+        self.rebalancer = Some(rebalancer);
+    }
+
+    /// Attaches a shared knowledge store: every session that finishes
+    /// publishes its learned policy there (in node-id order at each
+    /// boundary). Pair it with
+    /// [`warm_start_factory`](crate::warm_start_factory) on the node
+    /// factories to close the KaaS loop — and reuse the same store
+    /// across runs to carry knowledge between whole workloads.
+    pub fn set_knowledge_store(&mut self, store: SharedKnowledgeStore) {
+        self.knowledge = Some(store);
     }
 
     /// Adds a node on the paper's default platform. The factory decides
@@ -154,6 +191,7 @@ impl FleetSim {
             )));
         }
         self.aggregate = FleetAggregate::new(self.nodes.len());
+        let seeds_at_start = self.seeds_served();
         loop {
             let epoch_start = self.epoch as f64 * self.config.epoch_s;
             let boundary = (self.epoch + 1) as f64 * self.config.epoch_s;
@@ -164,7 +202,10 @@ impl FleetSim {
             let utilizations: Vec<f64> = self
                 .nodes
                 .iter_mut()
-                .map(|n| n.snapshot().utilization())
+                .map(|n| {
+                    n.refresh();
+                    n.view().utilization()
+                })
                 .collect();
             self.advance_nodes(boundary)?;
             for (id, util) in utilizations.into_iter().enumerate() {
@@ -183,6 +224,8 @@ impl FleetSim {
                     util,
                 );
             }
+            self.harvest_knowledge();
+            self.rebalance()?;
             self.epoch += 1;
             let drained = self.pending.is_empty() && self.queued.is_empty();
             if drained && self.nodes.iter().all(FleetNode::all_finished) {
@@ -192,6 +235,8 @@ impl FleetSim {
                 return Err(FleetError::EpochBudgetExhausted { epochs: self.epoch });
             }
         }
+        self.aggregate
+            .set_warm_starts(self.seeds_served() - seeds_at_start);
         let sessions: Vec<u64> = self
             .nodes
             .iter()
@@ -207,6 +252,65 @@ impl FleetSim {
         ))
     }
 
+    /// Warm starts served by the attached store so far (0 without one).
+    fn seeds_served(&self) -> u64 {
+        self.knowledge
+            .as_ref()
+            .map(|store| {
+                store
+                    .lock()
+                    .expect("knowledge store poisoned")
+                    .seeds_served()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Publishes newly finished sessions' policies to the knowledge
+    /// store, nodes in id order (determinism).
+    fn harvest_knowledge(&mut self) {
+        let Some(store) = &self.knowledge else {
+            return;
+        };
+        let mut store = store.lock().expect("knowledge store poisoned");
+        for node in &mut self.nodes {
+            node.harvest_finished(&mut store);
+        }
+    }
+
+    /// Runs the rebalance policy and executes its directives: one
+    /// migration candidate per directive, moved with controller and
+    /// in-flight frame between the time-aligned nodes.
+    fn rebalance(&mut self) -> Result<(), FleetError> {
+        let Some(rebalancer) = &mut self.rebalancer else {
+            return Ok(());
+        };
+        for node in &mut self.nodes {
+            node.refresh();
+        }
+        let views: Vec<_> = self.nodes.iter().map(FleetNode::view).collect();
+        for directive in rebalancer.plan(self.epoch, &views) {
+            let (from, to) = (directive.from, directive.to);
+            if from >= self.nodes.len() || to >= self.nodes.len() || from == to {
+                return Err(FleetError::InvalidMigration {
+                    from,
+                    to,
+                    nodes: self.nodes.len(),
+                });
+            }
+            let Some(sid) = self.nodes[from].migration_candidate() else {
+                continue; // the donor drained during this epoch
+            };
+            let migrated = self.nodes[from].detach_session(sid)?;
+            // No mid-flight publish here: the session keeps learning and
+            // publishes exactly once, at finish, from whichever node
+            // hosts it then — so visit-weighted merges never count a
+            // trajectory twice.
+            self.nodes[to].attach_session(migrated);
+            self.aggregate.record_migration();
+        }
+        Ok(())
+    }
+
     /// Routes queued leftovers and arrivals due by `now` (an epoch start)
     /// through the dispatch policy. Arrivals quantize *up*: a session
     /// arriving mid-epoch is admitted at the next boundary — slightly
@@ -218,10 +322,13 @@ impl FleetSim {
             due.push(self.pending.pop_front().expect("front checked"));
         }
         for request in due {
-            // Fresh snapshots per request so consecutive placements in
-            // one epoch see each other's load.
-            let snapshots: Vec<_> = self.nodes.iter_mut().map(FleetNode::snapshot).collect();
-            match self.dispatcher.dispatch(&request, &snapshots) {
+            // Fresh views per request so consecutive placements in one
+            // epoch see each other's load.
+            for node in &mut self.nodes {
+                node.refresh();
+            }
+            let views: Vec<_> = self.nodes.iter().map(FleetNode::view).collect();
+            match self.dispatcher.dispatch(&request, &views) {
                 DispatchDecision::Assign(id) if id < self.nodes.len() => {
                     self.nodes[id].admit(&request);
                 }
@@ -283,7 +390,7 @@ impl FleetSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dispatch::{LeastLoaded, NodeSnapshot, RoundRobin};
+    use crate::dispatch::{LeastLoaded, NodeView, RoundRobin};
     use crate::workload::WorkloadConfig;
     use mamut_core::{FixedController, KnobSettings};
 
@@ -354,7 +461,7 @@ mod tests {
             fn dispatch(
                 &mut self,
                 _request: &SessionRequest,
-                nodes: &[NodeSnapshot],
+                nodes: &[NodeView],
             ) -> DispatchDecision {
                 DispatchDecision::Assign(nodes.len())
             }
@@ -394,6 +501,115 @@ mod tests {
     fn same_seed_same_summary() {
         let run = || fleet(2, 2, Box::new(RoundRobin::new())).run().unwrap();
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rebalancer_moves_sessions_and_preserves_cluster_totals() {
+        use crate::rebalance::UtilizationBalance;
+        // Round-robin onto 2 nodes with everything long-lived lands an
+        // uneven mix; an aggressive balancer must actually migrate.
+        let run = |balance: bool| {
+            let mut sim = FleetSim::new(
+                FleetConfig::default().with_worker_threads(2),
+                Box::new(RoundRobin::new()),
+                small_workload(11),
+            );
+            for _ in 0..2 {
+                sim.add_node(fixed_factory());
+            }
+            if balance {
+                sim.set_rebalancer(Box::new(UtilizationBalance::new().with_min_gap(0.05)));
+            }
+            sim.run().unwrap()
+        };
+        let still = run(false);
+        let moved = run(true);
+        assert_eq!(still.migrations, 0);
+        assert!(moved.migrations > 0, "aggressive balancer never moved");
+        // Moves shuffle placement, not existence: same admissions, same
+        // cluster-wide frame count.
+        assert_eq!(moved.total_sessions, still.total_sessions);
+        assert_eq!(moved.total_frames, still.total_frames);
+    }
+
+    #[test]
+    fn migration_is_deterministic_across_worker_counts() {
+        use crate::rebalance::UtilizationBalance;
+        let run = |workers: usize| {
+            let mut sim = FleetSim::new(
+                FleetConfig::default().with_worker_threads(workers),
+                Box::new(RoundRobin::new()),
+                small_workload(5),
+            );
+            for _ in 0..3 {
+                sim.add_node(fixed_factory());
+            }
+            sim.set_rebalancer(Box::new(UtilizationBalance::new().with_min_gap(0.05)));
+            sim.run().unwrap().to_string()
+        };
+        let one = run(1);
+        assert_eq!(one, run(3));
+        assert_eq!(one, run(8));
+    }
+
+    #[test]
+    fn bad_migration_directive_surfaces_the_policy_bug() {
+        struct SelfLoop;
+        impl crate::rebalance::Rebalancer for SelfLoop {
+            fn name(&self) -> &'static str {
+                "self-loop"
+            }
+            fn plan(
+                &mut self,
+                _epoch: u64,
+                _nodes: &[NodeView],
+            ) -> Vec<crate::rebalance::MigrationDirective> {
+                vec![crate::rebalance::MigrationDirective { from: 0, to: 0 }]
+            }
+        }
+        let mut sim = fleet(2, 1, Box::new(RoundRobin::new()));
+        sim.set_rebalancer(Box::new(SelfLoop));
+        assert_eq!(
+            sim.run().unwrap_err(),
+            FleetError::InvalidMigration {
+                from: 0,
+                to: 0,
+                nodes: 2
+            }
+        );
+    }
+
+    #[test]
+    fn finished_sessions_publish_to_the_attached_store() {
+        use crate::knowledge::{KnowledgeStore, MergePolicy};
+        let store = KnowledgeStore::new(MergePolicy::VisitWeighted).into_shared();
+        let mut sim = fleet(2, 2, Box::new(RoundRobin::new()));
+        sim.set_knowledge_store(std::sync::Arc::clone(&store));
+        let summary = sim.run().unwrap();
+        let store = store.lock().unwrap();
+        assert_eq!(
+            store.publishes(),
+            summary.total_sessions,
+            "every finished session publishes exactly once"
+        );
+        assert_eq!(summary.warm_starts, 0, "no warm-start factory attached");
+    }
+
+    #[test]
+    fn migrated_sessions_still_publish_exactly_once() {
+        use crate::knowledge::{KnowledgeStore, MergePolicy};
+        use crate::rebalance::UtilizationBalance;
+        let store = KnowledgeStore::new(MergePolicy::VisitWeighted).into_shared();
+        let mut sim = fleet(2, 2, Box::new(RoundRobin::new()));
+        sim.set_knowledge_store(std::sync::Arc::clone(&store));
+        sim.set_rebalancer(Box::new(UtilizationBalance::new().with_min_gap(0.05)));
+        let summary = sim.run().unwrap();
+        assert!(summary.migrations > 0, "rebalancer never moved a session");
+        assert_eq!(
+            store.lock().unwrap().publishes(),
+            summary.total_sessions,
+            "a migrated session must publish once at finish, not per hop"
+        );
     }
 
     #[test]

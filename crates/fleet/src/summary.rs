@@ -51,6 +51,11 @@ pub struct FleetSummary {
     pub rejected_sessions: u64,
     /// Session-epochs spent waiting in the pending queue.
     pub queued_waits: u64,
+    /// Sessions migrated between nodes at epoch boundaries.
+    pub migrations: u64,
+    /// Sessions warm-started from the knowledge store instead of
+    /// learning from scratch.
+    pub warm_starts: u64,
     /// Node-epoch utilization histogram.
     pub utilization: UtilizationHistogram,
     /// Full per-node run summaries (not rendered; for drill-down).
@@ -93,6 +98,8 @@ impl FleetSummary {
             total_sessions: sessions_admitted.iter().sum(),
             rejected_sessions: aggregate.rejected_sessions,
             queued_waits: aggregate.queued_waits,
+            migrations: aggregate.migrations,
+            warm_starts: aggregate.warm_starts,
             utilization: aggregate.utilization.clone(),
             node_runs,
         }
@@ -146,11 +153,13 @@ impl std::fmt::Display for FleetSummary {
         write!(f, "{}", self.node_table().to_plain())?;
         writeln!(
             f,
-            "cluster: delta {:.2}% | {} sessions ({} rejected, {} queued-waits) | {} frames | {:.1} W mean | {:.0} J",
+            "cluster: delta {:.2}% | {} sessions ({} rejected, {} queued-waits, {} migrated, {} warm-started) | {} frames | {:.1} W mean | {:.0} J",
             self.cluster_violation_percent,
             self.total_sessions,
             self.rejected_sessions,
             self.queued_waits,
+            self.migrations,
+            self.warm_starts,
             self.total_frames,
             self.mean_power_w,
             self.total_energy_j

@@ -125,6 +125,10 @@ pub struct FleetAggregate {
     /// Times a session was parked in the pending queue (one session can
     /// be queued over several epochs; each wait epoch counts).
     pub queued_waits: u64,
+    /// Sessions moved between nodes at epoch boundaries.
+    pub migrations: u64,
+    /// Sessions seeded from a knowledge store instead of starting cold.
+    pub warm_starts: u64,
     /// Node-epoch utilization samples across the whole fleet.
     pub utilization: UtilizationHistogram,
 }
@@ -146,6 +150,17 @@ impl FleetAggregate {
     /// Counts one epoch of queueing delay for a pending session.
     pub fn record_queued_wait(&mut self) {
         self.queued_waits += 1;
+    }
+
+    /// Counts one inter-node session migration.
+    pub fn record_migration(&mut self) {
+        self.migrations += 1;
+    }
+
+    /// Records how many sessions were warm-started over the run (the
+    /// fleet reads the final figure off its knowledge store).
+    pub fn set_warm_starts(&mut self, warm_starts: u64) {
+        self.warm_starts = warm_starts;
     }
 
     /// Folds one node epoch into the aggregate. `frames`/`violations`/

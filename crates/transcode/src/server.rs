@@ -20,6 +20,34 @@ enum BoundedStep {
     Idle,
 }
 
+/// One session position on the server. Ids are slot indices and must
+/// stay stable for the server's whole life, so a session migrated to
+/// another node leaves a vacated slot behind instead of shifting its
+/// neighbours.
+enum SessionSlot {
+    /// A session lives here (finished or not). Boxed: a vacated slot is
+    /// a tombstone and should not keep a session-sized footprint.
+    Occupied(Box<TranscodeSession>),
+    /// The session that lived here was detached (migrated away).
+    Vacated,
+}
+
+impl SessionSlot {
+    fn get(&self) -> Option<&TranscodeSession> {
+        match self {
+            SessionSlot::Occupied(s) => Some(s),
+            SessionSlot::Vacated => None,
+        }
+    }
+
+    fn get_mut(&mut self) -> Option<&mut TranscodeSession> {
+        match self {
+            SessionSlot::Occupied(s) => Some(s),
+            SessionSlot::Vacated => None,
+        }
+    }
+}
+
 /// Snapshot of a server's instantaneous load (dispatcher's view).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerLoad {
@@ -70,7 +98,7 @@ impl ServerLoad {
 /// ```
 pub struct ServerSim {
     platform: Platform,
-    sessions: Vec<TranscodeSession>,
+    sessions: Vec<SessionSlot>,
     time: f64,
     sensor: PowerSensor,
     events: u64,
@@ -107,7 +135,44 @@ impl ServerSim {
     pub fn add_session(&mut self, config: SessionConfig, controller: Box<dyn Controller>) -> usize {
         let id = self.sessions.len();
         self.sessions
-            .push(TranscodeSession::new(id, config, controller));
+            .push(SessionSlot::Occupied(Box::new(TranscodeSession::new(
+                id, config, controller,
+            ))));
+        id
+    }
+
+    /// Detaches a session for migration to another server, leaving its
+    /// slot vacated (ids of the remaining sessions do not move). The
+    /// returned session carries its controller, playlist position,
+    /// in-flight frame and QoS history; hand it to
+    /// [`ServerSim::attach_session`] on the target server.
+    ///
+    /// Only meaningful when both servers' clocks agree (e.g. at a fleet
+    /// epoch boundary) — the session's completion timestamps stay on the
+    /// same virtual timeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranscodeError::UnknownSession`] for a bad or already
+    /// vacated id.
+    pub fn detach_session(&mut self, id: usize) -> Result<TranscodeSession, TranscodeError> {
+        let slot = self
+            .sessions
+            .get_mut(id)
+            .ok_or(TranscodeError::UnknownSession(id))?;
+        match std::mem::replace(slot, SessionSlot::Vacated) {
+            SessionSlot::Occupied(s) => Ok(*s),
+            SessionSlot::Vacated => Err(TranscodeError::UnknownSession(id)),
+        }
+    }
+
+    /// Attaches a session detached from another server, assigning it a
+    /// fresh id here (returned). The inverse of
+    /// [`ServerSim::detach_session`].
+    pub fn attach_session(&mut self, mut session: TranscodeSession) -> usize {
+        let id = self.sessions.len();
+        session.set_id(id);
+        self.sessions.push(SessionSlot::Occupied(Box::new(session)));
         id
     }
 
@@ -116,19 +181,21 @@ impl ServerSim {
         self.time
     }
 
-    /// Sessions, in id order.
-    pub fn sessions(&self) -> &[TranscodeSession] {
-        &self.sessions
+    /// Resident sessions in id order (vacated slots of migrated-away
+    /// sessions are skipped, so ids may have gaps).
+    pub fn sessions(&self) -> Vec<&TranscodeSession> {
+        self.sessions.iter().filter_map(SessionSlot::get).collect()
     }
 
     /// One session by id.
     ///
     /// # Errors
     ///
-    /// Returns [`TranscodeError::UnknownSession`] for a bad id.
+    /// Returns [`TranscodeError::UnknownSession`] for a bad or vacated id.
     pub fn session(&self, id: usize) -> Result<&TranscodeSession, TranscodeError> {
         self.sessions
             .get(id)
+            .and_then(SessionSlot::get)
             .ok_or(TranscodeError::UnknownSession(id))
     }
 
@@ -136,7 +203,7 @@ impl ServerSim {
     ///
     /// # Errors
     ///
-    /// Returns [`TranscodeError::UnknownSession`] for a bad id.
+    /// Returns [`TranscodeError::UnknownSession`] for a bad or vacated id.
     pub fn set_constraints(
         &mut self,
         id: usize,
@@ -144,6 +211,7 @@ impl ServerSim {
     ) -> Result<(), TranscodeError> {
         self.sessions
             .get_mut(id)
+            .and_then(SessionSlot::get_mut)
             .ok_or(TranscodeError::UnknownSession(id))?
             .set_constraints(constraints);
         Ok(())
@@ -151,7 +219,7 @@ impl ServerSim {
 
     /// Applies new constraints to every session (e.g. a power-cap change).
     pub fn set_constraints_all(&mut self, constraints: Constraints) {
-        for s in &mut self.sessions {
+        for s in self.sessions.iter_mut().filter_map(SessionSlot::get_mut) {
             s.set_constraints(constraints);
         }
     }
@@ -166,9 +234,25 @@ impl ServerSim {
         &self.sensor
     }
 
-    /// Whether every session has finished its playlist.
+    /// Whether every resident session has finished its playlist (vacated
+    /// slots count as done — their work continues elsewhere).
     pub fn all_finished(&self) -> bool {
-        self.sessions.iter().all(TranscodeSession::is_finished)
+        self.sessions
+            .iter()
+            .filter_map(SessionSlot::get)
+            .all(TranscodeSession::is_finished)
+    }
+
+    /// Shared access to an occupied slot the active list vouched for.
+    fn active_session(&self, id: usize) -> &TranscodeSession {
+        self.sessions[id].get().expect("active slot is occupied")
+    }
+
+    /// Mutable access to an occupied slot the active list vouched for.
+    fn active_session_mut(&mut self, id: usize) -> &mut TranscodeSession {
+        self.sessions[id]
+            .get_mut()
+            .expect("active slot is occupied")
     }
 
     /// Runs until all sessions finish or the event budget is exhausted.
@@ -213,6 +297,7 @@ impl ServerSim {
             let done = self
                 .sessions
                 .iter()
+                .filter_map(SessionSlot::get)
                 .all(|s| s.is_finished() || s.frames_completed() >= frames);
             if done {
                 return Ok(self.summary());
@@ -240,9 +325,10 @@ impl ServerSim {
     /// epochs without perturbing any server's own event sequence.
     fn step_bounded(&mut self, limit: f64) -> BoundedStep {
         // 1. Make sure every unfinished session has a frame in flight.
-        for s in &mut self.sessions {
+        let now = self.time;
+        for s in self.sessions.iter_mut().filter_map(SessionSlot::get_mut) {
             if !s.is_finished() && s.in_flight.is_none() {
-                s.start_next_frame(self.time);
+                s.start_next_frame(now);
             }
         }
 
@@ -251,7 +337,7 @@ impl ServerSim {
             .sessions
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.in_flight.is_some())
+            .filter(|(_, slot)| slot.get().is_some_and(|s| s.in_flight.is_some()))
             .map(|(i, _)| i)
             .collect();
         if active.is_empty() {
@@ -259,13 +345,13 @@ impl ServerSim {
         }
         let total_threads: u32 = active
             .iter()
-            .map(|&i| self.sessions[i].knobs().threads)
+            .map(|&i| self.active_session(i).knobs().threads)
             .sum();
         let scale = self.platform.throughput_scale(total_threads);
         let loads: Vec<SessionLoad> = active
             .iter()
             .map(|&i| {
-                let k = self.sessions[i].knobs();
+                let k = self.active_session(i).knobs();
                 SessionLoad::new(k.threads, k.freq_ghz)
             })
             .collect();
@@ -275,7 +361,7 @@ impl ServerSim {
         let rates: Vec<f64> = active
             .iter()
             .map(|&i| {
-                let s = &self.sessions[i];
+                let s = self.active_session(i);
                 let k = s.knobs();
                 let level = self.platform.dvfs().nearest(k.freq_ghz);
                 level.freq_ghz * 1e9 * s.wpp_speedup() * scale
@@ -285,7 +371,8 @@ impl ServerSim {
         // 4. Time to the earliest completion.
         let mut dt = f64::INFINITY;
         for (idx, &i) in active.iter().enumerate() {
-            let fly = self.sessions[i]
+            let fly = self
+                .active_session(i)
                 .in_flight
                 .as_ref()
                 .expect("active has in-flight");
@@ -305,7 +392,8 @@ impl ServerSim {
                 self.time = limit;
                 self.sensor.record(power, dt);
                 for (idx, &i) in active.iter().enumerate() {
-                    let fly = self.sessions[i]
+                    let fly = self
+                        .active_session_mut(i)
                         .in_flight
                         .as_mut()
                         .expect("active has in-flight");
@@ -319,7 +407,8 @@ impl ServerSim {
         self.time += dt;
         self.sensor.record(power, dt);
         for (idx, &i) in active.iter().enumerate() {
-            let fly = self.sessions[i]
+            let fly = self
+                .active_session_mut(i)
                 .in_flight
                 .as_mut()
                 .expect("active has in-flight");
@@ -331,11 +420,15 @@ impl ServerSim {
         let power_obs = self.sensor.window_average();
         for &i in &active {
             let done = {
-                let fly = self.sessions[i].in_flight.as_ref().expect("in-flight");
+                let fly = self
+                    .active_session(i)
+                    .in_flight
+                    .as_ref()
+                    .expect("in-flight");
                 fly.work_remaining <= COMPLETION_EPSILON_CYCLES
             };
             if done {
-                self.sessions[i].complete_frame(now, power_obs);
+                self.active_session_mut(i).complete_frame(now, power_obs);
             }
         }
 
@@ -384,6 +477,7 @@ impl ServerSim {
         let loads: Vec<SessionLoad> = self
             .sessions
             .iter()
+            .filter_map(SessionSlot::get)
             .filter(|s| !s.is_finished())
             .map(|s| {
                 let k = s.knobs();
@@ -403,12 +497,16 @@ impl ServerSim {
         RunSummary::from_server(self)
     }
 
-    /// Consumes the server, returning each session's controller in id
-    /// order — used to carry trained controllers into a follow-up run.
+    /// Consumes the server, returning each resident session's controller
+    /// in id order (migrated-away sessions took their controllers with
+    /// them) — used to carry trained controllers into a follow-up run.
     pub fn into_controllers(self) -> Vec<Box<dyn Controller>> {
         self.sessions
             .into_iter()
-            .map(TranscodeSession::into_controller)
+            .filter_map(|slot| match slot {
+                SessionSlot::Occupied(s) => Some(s.into_controller()),
+                SessionSlot::Vacated => None,
+            })
             .collect()
     }
 }
@@ -654,5 +752,80 @@ mod tests {
             srv.session(3),
             Err(TranscodeError::UnknownSession(3))
         ));
+    }
+
+    #[test]
+    fn detach_vacates_the_slot_without_moving_neighbours() {
+        let mut srv = ServerSim::with_default_platform();
+        srv.add_session(SessionConfig::single_video(hr_spec(400), 1), fixed(8, 2.9));
+        srv.add_session(SessionConfig::single_video(lr_spec(400), 2), fixed(4, 2.6));
+        srv.run_epoch(1.0, 100_000).unwrap();
+        let detached = srv.detach_session(0).unwrap();
+        assert_eq!(detached.name(), "Kimono");
+        assert!(detached.frames_completed() > 0);
+        // Slot 0 is gone, slot 1 still answers to its old id.
+        assert!(matches!(
+            srv.session(0),
+            Err(TranscodeError::UnknownSession(0))
+        ));
+        assert_eq!(srv.session(1).unwrap().name(), "BQMall");
+        assert_eq!(srv.sessions().len(), 1);
+        // Double detach is an error.
+        assert!(srv.detach_session(0).is_err());
+    }
+
+    #[test]
+    fn migrated_session_finishes_on_the_target_server() {
+        let frames = 200;
+        let mut a = ServerSim::with_default_platform();
+        a.add_session(
+            SessionConfig::single_video(hr_spec(frames), 1),
+            fixed(8, 2.9),
+        );
+        let mut b = ServerSim::with_default_platform();
+        a.run_epoch(1.0, 100_000).unwrap();
+        b.run_epoch(1.0, 100_000).unwrap(); // clocks aligned at the boundary
+        let done_before = a.session(0).unwrap().frames_completed();
+        assert!(done_before > 0 && done_before < frames);
+        let session = a.detach_session(0).unwrap();
+        let new_id = b.attach_session(session);
+        let moved = b.session(new_id).unwrap();
+        assert_eq!(moved.id(), new_id);
+        assert_eq!(moved.frames_completed(), done_before, "history travels");
+        b.run_epoch(1_000.0, 1_000_000).unwrap();
+        assert!(b.all_finished());
+        assert_eq!(b.session(new_id).unwrap().frames_completed(), frames);
+        // The source idles on: vacated slots never block completion.
+        assert!(a.all_finished());
+        a.run_epoch(2.0, 100).unwrap();
+        assert_eq!(a.time(), 2.0);
+    }
+
+    #[test]
+    fn mid_frame_work_survives_migration() {
+        // Detach with a frame in flight: the partial frame's remaining
+        // cycles continue on the target, so total completed frames match
+        // an unmigrated run.
+        let frames = 50;
+        let run_unmigrated = || {
+            let mut srv = ServerSim::with_default_platform();
+            srv.add_session(
+                SessionConfig::single_video(hr_spec(frames), 9),
+                fixed(8, 2.9),
+            );
+            srv.run_to_completion(100_000).unwrap();
+            srv.session(0).unwrap().frames_completed()
+        };
+        let mut a = ServerSim::with_default_platform();
+        a.add_session(
+            SessionConfig::single_video(hr_spec(frames), 9),
+            fixed(8, 2.9),
+        );
+        a.run_epoch(0.33, 100_000).unwrap(); // boundary mid-frame
+        let mut b = ServerSim::with_default_platform();
+        b.run_epoch(0.33, 100_000).unwrap();
+        let id = b.attach_session(a.detach_session(0).unwrap());
+        b.run_epoch(1_000.0, 1_000_000).unwrap();
+        assert_eq!(b.session(id).unwrap().frames_completed(), run_unmigrated());
     }
 }

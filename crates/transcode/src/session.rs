@@ -163,6 +163,11 @@ impl TranscodeSession {
         self.id
     }
 
+    /// Re-ids the session when it attaches to another server (migration).
+    pub(crate) fn set_id(&mut self, id: usize) {
+        self.id = id;
+    }
+
     /// Name of the video currently being transcoded.
     pub fn name(&self) -> &str {
         &self.name
@@ -201,6 +206,17 @@ impl TranscodeSession {
     /// Frames completed so far (across the whole playlist).
     pub fn frames_completed(&self) -> u64 {
         self.qos.frames()
+    }
+
+    /// Frames in the whole playlist.
+    pub fn frames_total(&self) -> u64 {
+        self.config.playlist.total_frames()
+    }
+
+    /// Frames still to transcode (0 once finished) — what a rebalancer
+    /// weighs when choosing which session is worth migrating.
+    pub fn frames_remaining(&self) -> u64 {
+        self.frames_total().saturating_sub(self.frames_completed())
     }
 
     /// QoS accounting.

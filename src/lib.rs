@@ -19,7 +19,12 @@
 //! | [`transcode`] | `mamut-transcode` | discrete-event multi-user server          |
 //! | [`baselines`] | `mamut-baselines` | mono-agent QL + heuristic baselines       |
 //! | [`metrics`]   | `mamut-metrics`   | QoS (∆), stats, traces, tables            |
-//! | [`fleet`]     | `mamut-fleet`     | multi-node cluster, churn, dispatch       |
+//! | [`fleet`]     | `mamut-fleet`     | cluster, churn, dispatch, KaaS, migration |
+//!
+//! Learned state is portable: every [`prelude::Controller`] snapshots to
+//! a versioned binary form (`control::snapshot`), fleets share knowledge
+//! through a [`prelude::KnowledgeStore`] and migrate live sessions
+//! between nodes — see `examples/warm_start.rs`.
 //!
 //! # Quickstart
 //!
@@ -73,11 +78,13 @@ pub mod prelude {
     };
     pub use mamut_core::{
         Constraints, Controller, KnobSettings, MamutConfig, MamutController, Observation,
+        PolicySnapshot, SnapshotError,
     };
     pub use mamut_encoder::{HevcEncoder, Preset};
     pub use mamut_fleet::{
-        AdmissionGated, Dispatcher, FleetConfig, FleetSim, FleetSummary, GateMode, LeastLoaded,
-        PowerAware, RoundRobin, Workload, WorkloadConfig,
+        AdmissionGated, Dispatcher, FleetConfig, FleetSim, FleetSummary, GateMode, KnowledgeStore,
+        LeastLoaded, MergePolicy, NodeView, PowerAware, Rebalancer, RoundRobin, SessionClass,
+        UtilizationBalance, Workload, WorkloadConfig,
     };
     pub use mamut_platform::Platform;
     pub use mamut_transcode::{MixSpec, RunSummary, ServerSim, SessionConfig};

@@ -3,12 +3,26 @@
 //! thread counts — the parallel epoch loop is an execution detail, not a
 //! source of nondeterminism.
 
+use std::sync::Arc;
+
+use mamut::fleet::{warm_start_factory, KnowledgeStore, MergePolicy, UtilizationBalance};
 use mamut::prelude::*;
 
 fn factory() -> mamut::fleet::ControllerFactory {
     Box::new(|req| {
         let threads = if req.hr { 10 } else { 4 };
         Box::new(FixedController::new(KnobSettings::new(32, threads, 2.9)))
+    })
+}
+
+fn mamut_factory() -> mamut::fleet::ControllerFactory {
+    Box::new(|req| {
+        let cfg = if req.hr {
+            MamutConfig::paper_hr()
+        } else {
+            MamutConfig::paper_lr()
+        };
+        Box::new(MamutController::new(cfg.with_seed(req.seed)).expect("paper config is valid"))
     })
 }
 
@@ -89,6 +103,46 @@ fn different_seeds_actually_differ() {
     assert_ne!(
         summary_text("least-loaded", 4, 7),
         summary_text("least-loaded", 4, 8)
+    );
+}
+
+/// A learning fleet with migration *and* knowledge sharing enabled: the
+/// full tentpole stack must stay byte-identical across worker counts.
+fn learning_summary_text(workers: usize, seed: u64) -> String {
+    let store = KnowledgeStore::new(MergePolicy::VisitWeighted).into_shared();
+    let mut fleet = FleetSim::new(
+        FleetConfig::default().with_worker_threads(workers),
+        dispatcher("least-loaded"),
+        workload(seed),
+    );
+    for _ in 0..4 {
+        fleet.add_node(warm_start_factory(Arc::clone(&store), mamut_factory()));
+    }
+    fleet.set_knowledge_store(Arc::clone(&store));
+    fleet.set_rebalancer(Box::new(UtilizationBalance::new().with_min_gap(0.1)));
+    let summary = fleet.run().expect("fleet run completes");
+    format!(
+        "{summary}migrations={} warm_starts={} store_publishes={}",
+        summary.migrations,
+        summary.warm_starts,
+        store.lock().unwrap().publishes()
+    )
+}
+
+#[test]
+fn migration_and_warm_start_preserve_worker_count_determinism() {
+    let sequential = learning_summary_text(1, 7);
+    for workers in [2, 4, 16] {
+        assert_eq!(
+            sequential,
+            learning_summary_text(workers, 7),
+            "learning fleet diverged at {workers} workers"
+        );
+    }
+    // Knowledge actually flowed: later sessions were seeded.
+    assert!(
+        sequential.contains("warm_starts=") && !sequential.contains("warm_starts=0 "),
+        "no warm starts in {sequential}"
     );
 }
 

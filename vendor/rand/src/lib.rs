@@ -114,6 +114,23 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// The generator's full internal state, for checkpoint/restore.
+        ///
+        /// Not part of the real `rand` API: the MAMUT workspace snapshots
+        /// live controllers (RNG included) so a restored controller
+        /// replays the exact same exploration sequence.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured with
+        /// [`StdRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
