@@ -9,6 +9,12 @@
 //! that down, this bench shows what the parallelism buys.
 //!
 //! Run with: `cargo bench --bench fleet_scaling`
+//!
+//! With `MAMUT_BENCH_QUICK=1` the sweep shrinks to a CI-sized smoke run
+//! (1 → 4 nodes, half the arrivals per node); with
+//! `MAMUT_BENCH_JSON=<path>` the largest configuration's throughput and
+//! deterministic totals are merged into that metrics file for the
+//! `bench_gate` regression check.
 
 use std::time::Instant;
 
@@ -19,7 +25,17 @@ use mamut_fleet::{
 };
 use mamut_metrics::{Align, Table};
 
-const SESSIONS_PER_NODE: usize = 8;
+fn quick() -> bool {
+    std::env::var("MAMUT_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn sessions_per_node() -> usize {
+    if quick() {
+        4
+    } else {
+        8
+    }
+}
 
 /// MAMUT-managed sessions: the Q-learning updates give each node-epoch
 /// enough CPU work that the thread fan-out has something to parallelize
@@ -29,9 +45,12 @@ fn mamut_factory() -> ControllerFactory {
 }
 
 fn workload(nodes: usize) -> Workload {
+    // Session lengths stay full-sized even in quick mode: the gated
+    // throughput figure needs enough wall time per run that scheduler
+    // noise on a shared CI runner averages out.
     Workload::generate(&WorkloadConfig {
         seed: 5,
-        sessions: SESSIONS_PER_NODE * nodes,
+        sessions: sessions_per_node() * nodes,
         // Same offered load per node regardless of fleet size.
         mean_interarrival_s: 4.0 / nodes as f64,
         hr_ratio: 0.5,
@@ -59,9 +78,16 @@ fn run(nodes: usize, workers: usize) -> (FleetSummary, f64) {
 
 fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let node_counts: &[usize] = if quick() {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
     println!(
-        "fleet weak scaling — {SESSIONS_PER_NODE} sessions/node, least-loaded dispatch, \
-         {cores} CPU(s) available"
+        "fleet weak scaling — {} sessions/node, least-loaded dispatch, \
+         {cores} CPU(s) available{}",
+        sessions_per_node(),
+        if quick() { " [quick mode]" } else { "" }
     );
     println!(
         "(speedup is bounded by the CPU count; MAMUT controllers learn online from cold start, \
@@ -78,7 +104,8 @@ fn main() {
         "speedup".into(),
     ]);
     table.set_alignments(vec![Align::Right; 8]);
-    for nodes in [1usize, 2, 4, 8, 16] {
+    let mut largest: Option<(FleetSummary, f64)> = None;
+    for &nodes in node_counts {
         let (summary, wall_seq) = run(nodes, 1);
         let (parallel, wall_par) = run(nodes, nodes);
         assert_eq!(
@@ -96,6 +123,33 @@ fn main() {
             format!("{wall_par:.3}"),
             format!("{:.2}x", wall_seq / wall_par.max(1e-9)),
         ]);
+        largest = Some((parallel, wall_par));
     }
     println!("{}", table.to_plain());
+
+    // Metric emission for the CI regression gate: throughput of the
+    // largest swept configuration plus its deterministic totals (which
+    // only move when the simulation's physics change). Best-of-3 wall
+    // clock so scheduling noise on a shared runner does not masquerade
+    // as a regression.
+    if let Ok(path) = std::env::var("MAMUT_BENCH_JSON") {
+        if !path.is_empty() {
+            let (summary, first_wall) = largest.expect("the sweep ran at least one config");
+            let nodes = *node_counts.last().expect("non-empty sweep");
+            let best_wall = (0..4)
+                .map(|_| run(nodes, nodes).1)
+                .fold(first_wall, f64::min);
+            let path = std::path::Path::new(&path);
+            let emit = |name: &str, value: f64| {
+                criterion::benchjson::merge_into(path, name, value)
+                    .unwrap_or_else(|e| eprintln!("bench json emission failed: {e}"));
+            };
+            emit(
+                "fleet_scaling_frames_per_s",
+                summary.total_frames as f64 / best_wall.max(1e-9),
+            );
+            emit("fleet_scaling_total_frames", summary.total_frames as f64);
+            emit("fleet_scaling_sessions", summary.total_sessions as f64);
+        }
+    }
 }

@@ -1,0 +1,167 @@
+//! CI bench-regression gate: compares a freshly emitted metrics file
+//! (`BENCH_fleet.json`, written by the benches when `MAMUT_BENCH_JSON`
+//! is set) against the committed baseline (`ci/bench_baseline.json`)
+//! and fails when a tracked metric regresses beyond the tolerance.
+//!
+//! Metric direction is encoded in the key suffix:
+//!
+//! * `_ns` / `_s` / `_j` — cost metrics, lower is better; a regression
+//!   is `current > baseline × (1 + tolerance)`;
+//! * `_per_s` — throughput metrics, higher is better; a regression is
+//!   `current < baseline × (1 − tolerance)`;
+//! * anything else — a deterministic counter (frame totals, session
+//!   counts); *any* drift fails regardless of the tolerance, because
+//!   these carry no timing noise — they only move when the simulation's
+//!   physics change. These are also the metrics that stay meaningful
+//!   when the baseline was captured on different hardware; the timing
+//!   metrics assume baseline and current ran on comparable machines
+//!   (refresh the baseline when the CI runner class changes).
+//!
+//! Only metrics present in the baseline are gated; new metrics are
+//! reported so the baseline can be extended deliberately. Update the
+//! baseline with the one-liner documented in the README:
+//!
+//! ```text
+//! rm -f BENCH_fleet.json && MAMUT_BENCH_QUICK=1 MAMUT_BENCH_JSON=$PWD/BENCH_fleet.json \
+//!   cargo bench --bench fleet_scaling --bench snapshot_codec && cp BENCH_fleet.json ci/bench_baseline.json
+//! ```
+//!
+//! Usage: `bench_gate --baseline ci/bench_baseline.json --current
+//! BENCH_fleet.json [--tolerance 0.15]`
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use criterion::benchjson;
+
+/// How a metric's key suffix maps to a regression test.
+enum Direction {
+    LowerIsBetter,
+    HigherIsBetter,
+    Exact,
+}
+
+fn direction(name: &str) -> Direction {
+    if name.ends_with("_per_s") {
+        Direction::HigherIsBetter
+    } else if name.ends_with("_ns") || name.ends_with("_s") || name.ends_with("_j") {
+        Direction::LowerIsBetter
+    } else {
+        Direction::Exact
+    }
+}
+
+struct Args {
+    baseline: String,
+    current: String,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut tolerance = 0.15;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| argv.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--baseline" => baseline = Some(value("--baseline")?),
+            "--current" => current = Some(value("--current")?),
+            "--tolerance" => {
+                tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("bad --tolerance: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("missing --baseline <path>")?,
+        current: current.ok_or("missing --current <path>")?,
+        tolerance,
+    })
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let baseline = benchjson::load(Path::new(&args.baseline))?;
+    let current = benchjson::load(Path::new(&args.current))?;
+    if baseline.is_empty() {
+        return Err(format!("baseline {} has no metrics", args.baseline));
+    }
+    if current.is_empty() {
+        return Err(format!(
+            "current {} has no metrics — did the benches run with MAMUT_BENCH_JSON set?",
+            args.current
+        ));
+    }
+    let tol = args.tolerance;
+    println!(
+        "bench gate: {} tracked metric(s), tolerance {:.0}%",
+        baseline.len(),
+        100.0 * tol
+    );
+    println!(
+        "{:<42} {:>14} {:>14} {:>9}  verdict",
+        "metric", "baseline", "current", "change"
+    );
+    let mut regressed = false;
+    for (name, &base) in &baseline {
+        let Some(&cur) = current.get(name) else {
+            println!("{name:<42} {base:>14.1} {:>14} {:>9}  MISSING", "-", "-");
+            regressed = true;
+            continue;
+        };
+        let change = if base.abs() > f64::EPSILON {
+            (cur - base) / base
+        } else {
+            0.0
+        };
+        let bad = match direction(name) {
+            Direction::LowerIsBetter => change > tol,
+            Direction::HigherIsBetter => change < -tol,
+            // Deterministic counters carry no timing noise: any drift at
+            // all means the simulation's physics changed, so the noise
+            // tolerance does not apply (tiny epsilon for f64 round trips).
+            Direction::Exact => change.abs() > 1e-9,
+        };
+        regressed |= bad;
+        println!(
+            "{name:<42} {base:>14.1} {cur:>14.1} {:>+8.1}%  {}",
+            100.0 * change,
+            if bad { "REGRESSED" } else { "ok" }
+        );
+    }
+    for name in current.keys().filter(|n| !baseline.contains_key(*n)) {
+        println!("{name:<42} (new metric, not gated — extend the baseline to track it)");
+    }
+    Ok(regressed)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            eprintln!("usage: bench_gate --baseline <path> --current <path> [--tolerance 0.15]");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(false) => {
+            println!("bench gate: PASS");
+            ExitCode::SUCCESS
+        }
+        Ok(true) => {
+            eprintln!(
+                "bench gate: FAIL — a tracked metric regressed more than {:.0}% \
+                 (intentional? update the baseline via the README one-liner)",
+                100.0 * args.tolerance
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

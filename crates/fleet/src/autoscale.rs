@@ -1,0 +1,487 @@
+//! Elastic pool sizing: grow and shrink the node pool with demand.
+//!
+//! The paper keeps one server inside real-time/power budgets; at fleet
+//! scale the pool itself must follow load — the KaaS resource-management
+//! line and digital-twin collaborative transcoding both provision
+//! capacity ahead of predicted demand instead of paying for a worst-case
+//! pool around the clock. The [`Autoscaler`] is consulted once per epoch
+//! boundary on the coordinating thread (so scaling inherits the fleet's
+//! worker-count determinism) and answers with a pool-size decision; the
+//! fleet executes it:
+//!
+//! * **grow** — commission fresh nodes through the installed
+//!   [`NodeProvisioner`](crate::NodeProvisioner), clock-aligned to the
+//!   boundary and (when a knowledge store is attached) warm-starting
+//!   every session they build from the fleet's merged knowledge;
+//! * **shrink** — drain a node's live sessions to its peers via the
+//!   migration path ([`FleetNode::drain`](crate::FleetNode::drain) →
+//!   [`attach_session`](crate::FleetNode::attach_session)), then retire
+//!   it. Drain always precedes decommission: no session is ever dropped.
+//!
+//! Two policies ship: [`ThresholdScaler`] reacts to observed
+//! utilization/QoS with hysteresis and a cooldown, [`PredictiveScaler`]
+//! follows an EWMA of the arrival rate through Little's law.
+
+use crate::dispatch::NodeView;
+
+/// What the autoscaler sees at one epoch boundary. Views cover the
+/// *active* pool only — draining or retired nodes are no longer capacity.
+#[derive(Debug)]
+pub struct ScaleSignals<'a> {
+    /// The epoch about to be simulated.
+    pub epoch: u64,
+    /// Epoch length (virtual seconds).
+    pub epoch_s: f64,
+    /// Read-only views of the active nodes, in id order.
+    pub active: &'a [NodeView],
+    /// Arrivals due for dispatch at this boundary.
+    pub arrivals_due: usize,
+    /// Sessions parked in the retry queue by a gating dispatcher.
+    pub queued_sessions: usize,
+    /// Arrivals still in the future (demand yet to come).
+    pub pending_sessions: usize,
+}
+
+impl ScaleSignals<'_> {
+    /// Mean thread-demand utilization over the active pool (0.0 when
+    /// the pool is empty).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.active.is_empty() {
+            0.0
+        } else {
+            self.active.iter().map(NodeView::utilization).sum::<f64>() / self.active.len() as f64
+        }
+    }
+
+    /// Mean QoS violation percentage over the active pool (0.0 when the
+    /// pool is empty).
+    pub fn mean_qos_violation_percent(&self) -> f64 {
+        if self.active.is_empty() {
+            0.0
+        } else {
+            self.active
+                .iter()
+                .map(|n| n.qos_violation_percent)
+                .sum::<f64>()
+                / self.active.len() as f64
+        }
+    }
+
+    /// Sessions currently in the system: resident on active nodes or
+    /// waiting in the retry queue.
+    pub fn sessions_in_system(&self) -> usize {
+        self.active.iter().map(|n| n.active_sessions).sum::<usize>() + self.queued_sessions
+    }
+}
+
+/// One epoch boundary's pool-size decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Keep the pool as it is.
+    Hold,
+    /// Commission this many fresh nodes.
+    Grow(usize),
+    /// Drain and retire this many nodes.
+    Shrink(usize),
+}
+
+/// An elastic pool-sizing policy, consulted once per epoch boundary.
+///
+/// `Send` for the same reason as [`Dispatcher`](crate::Dispatcher): the
+/// fleet owning it may move across threads, but planning itself always
+/// runs on the coordinating thread.
+pub trait Autoscaler: Send {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Plans this boundary's pool change. The fleet clamps the result to
+    /// its own limits: shrink never empties the pool (at least one
+    /// active node survives) and grow never pushes the lifetime pool
+    /// past `FleetConfig::max_pool_nodes`.
+    fn plan(&mut self, signals: &ScaleSignals) -> ScaleDecision;
+}
+
+/// Reactive scaling on utilization and QoS watermarks.
+///
+/// Grows when the pool runs hot (mean utilization above the high
+/// watermark, QoS distress above the ceiling, or a gating dispatcher
+/// queueing arrivals it cannot place); shrinks when the pool idles below
+/// the low watermark with QoS healthy. The gap between the watermarks is
+/// the hysteresis band — a fleet sitting between them holds — and a
+/// cooldown keeps consecutive scaling events apart so one burst cannot
+/// thrash the pool.
+#[derive(Debug, Clone)]
+pub struct ThresholdScaler {
+    /// Grow when mean utilization exceeds this (high watermark).
+    pub grow_above: f64,
+    /// Shrink when mean utilization falls below this (low watermark;
+    /// keep well under `grow_above` — the gap is the hysteresis band).
+    pub shrink_below: f64,
+    /// Grow when the pool-mean QoS violation percentage exceeds this,
+    /// regardless of utilization (QoS headroom exhausted).
+    pub qos_ceiling_percent: f64,
+    /// Never shrink below this many active nodes.
+    pub min_nodes: usize,
+    /// Never grow above this many active nodes.
+    pub max_nodes: usize,
+    /// Epochs that must pass after a scaling event before the next one.
+    pub cooldown_epochs: u64,
+    last_scale_epoch: Option<u64>,
+}
+
+impl ThresholdScaler {
+    /// Conservative defaults: grow above 75 % / shrink below 30 %
+    /// utilization, 10 % QoS ceiling, pool of 1–8 nodes, 3-epoch
+    /// cooldown.
+    pub fn new() -> Self {
+        ThresholdScaler {
+            grow_above: 0.75,
+            shrink_below: 0.30,
+            qos_ceiling_percent: 10.0,
+            min_nodes: 1,
+            max_nodes: 8,
+            cooldown_epochs: 3,
+            last_scale_epoch: None,
+        }
+    }
+
+    /// Overrides the utilization watermarks (hysteresis band between).
+    pub fn with_watermarks(mut self, shrink_below: f64, grow_above: f64) -> Self {
+        self.shrink_below = shrink_below;
+        self.grow_above = grow_above;
+        self
+    }
+
+    /// Overrides the pool-size limits.
+    pub fn with_limits(mut self, min_nodes: usize, max_nodes: usize) -> Self {
+        self.min_nodes = min_nodes.max(1);
+        self.max_nodes = max_nodes.max(self.min_nodes);
+        self
+    }
+
+    /// Overrides the QoS ceiling (percent of frames under target).
+    pub fn with_qos_ceiling(mut self, percent: f64) -> Self {
+        self.qos_ceiling_percent = percent;
+        self
+    }
+
+    /// Overrides the cooldown between scaling events.
+    pub fn with_cooldown(mut self, epochs: u64) -> Self {
+        self.cooldown_epochs = epochs;
+        self
+    }
+
+    fn cooling_down(&self, epoch: u64) -> bool {
+        self.last_scale_epoch
+            .is_some_and(|last| epoch.saturating_sub(last) < self.cooldown_epochs)
+    }
+}
+
+impl Default for ThresholdScaler {
+    fn default() -> Self {
+        ThresholdScaler::new()
+    }
+}
+
+impl Autoscaler for ThresholdScaler {
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+
+    fn plan(&mut self, signals: &ScaleSignals) -> ScaleDecision {
+        if self.cooling_down(signals.epoch) {
+            return ScaleDecision::Hold;
+        }
+        let pool = signals.active.len();
+        let utilization = signals.mean_utilization();
+        let qos = signals.mean_qos_violation_percent();
+        let hot = utilization > self.grow_above
+            || qos > self.qos_ceiling_percent
+            || signals.queued_sessions > 0;
+        if hot && pool < self.max_nodes {
+            self.last_scale_epoch = Some(signals.epoch);
+            return ScaleDecision::Grow(1);
+        }
+        let idle = utilization < self.shrink_below
+            && qos <= self.qos_ceiling_percent
+            && signals.queued_sessions == 0;
+        if idle && pool > self.min_nodes {
+            self.last_scale_epoch = Some(signals.epoch);
+            return ScaleDecision::Shrink(1);
+        }
+        ScaleDecision::Hold
+    }
+}
+
+/// Predictive scaling on an EWMA of the arrival rate.
+///
+/// Tracks the churn workload's arrival rate with an exponentially
+/// weighted moving average and sizes the pool by Little's law: expected
+/// concurrency `L = λ · W` (arrival rate times expected session
+/// residence), plus the queue backlog, divided by the per-node session
+/// capacity. Capacity follows *predicted* load rather than waiting for
+/// utilization to hurt — the digital-twin line of collaborative
+/// transcoding.
+#[derive(Debug, Clone)]
+pub struct PredictiveScaler {
+    /// EWMA smoothing factor in `(0, 1]`; higher chases bursts faster.
+    pub alpha: f64,
+    /// Expected session residence time (virtual seconds) — the `W` of
+    /// Little's law.
+    pub mean_session_s: f64,
+    /// Concurrent sessions one node is provisioned for.
+    pub sessions_per_node: f64,
+    /// Never shrink below this many active nodes.
+    pub min_nodes: usize,
+    /// Never grow above this many active nodes.
+    pub max_nodes: usize,
+    /// Epochs that must pass after a scaling event before the next one.
+    pub cooldown_epochs: u64,
+    rate_hz: f64,
+    primed: bool,
+    last_scale_epoch: Option<u64>,
+}
+
+impl PredictiveScaler {
+    /// Defaults: α = 0.3, 20 s expected residence, 4 sessions per node,
+    /// pool of 1–16 nodes, 2-epoch cooldown.
+    pub fn new() -> Self {
+        PredictiveScaler {
+            alpha: 0.3,
+            mean_session_s: 20.0,
+            sessions_per_node: 4.0,
+            min_nodes: 1,
+            max_nodes: 16,
+            cooldown_epochs: 2,
+            rate_hz: 0.0,
+            primed: false,
+            last_scale_epoch: None,
+        }
+    }
+
+    /// Overrides the EWMA smoothing factor (clamped into `(0, 1]`).
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha.clamp(1e-6, 1.0);
+        self
+    }
+
+    /// Overrides the expected session residence time.
+    pub fn with_mean_session_s(mut self, seconds: f64) -> Self {
+        self.mean_session_s = seconds.max(0.0);
+        self
+    }
+
+    /// Overrides the per-node session capacity.
+    pub fn with_sessions_per_node(mut self, sessions: f64) -> Self {
+        self.sessions_per_node = sessions.max(1e-6);
+        self
+    }
+
+    /// Overrides the pool-size limits.
+    pub fn with_limits(mut self, min_nodes: usize, max_nodes: usize) -> Self {
+        self.min_nodes = min_nodes.max(1);
+        self.max_nodes = max_nodes.max(self.min_nodes);
+        self
+    }
+
+    /// Overrides the cooldown between scaling events.
+    pub fn with_cooldown(mut self, epochs: u64) -> Self {
+        self.cooldown_epochs = epochs;
+        self
+    }
+
+    /// The current smoothed arrival-rate estimate (Hz).
+    pub fn rate_hz(&self) -> f64 {
+        self.rate_hz
+    }
+}
+
+impl Default for PredictiveScaler {
+    fn default() -> Self {
+        PredictiveScaler::new()
+    }
+}
+
+impl Autoscaler for PredictiveScaler {
+    fn name(&self) -> &'static str {
+        "predictive-ewma"
+    }
+
+    fn plan(&mut self, signals: &ScaleSignals) -> ScaleDecision {
+        // The rate estimate updates every boundary, cooldown or not —
+        // holding must not blind the predictor to the burst it is
+        // holding through.
+        let instant_hz = signals.arrivals_due as f64 / signals.epoch_s.max(1e-9);
+        self.rate_hz = if self.primed {
+            self.alpha * instant_hz + (1.0 - self.alpha) * self.rate_hz
+        } else {
+            self.primed = true;
+            instant_hz
+        };
+        if self
+            .last_scale_epoch
+            .is_some_and(|last| signals.epoch.saturating_sub(last) < self.cooldown_epochs)
+        {
+            return ScaleDecision::Hold;
+        }
+        // Little's law concurrency plus the backlog already waiting.
+        let expected = self.rate_hz * self.mean_session_s + signals.queued_sessions as f64;
+        let target = ((expected / self.sessions_per_node).ceil() as usize)
+            .clamp(self.min_nodes, self.max_nodes);
+        let pool = signals.active.len();
+        if target > pool {
+            self.last_scale_epoch = Some(signals.epoch);
+            ScaleDecision::Grow(target - pool)
+        } else if target < pool {
+            self.last_scale_epoch = Some(signals.epoch);
+            ScaleDecision::Shrink(pool - target)
+        } else {
+            ScaleDecision::Hold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(node_id: usize, threads: u32, sessions: usize, qos_violation: f64) -> NodeView {
+        NodeView {
+            node_id,
+            active_sessions: sessions,
+            threads_demanded: threads,
+            planned_threads: threads,
+            hw_threads: 32,
+            power_w: 60.0,
+            power_cap_w: 120.0,
+            qos_violation_percent: qos_violation,
+            resident_shapes: Vec::new(),
+        }
+    }
+
+    fn signals<'a>(epoch: u64, active: &'a [NodeView], queued: usize) -> ScaleSignals<'a> {
+        ScaleSignals {
+            epoch,
+            epoch_s: 1.0,
+            active,
+            arrivals_due: 0,
+            queued_sessions: queued,
+            pending_sessions: 0,
+        }
+    }
+
+    #[test]
+    fn threshold_grows_on_hot_pool_and_holds_in_the_band() {
+        let mut s = ThresholdScaler::new().with_cooldown(0);
+        let hot = [view(0, 30, 5, 0.0), view(1, 28, 5, 0.0)];
+        assert_eq!(s.plan(&signals(0, &hot, 0)), ScaleDecision::Grow(1));
+        let mid = [view(0, 16, 3, 0.0), view(1, 14, 3, 0.0)];
+        assert_eq!(s.plan(&signals(1, &mid, 0)), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn threshold_grows_on_qos_distress_even_when_utilization_is_low() {
+        let mut s = ThresholdScaler::new().with_cooldown(0);
+        let suffering = [view(0, 8, 2, 40.0)];
+        assert_eq!(s.plan(&signals(0, &suffering, 0)), ScaleDecision::Grow(1));
+    }
+
+    #[test]
+    fn threshold_grows_on_queue_backlog() {
+        let mut s = ThresholdScaler::new().with_cooldown(0);
+        let idle = [view(0, 4, 1, 0.0)];
+        assert_eq!(s.plan(&signals(0, &idle, 3)), ScaleDecision::Grow(1));
+    }
+
+    #[test]
+    fn threshold_shrinks_an_idle_pool_but_respects_min_nodes() {
+        let mut s = ThresholdScaler::new().with_cooldown(0).with_limits(1, 8);
+        let idle = [view(0, 2, 1, 0.0), view(1, 0, 0, 0.0)];
+        assert_eq!(s.plan(&signals(0, &idle, 0)), ScaleDecision::Shrink(1));
+        let floor = [view(0, 2, 1, 0.0)];
+        assert_eq!(s.plan(&signals(1, &floor, 0)), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn threshold_cooldown_spaces_scaling_events() {
+        let mut s = ThresholdScaler::new().with_cooldown(3);
+        let hot = [view(0, 30, 5, 0.0)];
+        assert_eq!(s.plan(&signals(0, &hot, 0)), ScaleDecision::Grow(1));
+        assert_eq!(s.plan(&signals(1, &hot, 0)), ScaleDecision::Hold);
+        assert_eq!(s.plan(&signals(2, &hot, 0)), ScaleDecision::Hold);
+        assert_eq!(s.plan(&signals(3, &hot, 0)), ScaleDecision::Grow(1));
+    }
+
+    #[test]
+    fn threshold_max_nodes_caps_growth() {
+        let mut s = ThresholdScaler::new().with_cooldown(0).with_limits(1, 2);
+        let hot = [view(0, 30, 5, 0.0), view(1, 30, 5, 0.0)];
+        assert_eq!(s.plan(&signals(0, &hot, 0)), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn predictive_follows_the_arrival_rate() {
+        let mut s = PredictiveScaler::new()
+            .with_alpha(1.0) // no smoothing: track the instant rate
+            .with_mean_session_s(10.0)
+            .with_sessions_per_node(5.0)
+            .with_cooldown(0)
+            .with_limits(1, 16);
+        let pool = [view(0, 8, 2, 0.0)];
+        // 2 arrivals/s × 10 s residence = 20 concurrent / 5 per node = 4.
+        let mut sig = signals(0, &pool, 0);
+        sig.arrivals_due = 2;
+        assert_eq!(s.plan(&sig), ScaleDecision::Grow(3));
+        assert!((s.rate_hz() - 2.0).abs() < 1e-12);
+        // Rate collapses to zero: back down to the minimum.
+        let big: Vec<NodeView> = (0..4).map(|i| view(i, 2, 1, 0.0)).collect();
+        let quiet = signals(1, &big, 0);
+        assert_eq!(s.plan(&quiet), ScaleDecision::Shrink(3));
+    }
+
+    #[test]
+    fn predictive_ewma_smooths_bursts() {
+        let mut s = PredictiveScaler::new().with_alpha(0.5).with_cooldown(0);
+        let pool = [view(0, 8, 2, 0.0)];
+        let mut sig = signals(0, &pool, 0);
+        sig.arrivals_due = 8;
+        s.plan(&sig); // primes at 8 Hz
+        assert!((s.rate_hz() - 8.0).abs() < 1e-12);
+        let mut sig = signals(1, &pool, 0);
+        sig.arrivals_due = 0;
+        s.plan(&sig);
+        assert!((s.rate_hz() - 4.0).abs() < 1e-12, "EWMA halves, not zeroes");
+    }
+
+    #[test]
+    fn predictive_updates_rate_during_cooldown() {
+        let mut s = PredictiveScaler::new().with_alpha(1.0).with_cooldown(10);
+        let pool = [view(0, 8, 2, 0.0)];
+        let mut sig = signals(0, &pool, 0);
+        sig.arrivals_due = 4;
+        s.plan(&sig); // first decision starts the cooldown
+        let mut sig = signals(1, &pool, 0);
+        sig.arrivals_due = 6;
+        assert_eq!(s.plan(&sig), ScaleDecision::Hold, "cooling down");
+        assert!((s.rate_hz() - 6.0).abs() < 1e-12, "estimate still tracked");
+    }
+
+    #[test]
+    fn signals_summarize_the_pool() {
+        let nodes = [view(0, 16, 3, 20.0), view(1, 8, 1, 0.0)];
+        let sig = ScaleSignals {
+            epoch: 0,
+            epoch_s: 1.0,
+            active: &nodes,
+            arrivals_due: 2,
+            queued_sessions: 2,
+            pending_sessions: 5,
+        };
+        assert!((sig.mean_utilization() - (0.5 + 0.25) / 2.0).abs() < 1e-12);
+        assert!((sig.mean_qos_violation_percent() - 10.0).abs() < 1e-12);
+        assert_eq!(sig.sessions_in_system(), 6);
+        let empty = signals(0, &[], 0);
+        assert_eq!(empty.mean_utilization(), 0.0);
+        assert_eq!(empty.mean_qos_violation_percent(), 0.0);
+    }
+}

@@ -45,6 +45,13 @@ pub struct NodeView {
     pub power_w: f64,
     /// Node power budget (W) for headroom-based placement.
     pub power_cap_w: f64,
+    /// Percentage of the resident sessions' frames delivered below the
+    /// FPS target *over the last simulated epoch* (0.0 on an empty or
+    /// freshly loaded node) — the QoS distress signal autoscalers and
+    /// QoS-aware rebalancers act on. Windowed on purpose: a stream that
+    /// suffered through a long-past burst must not read as distressed
+    /// forever.
+    pub qos_violation_percent: f64,
     /// Planning shapes of the resident (unfinished) sessions.
     pub resident_shapes: Vec<StreamShape>,
 }
@@ -63,6 +70,12 @@ impl NodeView {
     /// Power headroom under the node budget (may be negative).
     pub fn power_headroom_w(&self) -> f64 {
         self.power_cap_w - self.power_w
+    }
+
+    /// QoS slack in `[0, 1]`: the fraction of resident frames delivered
+    /// on time (1.0 on an empty node — nothing is suffering).
+    pub fn qos_slack(&self) -> f64 {
+        (1.0 - self.qos_violation_percent / 100.0).clamp(0.0, 1.0)
     }
 }
 
@@ -279,6 +292,7 @@ mod tests {
             hw_threads: 32,
             power_w,
             power_cap_w: 120.0,
+            qos_violation_percent: 0.0,
             resident_shapes: Vec::new(),
         }
     }

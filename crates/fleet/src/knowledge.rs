@@ -442,6 +442,90 @@ mod tests {
     }
 
     #[test]
+    fn visit_weighted_merge_into_an_empty_store_inserts() {
+        // The merge policy only matters from the second publish on: the
+        // first contribution to an empty store must land as-is.
+        let teacher = trained(4, 5_000);
+        let mut store = KnowledgeStore::new(MergePolicy::VisitWeighted);
+        assert_eq!(
+            store.publish(SessionClass::Hr, &Controller::snapshot(&teacher)),
+            PublishOutcome::Inserted
+        );
+        let k = store.knowledge(SessionClass::Hr, "mamut").unwrap();
+        assert_eq!(k.contributions, 1);
+        assert_eq!(
+            k.snapshot.agents,
+            Controller::snapshot(&teacher).into_knowledge().agents
+        );
+    }
+
+    #[test]
+    fn visit_weighted_merge_with_zero_total_visits_averages() {
+        // Neither side has visited the cell: the merge cannot weight by
+        // visits, so it falls back to the arithmetic mean instead of
+        // dividing by zero.
+        let mut a = PolicySnapshot::tableless("t", KnobSettings::new(32, 4, 2.6));
+        a.agents.push(AgentSnapshot {
+            kind: mamut_core::AgentKind::Qp,
+            n_states: 1,
+            n_actions: 1,
+            q: vec![2.0],
+            action_counts: vec![0],
+            transitions: Vec::new(),
+        });
+        let mut b = a.clone();
+        b.agents[0].q = vec![6.0];
+        let merged = visit_weighted_merge(&a, &b).unwrap();
+        assert!((merged.agents[0].q[0] - 4.0).abs() < 1e-12, "plain average");
+        assert_eq!(merged.agents[0].action_counts, vec![0]);
+        assert!(merged.agents[0].transitions.is_empty());
+        // Through the store: two zero-visit publishes still merge cleanly.
+        let mut store = KnowledgeStore::new(MergePolicy::VisitWeighted);
+        store.publish(SessionClass::Lr, &a);
+        assert_eq!(store.publish(SessionClass::Lr, &b), PublishOutcome::Merged);
+        let k = store.knowledge(SessionClass::Lr, "t").unwrap();
+        assert!((k.snapshot.agents[0].q[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_start_factory_with_no_class_entry_stays_cold() {
+        // An empty store: the factory must hand out the base controller
+        // untouched (and count the failed attempt), not fail or block.
+        let shared = KnowledgeStore::new(MergePolicy::VisitWeighted).into_shared();
+        let factory = warm_start_factory(
+            Arc::clone(&shared),
+            Box::new(|req| {
+                let cfg = if req.hr {
+                    MamutConfig::paper_hr()
+                } else {
+                    MamutConfig::paper_lr()
+                };
+                Box::new(MamutController::new(cfg.with_seed(req.seed)).unwrap())
+            }),
+        );
+        let request = SessionRequest {
+            id: 0,
+            arrival_s: 0.0,
+            hr: true,
+            live: false,
+            frames: 100,
+            seed: 3,
+        };
+        let controller = factory(&request);
+        let visits: u64 = controller
+            .snapshot()
+            .agents
+            .iter()
+            .map(|a| a.total_visits())
+            .sum();
+        assert_eq!(visits, 0, "cold start: no knowledge to adopt");
+        let store = shared.lock().unwrap();
+        assert_eq!(store.seed_attempts(), 1);
+        assert_eq!(store.seeds_served(), 0);
+        assert!(store.knowledge(SessionClass::Hr, "mamut").is_none());
+    }
+
+    #[test]
     fn warm_start_factory_seeds_transparently() {
         let teacher = trained(3, 30_000);
         let mut store = KnowledgeStore::new(MergePolicy::Replace);

@@ -20,9 +20,16 @@
 //!   within an epoch, so results are identical for any worker count),
 //!   with per-node controller factories so MAMUT, mono-agent and
 //!   heuristic nodes can be mixed in one cluster;
+//! * [`Autoscaler`] — elastic pool sizing: [`ThresholdScaler`]
+//!   (utilization/QoS watermarks with hysteresis and cooldown) and
+//!   [`PredictiveScaler`] (EWMA of the arrival rate through Little's
+//!   law) grow and shrink the pool per epoch; shrinking drains live
+//!   sessions to peers before a node is decommissioned, growing
+//!   commissions clock-aligned nodes that warm-start from the
+//!   knowledge store;
 //! * [`FleetSummary`] — per-node and cluster-wide ∆, power, energy,
-//!   rejected/queued counts and a utilization histogram, built on
-//!   `mamut_metrics::fleet`.
+//!   rejected/queued counts, autoscale events, the pool-size timeline
+//!   and a utilization histogram, built on `mamut_metrics::fleet`.
 //!
 //! # Example
 //!
@@ -57,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod autoscale;
 mod dispatch;
 mod error;
 mod knowledge;
@@ -66,6 +74,7 @@ mod sim;
 mod summary;
 mod workload;
 
+pub use autoscale::{Autoscaler, PredictiveScaler, ScaleDecision, ScaleSignals, ThresholdScaler};
 pub use dispatch::{
     AdmissionGated, DispatchDecision, Dispatcher, GateMode, LeastLoaded, NodeView, PowerAware,
     RoundRobin,
@@ -75,8 +84,8 @@ pub use knowledge::{
     warm_start_factory, ClassKnowledge, KnowledgeStore, MergePolicy, PublishOutcome, SessionClass,
     SharedKnowledgeStore,
 };
-pub use node::{ControllerFactory, FleetNode, MigratedSession};
-pub use rebalance::{MigrationDirective, Rebalancer, UtilizationBalance};
-pub use sim::{FleetConfig, FleetSim};
-pub use summary::{FleetSummary, NodeReport};
+pub use node::{ControllerFactory, FleetNode, MigratedSession, NodeState};
+pub use rebalance::{MigrationDirective, PowerQosBalance, Rebalancer, UtilizationBalance};
+pub use sim::{FleetConfig, FleetSim, NodeProvisioner};
+pub use summary::{FleetSummary, NodeFacts, NodeReport};
 pub use workload::{SessionRequest, Workload, WorkloadConfig};

@@ -43,12 +43,27 @@ impl std::fmt::Debug for MigratedSession {
 /// mixes MAMUT nodes with baseline-controlled ones in one run.
 pub type ControllerFactory = Box<dyn Fn(&SessionRequest) -> Box<dyn Controller> + Send>;
 
+/// Where a node stands in its lifecycle. A fixed-pool fleet keeps every
+/// node `Active` forever; an autoscaled fleet commissions nodes mid-run
+/// and retires them again once their live sessions have been drained to
+/// peers ("drain before decommission").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// In the pool: receives dispatches, advances every epoch, and is
+    /// charged (at least idle) power.
+    Active,
+    /// Powered off. Takes no sessions, advances no further, draws no
+    /// power; its accumulated statistics remain in the fleet report.
+    Retired,
+}
+
 /// One server in the fleet.
 pub struct FleetNode {
     id: usize,
     server: ServerSim,
     factory: ControllerFactory,
     power_cap_w: f64,
+    state: NodeState,
     /// `(session id, planning shape)` of admitted sessions; pruned of
     /// finished sessions by [`FleetNode::refresh`].
     shapes: Vec<(usize, StreamShape)>,
@@ -57,6 +72,12 @@ pub struct FleetNode {
     sessions_migrated_out: u64,
     /// Session ids whose final policy already went to a knowledge store.
     published: std::collections::BTreeSet<usize>,
+    /// Per-session `(frames, violations)` totals at the start of the
+    /// epoch being simulated — the baseline [`FleetNode::view`] subtracts
+    /// so its QoS signal describes *this epoch*, not a session's whole
+    /// life (a stream that suffered through a burst long ago must not
+    /// read as distressed forever).
+    qos_marks: std::collections::BTreeMap<usize, (u64, u64)>,
 }
 
 impl std::fmt::Debug for FleetNode {
@@ -82,17 +103,42 @@ impl FleetNode {
             server: ServerSim::new(platform),
             factory,
             power_cap_w,
+            state: NodeState::Active,
             shapes: Vec::new(),
             sessions_admitted: 0,
             sessions_migrated_in: 0,
             sessions_migrated_out: 0,
             published: std::collections::BTreeSet::new(),
+            qos_marks: std::collections::BTreeMap::new(),
         }
     }
 
     /// Node id (index in the fleet).
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// Lifecycle state.
+    pub fn state(&self) -> NodeState {
+        self.state
+    }
+
+    /// Whether the node is in the active pool.
+    pub fn is_active(&self) -> bool {
+        self.state == NodeState::Active
+    }
+
+    /// Powers the node off. Call only after [`FleetNode::drain`] — a
+    /// retired node never advances again, so a live session left behind
+    /// would be frozen forever.
+    pub(crate) fn retire(&mut self) {
+        self.state = NodeState::Retired;
+    }
+
+    /// Aligns a freshly commissioned node's clock with the fleet (see
+    /// [`ServerSim::align_clock`]).
+    pub(crate) fn align_clock(&mut self, time: f64) -> Result<(), TranscodeError> {
+        self.server.align_clock(time)
     }
 
     /// The underlying server simulator.
@@ -147,6 +193,30 @@ impl FleetNode {
     pub fn view(&self) -> NodeView {
         let load = self.server.load();
         let planned_threads = self.shapes.iter().map(|(_, s)| s.knobs.threads).sum();
+        // QoS over the epoch just simulated: totals minus the marks taken
+        // when the epoch began. A session with no mark yet (just admitted
+        // or just migrated in) contributes nothing until it has been
+        // observed for a full epoch here.
+        let (frames, violations) = self
+            .shapes
+            .iter()
+            .filter_map(|(sid, _)| self.server.session(*sid).ok())
+            .fold((0u64, 0u64), |(f, v), s| {
+                let (f0, v0) = self
+                    .qos_marks
+                    .get(&s.id())
+                    .copied()
+                    .unwrap_or((s.qos().frames(), s.qos().violations()));
+                (
+                    f + s.qos().frames().saturating_sub(f0),
+                    v + s.qos().violations().saturating_sub(v0),
+                )
+            });
+        let qos_violation_percent = if frames == 0 {
+            0.0
+        } else {
+            100.0 * violations as f64 / frames as f64
+        };
         NodeView {
             node_id: self.id,
             active_sessions: load.active_sessions,
@@ -155,6 +225,7 @@ impl FleetNode {
             hw_threads: load.hw_threads,
             power_w: load.power_w,
             power_cap_w: self.power_cap_w,
+            qos_violation_percent,
             resident_shapes: self.shapes.iter().map(|(_, s)| s.clone()).collect(),
         }
     }
@@ -197,6 +268,18 @@ impl FleetNode {
         Ok(MigratedSession { session, shape })
     }
 
+    /// Detaches every live (unfinished) session for migration to peers —
+    /// the "drain" half of drain-before-decommission. Finished sessions
+    /// stay put: their history belongs to this node and their policies
+    /// publish from here. Sessions come out in session-id order.
+    pub fn drain(&mut self) -> Result<Vec<MigratedSession>, FleetError> {
+        self.refresh();
+        let live: Vec<usize> = self.shapes.iter().map(|(sid, _)| *sid).collect();
+        live.into_iter()
+            .map(|sid| self.detach_session(sid))
+            .collect()
+    }
+
     /// Attaches a session detached from a peer node; returns its id here.
     /// Counts as a migration, not an admission — cluster-wide session
     /// totals are unaffected by moves.
@@ -225,12 +308,20 @@ impl FleetNode {
         published
     }
 
-    /// Advances the node's virtual clock to `until`.
+    /// Advances the node's virtual clock to `until`, first marking every
+    /// resident session's QoS totals so the next [`FleetNode::view`]
+    /// reports this epoch's violations rather than lifetime ones.
     ///
     /// # Errors
     ///
     /// Propagates [`TranscodeError::EventBudgetExhausted`] from the server.
     pub fn run_epoch(&mut self, until: f64, max_events: u64) -> Result<u64, TranscodeError> {
+        self.qos_marks = self
+            .server
+            .sessions()
+            .iter()
+            .map(|s| (s.id(), (s.qos().frames(), s.qos().violations())))
+            .collect();
         self.server.run_epoch(until, max_events)
     }
 
@@ -306,6 +397,55 @@ mod tests {
         n.refresh();
         let snap = n.view();
         assert_eq!(snap.threads_demanded, 10, "HR factory knobs in force");
+    }
+
+    #[test]
+    fn drain_detaches_live_sessions_and_leaves_finished_history() {
+        let mut n = node();
+        n.admit(&request(1, false, 5)); // finishes within the epoch
+        n.admit(&request(2, true, 5_000)); // still live at the boundary
+        n.admit(&request(3, false, 5_000)); // still live at the boundary
+        n.run_epoch(2.0, 1_000_000).unwrap();
+        let drained = n.drain().unwrap();
+        assert_eq!(drained.len(), 2, "only unfinished sessions drain");
+        assert_eq!(n.sessions_migrated_out(), 2);
+        assert_eq!(
+            n.server().sessions().len(),
+            1,
+            "the finished session's history stays"
+        );
+        assert!(n.all_finished());
+        n.refresh();
+        assert_eq!(n.view().active_sessions, 0);
+        // Draining an already-empty node is a no-op.
+        assert!(n.drain().unwrap().is_empty());
+    }
+
+    #[test]
+    fn retire_flips_state() {
+        let mut n = node();
+        assert_eq!(n.state(), NodeState::Active);
+        assert!(n.is_active());
+        n.retire();
+        assert_eq!(n.state(), NodeState::Retired);
+        assert!(!n.is_active());
+    }
+
+    #[test]
+    fn view_reports_resident_qos_distress() {
+        let mut n = node();
+        // One thread on an HR stream misses real time on every frame.
+        n.factory = Box::new(|_| Box::new(FixedController::new(KnobSettings::new(32, 1, 2.9))));
+        n.admit(&request(1, true, 5_000));
+        n.run_epoch(2.0, 1_000_000).unwrap();
+        n.refresh();
+        let view = n.view();
+        assert!(
+            view.qos_violation_percent > 50.0,
+            "starved HR stream must show distress, got {}",
+            view.qos_violation_percent
+        );
+        assert!(view.qos_slack() < 0.5);
     }
 
     #[test]

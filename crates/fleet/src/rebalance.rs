@@ -116,6 +116,117 @@ impl Rebalancer for UtilizationBalance {
     }
 }
 
+/// Moves sessions from the most- to the least-*distressed* node, where
+/// distress blends power-budget pressure and QoS violations instead of
+/// thread utilization alone. A node may look moderately utilized yet be
+/// burning its entire power budget (dense HR streams at high frequency),
+/// or look busy while every stream comfortably makes real time — this
+/// policy reads the signals the paper actually constrains (power cap,
+/// FPS target) rather than the proxy.
+#[derive(Debug, Clone)]
+pub struct PowerQosBalance {
+    /// Weight of the power-pressure term (fraction of the node budget in
+    /// use) in the distress score.
+    pub power_weight: f64,
+    /// Weight of the QoS term (fraction of resident frames under target)
+    /// in the distress score.
+    pub qos_weight: f64,
+    /// Minimum donor-receiver distress gap before a move is worth its
+    /// disruption.
+    pub min_gap: f64,
+    /// Directives per epoch boundary (each moves one session). Pairs are
+    /// formed outside-in: most-distressed → least-distressed, and so on.
+    pub max_moves: usize,
+}
+
+impl PowerQosBalance {
+    /// Defaults: equal power/QoS weighting, one move per boundary once
+    /// the distress gap reaches 0.2.
+    pub fn new() -> Self {
+        PowerQosBalance {
+            power_weight: 1.0,
+            qos_weight: 1.0,
+            min_gap: 0.2,
+            max_moves: 1,
+        }
+    }
+
+    /// Overrides the power/QoS term weights.
+    pub fn with_weights(mut self, power_weight: f64, qos_weight: f64) -> Self {
+        self.power_weight = power_weight;
+        self.qos_weight = qos_weight;
+        self
+    }
+
+    /// Overrides the distress-gap threshold.
+    pub fn with_min_gap(mut self, min_gap: f64) -> Self {
+        self.min_gap = min_gap;
+        self
+    }
+
+    /// Overrides the per-boundary move budget.
+    pub fn with_max_moves(mut self, max_moves: usize) -> Self {
+        self.max_moves = max_moves;
+        self
+    }
+
+    /// A node's distress: how much of its power budget is spent plus how
+    /// badly its residents miss real time, weighted. Higher = worse off.
+    /// (Equivalently: low power headroom and low QoS slack score high.)
+    pub fn distress(&self, node: &NodeView) -> f64 {
+        let power_pressure = if node.power_cap_w > 0.0 {
+            (node.power_w / node.power_cap_w).max(0.0)
+        } else {
+            0.0
+        };
+        self.power_weight * power_pressure + self.qos_weight * (1.0 - node.qos_slack())
+    }
+}
+
+impl Default for PowerQosBalance {
+    fn default() -> Self {
+        PowerQosBalance::new()
+    }
+}
+
+impl Rebalancer for PowerQosBalance {
+    fn name(&self) -> &'static str {
+        "power-qos-balance"
+    }
+
+    fn plan(&mut self, _epoch: u64, nodes: &[NodeView]) -> Vec<MigrationDirective> {
+        if nodes.len() < 2 {
+            return Vec::new();
+        }
+        // Sort by distress descending; ties by id so planning is
+        // deterministic for identical loads.
+        let mut order: Vec<&NodeView> = nodes.iter().collect();
+        order.sort_by(|a, b| {
+            self.distress(b)
+                .partial_cmp(&self.distress(a))
+                .expect("distress is finite")
+                .then(a.node_id.cmp(&b.node_id))
+        });
+        let mut directives = Vec::new();
+        let pairs = self.max_moves.min(nodes.len() / 2);
+        for i in 0..pairs {
+            let donor = order[i];
+            let receiver = order[order.len() - 1 - i];
+            if donor.active_sessions == 0 {
+                continue;
+            }
+            if self.distress(donor) - self.distress(receiver) < self.min_gap {
+                break; // order is sorted: later pairs have smaller gaps
+            }
+            directives.push(MigrationDirective {
+                from: donor.node_id,
+                to: receiver.node_id,
+            });
+        }
+        directives
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +240,7 @@ mod tests {
             hw_threads: 32,
             power_w: 60.0,
             power_cap_w: 120.0,
+            qos_violation_percent: 0.0,
             resident_shapes: Vec::new(),
         }
     }
@@ -174,5 +286,76 @@ mod tests {
         assert!(UtilizationBalance::new()
             .plan(0, &[view(0, 30, 6)])
             .is_empty());
+    }
+
+    fn distressed(node_id: usize, power_w: f64, qos_violation: f64, sessions: usize) -> NodeView {
+        let mut v = view(node_id, 8, sessions);
+        v.power_w = power_w;
+        v.qos_violation_percent = qos_violation;
+        v
+    }
+
+    #[test]
+    fn power_qos_moves_off_the_power_pressed_node_despite_equal_utilization() {
+        // Same thread demand everywhere; node 1 burns its whole budget.
+        let nodes = vec![
+            distressed(0, 60.0, 0.0, 2),
+            distressed(1, 118.0, 0.0, 2),
+            distressed(2, 55.0, 0.0, 2),
+        ];
+        let plan = PowerQosBalance::new().plan(0, &nodes);
+        assert_eq!(plan, vec![MigrationDirective { from: 1, to: 2 }]);
+        // UtilizationBalance is blind to this: identical utilization.
+        assert!(UtilizationBalance::new().plan(0, &nodes).is_empty());
+    }
+
+    #[test]
+    fn power_qos_moves_off_the_qos_starved_node() {
+        let nodes = vec![distressed(0, 60.0, 45.0, 3), distressed(1, 60.0, 0.0, 1)];
+        let plan = PowerQosBalance::new().plan(0, &nodes);
+        assert_eq!(plan, vec![MigrationDirective { from: 0, to: 1 }]);
+    }
+
+    #[test]
+    fn power_qos_holds_inside_the_gap() {
+        let nodes = vec![distressed(0, 62.0, 2.0, 2), distressed(1, 58.0, 0.0, 2)];
+        assert!(PowerQosBalance::new().plan(0, &nodes).is_empty());
+    }
+
+    #[test]
+    fn power_qos_weights_steer_the_score() {
+        let power_pressed = distressed(0, 115.0, 0.0, 2);
+        let qos_starved = distressed(1, 40.0, 80.0, 2);
+        let power_first = PowerQosBalance::new().with_weights(1.0, 0.0);
+        assert!(power_first.distress(&power_pressed) > power_first.distress(&qos_starved));
+        let qos_first = PowerQosBalance::new().with_weights(0.0, 1.0);
+        assert!(qos_first.distress(&qos_starved) > qos_first.distress(&power_pressed));
+    }
+
+    #[test]
+    fn power_qos_skips_empty_donors_and_single_nodes() {
+        let nodes = vec![distressed(0, 118.0, 0.0, 0), distressed(1, 40.0, 0.0, 1)];
+        assert!(PowerQosBalance::new().plan(0, &nodes).is_empty());
+        assert!(PowerQosBalance::new()
+            .plan(0, &[distressed(0, 118.0, 50.0, 4)])
+            .is_empty());
+    }
+
+    #[test]
+    fn power_qos_move_budget_caps_pairs() {
+        let nodes = vec![
+            distressed(0, 118.0, 30.0, 4),
+            distressed(1, 110.0, 20.0, 3),
+            distressed(2, 45.0, 0.0, 1),
+            distressed(3, 40.0, 0.0, 0),
+        ];
+        let plan = PowerQosBalance::new().with_max_moves(2).plan(0, &nodes);
+        assert_eq!(
+            plan,
+            vec![
+                MigrationDirective { from: 0, to: 3 },
+                MigrationDirective { from: 1, to: 2 },
+            ]
+        );
     }
 }

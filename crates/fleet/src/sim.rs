@@ -30,17 +30,25 @@
 //! are unaffected — a migration is a move, not an admission.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use mamut_metrics::fleet::FleetAggregate;
 use mamut_platform::Platform;
 
-use crate::dispatch::{DispatchDecision, Dispatcher};
+use crate::autoscale::{Autoscaler, ScaleDecision, ScaleSignals};
+use crate::dispatch::{DispatchDecision, Dispatcher, NodeView};
 use crate::error::FleetError;
-use crate::knowledge::SharedKnowledgeStore;
+use crate::knowledge::{warm_start_factory, SharedKnowledgeStore};
 use crate::node::{ControllerFactory, FleetNode};
 use crate::rebalance::Rebalancer;
-use crate::summary::FleetSummary;
+use crate::summary::{FleetSummary, NodeFacts};
 use crate::workload::{SessionRequest, Workload};
+
+/// Builds the hardware and controller factory for a node the autoscaler
+/// commissions mid-run. Consulted once per scale-up; if a knowledge
+/// store is attached the fleet wraps the returned factory in
+/// [`warm_start_factory`] itself, so provide the *cold* factory here.
+pub type NodeProvisioner = Box<dyn FnMut() -> (Platform, ControllerFactory) + Send>;
 
 /// Fleet-level simulation parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +65,11 @@ pub struct FleetConfig {
     pub max_events_per_epoch: u64,
     /// Guard: max epochs before the run is declared stuck.
     pub max_epochs: u64,
+    /// Guard: hard ceiling on lifetime pool size (initial plus every
+    /// node an autoscaler ever commissions). A runaway `Grow` decision
+    /// is clamped here — the backstop behind whatever `max_nodes` the
+    /// scaling policy itself enforces.
+    pub max_pool_nodes: usize,
 }
 
 impl Default for FleetConfig {
@@ -67,6 +80,7 @@ impl Default for FleetConfig {
             power_cap_w: 120.0,
             max_events_per_epoch: 10_000_000,
             max_epochs: 100_000,
+            max_pool_nodes: 512,
         }
     }
 }
@@ -96,6 +110,8 @@ pub struct FleetSim {
     epoch: u64,
     rebalancer: Option<Box<dyn Rebalancer>>,
     knowledge: Option<SharedKnowledgeStore>,
+    autoscaler: Option<Box<dyn Autoscaler>>,
+    provisioner: Option<NodeProvisioner>,
 }
 
 impl std::fmt::Debug for FleetSim {
@@ -123,6 +139,8 @@ impl FleetSim {
             epoch: 0,
             rebalancer: None,
             knowledge: None,
+            autoscaler: None,
+            provisioner: None,
         }
     }
 
@@ -130,6 +148,32 @@ impl FleetSim {
     /// sessions stay where the dispatcher put them.
     pub fn set_rebalancer(&mut self, rebalancer: Box<dyn Rebalancer>) {
         self.rebalancer = Some(rebalancer);
+    }
+
+    /// Installs an elastic pool-sizing policy plus the provisioner that
+    /// builds the nodes it commissions. Consulted once per epoch
+    /// boundary (on the coordinator — determinism across worker counts
+    /// is preserved):
+    ///
+    /// * a **grow** decision commissions fresh nodes, clock-aligned to
+    ///   the boundary; if a knowledge store is attached the new node's
+    ///   factory is wrapped in [`warm_start_factory`] so its sessions
+    ///   inherit the fleet's merged knowledge from frame one;
+    /// * a **shrink** decision drains the least-utilized node's live
+    ///   sessions to its peers over the migration path, then retires it
+    ///   (drain before decommission — no session is ever dropped). The
+    ///   fleet never retires its last active node, whatever the policy
+    ///   says.
+    ///
+    /// Nodes added with [`FleetSim::add_node`] before `run` form the
+    /// initial pool.
+    pub fn set_autoscaler(
+        &mut self,
+        autoscaler: Box<dyn Autoscaler>,
+        provisioner: NodeProvisioner,
+    ) {
+        self.autoscaler = Some(autoscaler);
+        self.provisioner = Some(provisioner);
     }
 
     /// Attaches a shared knowledge store: every session that finishes
@@ -161,14 +205,34 @@ impl FleetSim {
         id
     }
 
-    /// Number of nodes.
+    /// Number of nodes ever part of the fleet (including retired ones).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
 
-    /// The nodes, in id order.
+    /// Number of nodes currently in the active pool.
+    pub fn active_node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_active()).count()
+    }
+
+    /// The nodes, in id order (retired nodes included — their history
+    /// stays in the report).
     pub fn nodes(&self) -> &[FleetNode] {
         &self.nodes
+    }
+
+    /// Refreshes every active node and returns their views, in id order.
+    fn active_views(&mut self) -> Vec<NodeView> {
+        for node in &mut self.nodes {
+            if node.is_active() {
+                node.refresh();
+            }
+        }
+        self.nodes
+            .iter()
+            .filter(|n| n.is_active())
+            .map(FleetNode::view)
+            .collect()
     }
 
     /// Runs the whole workload to completion: every arrival dispatched
@@ -195,20 +259,24 @@ impl FleetSim {
         loop {
             let epoch_start = self.epoch as f64 * self.config.epoch_s;
             let boundary = (self.epoch + 1) as f64 * self.config.epoch_s;
+            self.autoscale(epoch_start)?;
+            self.aggregate
+                .record_pool_size(self.epoch, self.active_node_count());
             self.dispatch_due(epoch_start)?;
             // Utilization is sampled after placement, before advancement:
             // it describes the demand each node carries *through* the
-            // epoch being simulated.
-            let utilizations: Vec<f64> = self
+            // epoch being simulated. Only active nodes burn a node-epoch.
+            let utilizations: Vec<(usize, f64)> = self
                 .nodes
                 .iter_mut()
+                .filter(|n| n.is_active())
                 .map(|n| {
                     n.refresh();
-                    n.view().utilization()
+                    (n.id(), n.view().utilization())
                 })
                 .collect();
             self.advance_nodes(boundary)?;
-            for (id, util) in utilizations.into_iter().enumerate() {
+            for (id, util) in utilizations {
                 let node = &self.nodes[id];
                 let server = node.server();
                 let (frames, violations) =
@@ -220,7 +288,7 @@ impl FleetSim {
                     frames,
                     violations,
                     server.sensor().total_energy_j(),
-                    server.time(),
+                    server.sensor().total_time_s(),
                     util,
                 );
             }
@@ -237,19 +305,154 @@ impl FleetSim {
         }
         self.aggregate
             .set_warm_starts(self.seeds_served() - seeds_at_start);
-        let sessions: Vec<u64> = self
+        let facts: Vec<NodeFacts> = self
             .nodes
             .iter()
-            .map(FleetNode::sessions_admitted)
+            .map(|n| NodeFacts {
+                sessions: n.sessions_admitted(),
+                migrated_in: n.sessions_migrated_in(),
+                migrated_out: n.sessions_migrated_out(),
+                retired: !n.is_active(),
+            })
             .collect();
         Ok(FleetSummary::assemble(
             self.dispatcher.name().to_owned(),
             self.epoch,
             self.epoch as f64 * self.config.epoch_s,
-            &sessions,
+            &facts,
             &self.aggregate,
             self.nodes.iter().map(FleetNode::summary).collect(),
         ))
+    }
+
+    /// Consults the autoscaler (if installed) and executes its decision:
+    /// commission fresh clock-aligned nodes, or drain-and-retire the
+    /// least-utilized ones. Runs on the coordinator at the epoch start,
+    /// before arrivals are dispatched, so a commissioned node can serve
+    /// this boundary's arrivals and a retiring node stops taking new
+    /// work immediately.
+    fn autoscale(&mut self, epoch_start: f64) -> Result<(), FleetError> {
+        if self.autoscaler.is_none() {
+            return Ok(());
+        }
+        let views = self.active_views();
+        let arrivals_due = self
+            .pending
+            .iter()
+            .take_while(|r| r.arrival_s <= epoch_start)
+            .count();
+        let signals = ScaleSignals {
+            epoch: self.epoch,
+            epoch_s: self.config.epoch_s,
+            active: &views,
+            arrivals_due,
+            queued_sessions: self.queued.len(),
+            pending_sessions: self.pending.len() - arrivals_due,
+        };
+        let decision = self
+            .autoscaler
+            .as_mut()
+            .expect("presence checked above")
+            .plan(&signals);
+        match decision {
+            ScaleDecision::Hold => Ok(()),
+            ScaleDecision::Grow(count) => self.commission_nodes(count, epoch_start),
+            ScaleDecision::Shrink(count) => self.decommission_nodes(count),
+        }
+    }
+
+    /// Commissions `count` fresh nodes through the provisioner, clocks
+    /// aligned to the boundary, factories warm-start-wrapped when a
+    /// knowledge store is attached. Growth is clamped so the lifetime
+    /// pool never exceeds [`FleetConfig::max_pool_nodes`] — the backstop
+    /// against a runaway scaling policy.
+    fn commission_nodes(&mut self, count: usize, epoch_start: f64) -> Result<(), FleetError> {
+        let count = count.min(self.config.max_pool_nodes.saturating_sub(self.nodes.len()));
+        for _ in 0..count {
+            let (platform, factory) = (self
+                .provisioner
+                .as_mut()
+                .expect("set_autoscaler installs a provisioner"))(
+            );
+            let factory = match &self.knowledge {
+                Some(store) => warm_start_factory(Arc::clone(store), factory),
+                None => factory,
+            };
+            let id = self.nodes.len();
+            let mut node = FleetNode::new(id, platform, self.config.power_cap_w, factory);
+            node.align_clock(epoch_start)
+                .map_err(|source| FleetError::Node { node: id, source })?;
+            self.nodes.push(node);
+            self.aggregate.ensure_nodes(self.nodes.len());
+            self.aggregate.record_scale_up();
+        }
+        Ok(())
+    }
+
+    /// Drains and retires up to `count` nodes — least-utilized first,
+    /// ties retiring the newest — but never the last active node.
+    fn decommission_nodes(&mut self, count: usize) -> Result<(), FleetError> {
+        for _ in 0..count {
+            let views = self.active_views();
+            if views.len() <= 1 {
+                break; // the pool never empties, whatever the policy says
+            }
+            let victim = views
+                .iter()
+                .min_by(|a, b| {
+                    a.utilization()
+                        .partial_cmp(&b.utilization())
+                        .expect("utilization is finite")
+                        .then(b.node_id.cmp(&a.node_id))
+                })
+                .expect("two or more views")
+                .node_id;
+            self.drain_and_retire(victim)?;
+        }
+        Ok(())
+    }
+
+    /// Migrates every live session off `victim` (least-utilized active
+    /// peer takes each, recomputed per session so consecutive placements
+    /// see each other's load), then powers the node down.
+    fn drain_and_retire(&mut self, victim: usize) -> Result<(), FleetError> {
+        let drained = self.nodes[victim].drain()?;
+        for migrated in drained {
+            let target = self
+                .nodes
+                .iter_mut()
+                .filter(|n| n.is_active() && n.id() != victim)
+                .map(|n| {
+                    n.refresh();
+                    (n.id(), n.view().utilization())
+                })
+                .min_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .expect("utilization is finite")
+                        .then(a.0.cmp(&b.0))
+                })
+                .map(|(id, _)| id)
+                .expect("pool never drains below one active node");
+            self.nodes[target].attach_session(migrated);
+            self.aggregate.record_drained_session();
+        }
+        // Final resample of the retired node's row: its drained sessions
+        // took their QoS history to their new homes, so without this the
+        // departed frames would be counted on both rows.
+        let server = self.nodes[victim].server();
+        let (frames, violations) = server.sessions().iter().fold((0u64, 0u64), |(f, v), s| {
+            (f + s.qos().frames(), v + s.qos().violations())
+        });
+        self.aggregate.resample_node_totals(
+            victim,
+            frames,
+            violations,
+            server.sensor().total_energy_j(),
+            server.sensor().total_time_s(),
+        );
+        self.nodes[victim].retire();
+        self.aggregate.record_scale_down();
+        Ok(())
     }
 
     /// Warm starts served by the attached store so far (0 without one).
@@ -281,16 +484,23 @@ impl FleetSim {
     /// migration candidate per directive, moved with controller and
     /// in-flight frame between the time-aligned nodes.
     fn rebalance(&mut self) -> Result<(), FleetError> {
-        let Some(rebalancer) = &mut self.rebalancer else {
+        if self.rebalancer.is_none() {
             return Ok(());
-        };
-        for node in &mut self.nodes {
-            node.refresh();
         }
-        let views: Vec<_> = self.nodes.iter().map(FleetNode::view).collect();
-        for directive in rebalancer.plan(self.epoch, &views) {
+        let views = self.active_views();
+        let directives = self
+            .rebalancer
+            .as_mut()
+            .expect("presence checked above")
+            .plan(self.epoch, &views);
+        for directive in directives {
             let (from, to) = (directive.from, directive.to);
-            if from >= self.nodes.len() || to >= self.nodes.len() || from == to {
+            let valid = from < self.nodes.len()
+                && to < self.nodes.len()
+                && from != to
+                && self.nodes[from].is_active()
+                && self.nodes[to].is_active();
+            if !valid {
                 return Err(FleetError::InvalidMigration {
                     from,
                     to,
@@ -323,13 +533,13 @@ impl FleetSim {
         }
         for request in due {
             // Fresh views per request so consecutive placements in one
-            // epoch see each other's load.
-            for node in &mut self.nodes {
-                node.refresh();
-            }
-            let views: Vec<_> = self.nodes.iter().map(FleetNode::view).collect();
+            // epoch see each other's load. Only active nodes are offered
+            // — a retired (or never-commissioned) node takes no work.
+            let views = self.active_views();
             match self.dispatcher.dispatch(&request, &views) {
-                DispatchDecision::Assign(id) if id < self.nodes.len() => {
+                DispatchDecision::Assign(id)
+                    if id < self.nodes.len() && self.nodes[id].is_active() =>
+                {
                     self.nodes[id].admit(&request);
                 }
                 DispatchDecision::Assign(id) => {
@@ -351,17 +561,23 @@ impl FleetSim {
         Ok(())
     }
 
-    /// Advances every node to `boundary`, fanning nodes out over scoped
-    /// OS threads. Nodes are partitioned into contiguous chunks; each
-    /// worker advances its chunk sequentially. Since nodes share nothing
-    /// within an epoch, the partition affects wall-clock time only.
+    /// Advances every *active* node to `boundary`, fanning nodes out over
+    /// scoped OS threads (retired nodes are powered off and stay where
+    /// their clocks stopped). Nodes are partitioned into contiguous
+    /// chunks; each worker advances its chunk sequentially. Since nodes
+    /// share nothing within an epoch, the partition affects wall-clock
+    /// time only.
     fn advance_nodes(&mut self, boundary: f64) -> Result<(), FleetError> {
-        let workers = self.config.worker_threads.clamp(1, self.nodes.len());
-        let chunk_len = self.nodes.len().div_ceil(workers);
+        let mut active: Vec<&mut FleetNode> =
+            self.nodes.iter_mut().filter(|n| n.is_active()).collect();
+        if active.is_empty() {
+            return Ok(());
+        }
+        let workers = self.config.worker_threads.clamp(1, active.len());
+        let chunk_len = active.len().div_ceil(workers);
         let max_events = self.config.max_events_per_epoch;
         let failures: Vec<(usize, mamut_transcode::TranscodeError)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .nodes
+            let handles: Vec<_> = active
                 .chunks_mut(chunk_len)
                 .map(|chunk| {
                     scope.spawn(move || {
@@ -610,6 +826,229 @@ mod tests {
             summary.total_sessions,
             "a migrated session must publish once at finish, not per hop"
         );
+    }
+
+    fn burst_request(id: u64, arrival_s: f64, hr: bool, frames: u64) -> SessionRequest {
+        SessionRequest {
+            id,
+            arrival_s,
+            hr,
+            live: false,
+            frames,
+            seed: id,
+        }
+    }
+
+    /// Quiet start, an HR burst from t = 5 s, then a long two-stream
+    /// tail — the shape an elastic pool exists for. One burst stream is
+    /// much longer than the rest so the tail has a busy node and a
+    /// near-idle one, which is what forces a drain on shrink.
+    fn bursty_workload() -> Workload {
+        let mut arrivals = vec![
+            burst_request(0, 0.0, false, 150),
+            burst_request(1, 0.5, false, 1_500),
+        ];
+        arrivals.push(burst_request(2, 5.0, true, 1_200));
+        for i in 0..7 {
+            arrivals.push(burst_request(3 + i, 5.4 + 0.4 * i as f64, true, 300));
+        }
+        // Late LR stragglers: by now the first LR session has finished
+        // and published, so nodes commissioned during the burst can
+        // warm-start these from the store.
+        arrivals.push(burst_request(10, 8.3, false, 200));
+        arrivals.push(burst_request(11, 9.1, false, 200));
+        Workload::replay(arrivals)
+    }
+
+    fn provisioner() -> crate::sim::NodeProvisioner {
+        Box::new(|| {
+            (
+                Platform::xeon_e5_2667_v4(),
+                Box::new(|req: &SessionRequest| {
+                    let threads = if req.hr { 10 } else { 4 };
+                    Box::new(FixedController::new(KnobSettings::new(32, threads, 2.9)))
+                        as Box<dyn mamut_core::Controller>
+                }),
+            )
+        })
+    }
+
+    fn elastic_fleet(workers: usize) -> FleetSim {
+        use crate::autoscale::ThresholdScaler;
+        let mut sim = FleetSim::new(
+            FleetConfig::default().with_worker_threads(workers),
+            Box::new(LeastLoaded::new()),
+            bursty_workload(),
+        );
+        sim.add_node(fixed_factory());
+        sim.set_autoscaler(
+            Box::new(
+                ThresholdScaler::new()
+                    .with_limits(1, 4)
+                    .with_cooldown(1)
+                    .with_watermarks(0.45, 0.8),
+            ),
+            provisioner(),
+        );
+        // Autoscaling rides on migration: without a rebalancer a burst
+        // that already landed would pile up on the old pool while the
+        // commissioned nodes idle.
+        sim.set_rebalancer(Box::new(
+            crate::rebalance::PowerQosBalance::new()
+                .with_min_gap(0.3)
+                .with_max_moves(2),
+        ));
+        sim
+    }
+
+    #[test]
+    fn autoscaler_grows_through_the_burst_and_retires_after() {
+        let mut sim = elastic_fleet(2);
+        let summary = sim.run().unwrap();
+        let arrivals = bursty_workload().len() as u64;
+        assert_eq!(summary.total_sessions, arrivals, "every arrival served");
+        assert_eq!(summary.rejected_sessions, 0);
+        assert!(summary.scale_ups > 0, "burst must grow the pool");
+        assert!(summary.scale_downs > 0, "quiet tail must shrink it");
+        assert!(summary.peak_nodes > 1);
+        assert!(
+            summary.pool_timeline.len() > 2,
+            "pool changed size over the run: {:?}",
+            summary.pool_timeline
+        );
+        // The elastic pool must be cheaper than powering the peak pool
+        // for the whole run.
+        assert!(
+            summary.node_epochs < summary.epochs * summary.peak_nodes as u64,
+            "{} node-epochs vs {} epochs × {} peak",
+            summary.node_epochs,
+            summary.epochs,
+            summary.peak_nodes
+        );
+        // Retired nodes are flagged in the per-node rows, and commissioned
+        // nodes actually served sessions.
+        assert!(summary.nodes.iter().any(|n| n.retired));
+        assert!(summary.nodes.len() > 1);
+        assert!(
+            summary.nodes[1..].iter().any(|n| n.sessions > 0),
+            "a commissioned node took arrivals"
+        );
+        // Nothing was lost in the moves: cluster frames cover every
+        // session's full length.
+        let expected_frames: u64 = bursty_workload().arrivals().iter().map(|r| r.frames).sum();
+        assert_eq!(summary.total_frames, expected_frames);
+        assert!(sim.nodes().iter().all(FleetNode::all_finished));
+    }
+
+    #[test]
+    fn autoscaling_is_deterministic_across_worker_counts() {
+        let run = |workers: usize| elastic_fleet(workers).run().unwrap().to_string();
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+    }
+
+    /// Shrinks relentlessly once sessions are in flight — exercises the
+    /// drain-before-decommission path and the one-active-node floor.
+    struct ShrinkAfter(u64);
+    impl crate::autoscale::Autoscaler for ShrinkAfter {
+        fn name(&self) -> &'static str {
+            "shrink-after"
+        }
+        fn plan(
+            &mut self,
+            signals: &crate::autoscale::ScaleSignals,
+        ) -> crate::autoscale::ScaleDecision {
+            if signals.epoch >= self.0 {
+                crate::autoscale::ScaleDecision::Shrink(5)
+            } else {
+                crate::autoscale::ScaleDecision::Hold
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_drains_live_sessions_and_never_empties_the_pool() {
+        let run = |shrink: bool| {
+            let mut sim = fleet(3, 2, Box::new(LeastLoaded::new()));
+            if shrink {
+                // By epoch 3 every node holds live sessions, so retiring
+                // two nodes must migrate real work to the survivor.
+                sim.set_autoscaler(Box::new(ShrinkAfter(3)), provisioner());
+            }
+            sim.run().unwrap()
+        };
+        let fixed = run(false);
+        let summary = run(true);
+        assert_eq!(summary.scale_downs, 2, "two of three nodes retired");
+        assert!(
+            summary.drained_sessions > 0,
+            "retiring loaded nodes must drain their sessions: {summary}"
+        );
+        assert_eq!(summary.total_sessions, 8, "the survivor served everything");
+        assert_eq!(
+            summary.pool_timeline.last().map(|&(_, s)| s),
+            Some(1),
+            "exactly one active node remains: {:?}",
+            summary.pool_timeline
+        );
+        // Drains move sessions, they never lose them: cluster-wide frame
+        // totals match the fixed pool serving the same workload.
+        assert_eq!(summary.total_frames, fixed.total_frames);
+        assert!(
+            summary.node_epochs < fixed.node_epochs,
+            "retiring nodes must stop burning node-epochs: {} vs {}",
+            summary.node_epochs,
+            fixed.node_epochs
+        );
+    }
+
+    #[test]
+    fn runaway_grow_is_clamped_to_the_pool_ceiling() {
+        struct AlwaysGrow;
+        impl crate::autoscale::Autoscaler for AlwaysGrow {
+            fn name(&self) -> &'static str {
+                "always-grow"
+            }
+            fn plan(
+                &mut self,
+                _signals: &crate::autoscale::ScaleSignals,
+            ) -> crate::autoscale::ScaleDecision {
+                crate::autoscale::ScaleDecision::Grow(10_000)
+            }
+        }
+        let mut sim = FleetSim::new(
+            FleetConfig {
+                max_pool_nodes: 5,
+                ..FleetConfig::default().with_worker_threads(2)
+            },
+            Box::new(LeastLoaded::new()),
+            small_workload(11),
+        );
+        sim.add_node(fixed_factory());
+        sim.set_autoscaler(Box::new(AlwaysGrow), provisioner());
+        let summary = sim.run().unwrap();
+        assert_eq!(sim.node_count(), 5, "growth stops at max_pool_nodes");
+        assert_eq!(summary.scale_ups, 4);
+        assert_eq!(summary.total_sessions, 8);
+    }
+
+    #[test]
+    fn commissioned_nodes_warm_start_when_a_store_is_attached() {
+        use crate::knowledge::{KnowledgeStore, MergePolicy};
+        let store = KnowledgeStore::new(MergePolicy::VisitWeighted).into_shared();
+        let mut sim = elastic_fleet(2);
+        sim.set_knowledge_store(std::sync::Arc::clone(&store));
+        let summary = sim.run().unwrap();
+        assert!(summary.scale_ups > 0);
+        // Sessions finished before the burst published; sessions built on
+        // commissioned nodes were seeded from the store (the fleet wraps
+        // the provisioner's factory itself).
+        assert!(
+            summary.warm_starts > 0,
+            "commissioned nodes must seed from the store: {summary}"
+        );
+        assert_eq!(store.lock().unwrap().publishes(), summary.total_sessions);
     }
 
     #[test]

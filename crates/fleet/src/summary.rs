@@ -4,6 +4,20 @@ use mamut_metrics::fleet::FleetAggregate;
 use mamut_metrics::{Align, Table, UtilizationHistogram};
 use mamut_transcode::RunSummary;
 
+/// Per-node lifetime facts the fleet hands to the summary assembly
+/// alongside the metric aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeFacts {
+    /// Sessions admitted over the node's lifetime.
+    pub sessions: u64,
+    /// Sessions received from peers via migration (rebalance or drain).
+    pub migrated_in: u64,
+    /// Sessions handed off to peers via migration (rebalance or drain).
+    pub migrated_out: u64,
+    /// Whether the autoscaler retired this node before the run ended.
+    pub retired: bool,
+}
+
 /// One node's row in a [`FleetSummary`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeReport {
@@ -11,6 +25,12 @@ pub struct NodeReport {
     pub node_id: usize,
     /// Sessions admitted over the run.
     pub sessions: u64,
+    /// Sessions received from peers via migration.
+    pub migrated_in: u64,
+    /// Sessions handed off to peers via migration.
+    pub migrated_out: u64,
+    /// Whether the autoscaler retired this node before the run ended.
+    pub retired: bool,
     /// Frames completed.
     pub frames: u64,
     /// The node's ∆ (percentage of frames below target).
@@ -56,6 +76,19 @@ pub struct FleetSummary {
     /// Sessions warm-started from the knowledge store instead of
     /// learning from scratch.
     pub warm_starts: u64,
+    /// Nodes the autoscaler commissioned mid-run.
+    pub scale_ups: u64,
+    /// Nodes the autoscaler drained and retired mid-run.
+    pub scale_downs: u64,
+    /// Live sessions migrated off draining nodes before decommission.
+    pub drained_sessions: u64,
+    /// Powered node-epochs over the run (`epochs × nodes` for a fixed
+    /// pool; the elastic saving shows up here).
+    pub node_epochs: u64,
+    /// Largest active pool size over the run.
+    pub peak_nodes: usize,
+    /// Active-pool-size change points as `(epoch, size)`.
+    pub pool_timeline: Vec<(u64, usize)>,
     /// Node-epoch utilization histogram.
     pub utilization: UtilizationHistogram,
     /// Full per-node run summaries (not rendered; for drill-down).
@@ -68,7 +101,7 @@ impl FleetSummary {
         policy: String,
         epochs: u64,
         duration_s: f64,
-        sessions_admitted: &[u64],
+        node_facts: &[NodeFacts],
         aggregate: &FleetAggregate,
         node_runs: Vec<RunSummary>,
     ) -> FleetSummary {
@@ -76,14 +109,20 @@ impl FleetSummary {
             .nodes
             .iter()
             .enumerate()
-            .map(|(id, n)| NodeReport {
-                node_id: id,
-                sessions: sessions_admitted.get(id).copied().unwrap_or(0),
-                frames: n.frames,
-                violation_percent: n.violation_percent(),
-                mean_power_w: n.mean_power_w(),
-                energy_j: n.energy_j,
-                mean_utilization: n.utilization.mean(),
+            .map(|(id, n)| {
+                let facts = node_facts.get(id).copied().unwrap_or_default();
+                NodeReport {
+                    node_id: id,
+                    sessions: facts.sessions,
+                    migrated_in: facts.migrated_in,
+                    migrated_out: facts.migrated_out,
+                    retired: facts.retired,
+                    frames: n.frames,
+                    violation_percent: n.violation_percent(),
+                    mean_power_w: n.mean_power_w(),
+                    energy_j: n.energy_j,
+                    mean_utilization: n.utilization.mean(),
+                }
             })
             .collect();
         FleetSummary {
@@ -95,21 +134,32 @@ impl FleetSummary {
             mean_power_w: aggregate.mean_power_w(),
             total_energy_j: aggregate.total_energy_j(),
             total_frames: aggregate.total_frames(),
-            total_sessions: sessions_admitted.iter().sum(),
+            total_sessions: node_facts.iter().map(|f| f.sessions).sum(),
             rejected_sessions: aggregate.rejected_sessions,
             queued_waits: aggregate.queued_waits,
             migrations: aggregate.migrations,
             warm_starts: aggregate.warm_starts,
+            scale_ups: aggregate.scale_ups,
+            scale_downs: aggregate.scale_downs,
+            drained_sessions: aggregate.drained_sessions,
+            node_epochs: aggregate.node_epochs,
+            peak_nodes: aggregate.peak_nodes(),
+            pool_timeline: aggregate.pool_timeline.clone(),
             utilization: aggregate.utilization.clone(),
             node_runs,
         }
     }
 
-    /// The per-node table rendered in [`std::fmt::Display`].
+    /// The per-node table rendered in [`std::fmt::Display`]. Retired
+    /// nodes carry a `†` marker; the migration columns count sessions
+    /// received from (`mig+`) and handed to (`mig-`) peers, whether by
+    /// rebalancing or by drain-before-decommission.
     pub fn node_table(&self) -> Table {
         let mut t = Table::new(vec![
             "node".into(),
             "sessions".into(),
+            "mig+".into(),
+            "mig-".into(),
             "frames".into(),
             "delta%".into(),
             "power W".into(),
@@ -124,11 +174,16 @@ impl FleetSummary {
             Align::Right,
             Align::Right,
             Align::Right,
+            Align::Right,
+            Align::Right,
         ]);
         for n in &self.nodes {
+            let marker = if n.retired { "†" } else { "" };
             t.add_row(vec![
-                format!("n{}", n.node_id),
+                format!("n{}{}", n.node_id, marker),
                 n.sessions.to_string(),
+                n.migrated_in.to_string(),
+                n.migrated_out.to_string(),
                 n.frames.to_string(),
                 format!("{:.2}", n.violation_percent),
                 format!("{:.1}", n.mean_power_w),
@@ -137,6 +192,18 @@ impl FleetSummary {
             ]);
         }
         t
+    }
+
+    /// Compact `epoch:size` rendering of the pool-size timeline.
+    pub fn render_pool_timeline(&self) -> String {
+        if self.pool_timeline.is_empty() {
+            return "(no samples)".to_owned();
+        }
+        self.pool_timeline
+            .iter()
+            .map(|(epoch, size)| format!("e{epoch}:{size}"))
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 }
 
@@ -164,6 +231,18 @@ impl std::fmt::Display for FleetSummary {
             self.mean_power_w,
             self.total_energy_j
         )?;
+        writeln!(
+            f,
+            "pool: {} peak node(s) | {} node-epochs | {} scale-ups | {} scale-downs | {} drained",
+            self.peak_nodes,
+            self.node_epochs,
+            self.scale_ups,
+            self.scale_downs,
+            self.drained_sessions
+        )?;
+        if self.pool_timeline.len() > 1 {
+            writeln!(f, "pool-size timeline: {}", self.render_pool_timeline())?;
+        }
         writeln!(f, "node-epoch utilization: {}", self.utilization.render())
     }
 }
@@ -173,12 +252,62 @@ mod tests {
     use super::*;
     use mamut_metrics::fleet::FleetAggregate;
 
+    fn facts(sessions: u64) -> NodeFacts {
+        NodeFacts {
+            sessions,
+            ..NodeFacts::default()
+        }
+    }
+
     fn sample() -> FleetSummary {
         let mut agg = FleetAggregate::new(2);
         agg.record_node_epoch(0, 400, 40, 800.0, 10.0, 0.5);
         agg.record_node_epoch(1, 100, 0, 600.0, 10.0, 0.25);
         agg.record_rejection();
-        FleetSummary::assemble("least-loaded".into(), 10, 10.0, &[3, 2], &agg, Vec::new())
+        agg.record_pool_size(0, 2);
+        FleetSummary::assemble(
+            "least-loaded".into(),
+            10,
+            10.0,
+            &[facts(3), facts(2)],
+            &agg,
+            Vec::new(),
+        )
+    }
+
+    fn elastic_sample() -> FleetSummary {
+        let mut agg = FleetAggregate::new(1);
+        agg.record_node_epoch(0, 400, 40, 800.0, 10.0, 0.5);
+        agg.ensure_nodes(2);
+        agg.record_node_epoch(1, 100, 0, 600.0, 10.0, 0.25);
+        agg.record_pool_size(0, 1);
+        agg.record_pool_size(3, 2);
+        agg.record_pool_size(8, 1);
+        agg.record_scale_up();
+        agg.record_scale_down();
+        agg.record_drained_session();
+        agg.record_drained_session();
+        agg.record_migration();
+        let node0 = NodeFacts {
+            sessions: 3,
+            migrated_in: 0,
+            migrated_out: 2,
+            retired: true,
+        };
+        let node1 = NodeFacts {
+            sessions: 1,
+            migrated_in: 2,
+            migrated_out: 0,
+            retired: false,
+        };
+        FleetSummary::assemble(
+            "least-loaded".into(),
+            10,
+            10.0,
+            &[node0, node1],
+            &agg,
+            Vec::new(),
+        )
     }
 
     #[test]
@@ -191,6 +320,23 @@ mod tests {
         assert!((s.cluster_violation_percent - 8.0).abs() < 1e-12);
         assert!((s.mean_power_w - 70.0).abs() < 1e-12);
         assert!((s.nodes[0].violation_percent - 10.0).abs() < 1e-12);
+        assert_eq!(s.node_epochs, 2);
+        assert_eq!(s.peak_nodes, 2);
+        assert_eq!(s.pool_timeline, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn assemble_carries_autoscale_and_migration_facts() {
+        let s = elastic_sample();
+        assert_eq!(s.scale_ups, 1);
+        assert_eq!(s.scale_downs, 1);
+        assert_eq!(s.drained_sessions, 2);
+        assert_eq!(s.migrations, 1);
+        assert_eq!(s.peak_nodes, 2);
+        assert!(s.nodes[0].retired);
+        assert_eq!(s.nodes[0].migrated_out, 2);
+        assert_eq!(s.nodes[1].migrated_in, 2);
+        assert!(!s.nodes[1].retired);
     }
 
     #[test]
@@ -204,7 +350,38 @@ mod tests {
     }
 
     #[test]
+    fn display_renders_every_counter() {
+        // Satellite of PR 3: migration, warm-start and autoscale
+        // counters must all be visible in the rendered summary, not just
+        // in the struct.
+        let text = elastic_sample().to_string();
+        assert!(text.contains("1 migrated"), "{text}");
+        assert!(text.contains("warm-started"), "{text}");
+        assert!(text.contains("1 scale-ups"), "{text}");
+        assert!(text.contains("1 scale-downs"), "{text}");
+        assert!(text.contains("2 drained"), "{text}");
+        assert!(text.contains("2 node-epochs"), "{text}");
+        assert!(text.contains("2 peak node(s)"), "{text}");
+        assert!(
+            text.contains("pool-size timeline: e0:1 e3:2 e8:1"),
+            "{text}"
+        );
+        assert!(text.contains("n0†"), "retired marker missing: {text}");
+        // Per-node migration columns are rendered.
+        assert!(text.contains("mig+"), "{text}");
+        assert!(text.contains("mig-"), "{text}");
+    }
+
+    #[test]
+    fn fixed_pool_display_skips_the_timeline_line() {
+        let text = sample().to_string();
+        assert!(text.contains("pool: 2 peak node(s)"), "{text}");
+        assert!(!text.contains("pool-size timeline"), "{text}");
+    }
+
+    #[test]
     fn display_is_reproducible() {
         assert_eq!(sample().to_string(), sample().to_string());
+        assert_eq!(elastic_sample().to_string(), elastic_sample().to_string());
     }
 }

@@ -129,6 +129,20 @@ pub struct FleetAggregate {
     pub migrations: u64,
     /// Sessions seeded from a knowledge store instead of starting cold.
     pub warm_starts: u64,
+    /// Nodes commissioned by an autoscaler after the run started.
+    pub scale_ups: u64,
+    /// Nodes drained and decommissioned by an autoscaler.
+    pub scale_downs: u64,
+    /// Live sessions migrated off a node while it was being drained for
+    /// decommission (counted separately from rebalance migrations).
+    pub drained_sessions: u64,
+    /// Powered node-epochs simulated: each epoch a node spends in the
+    /// active pool counts once. With a fixed pool this is
+    /// `epochs × nodes`; an elastic pool's saving shows up here.
+    pub node_epochs: u64,
+    /// Active-pool-size timeline as `(epoch, size)` change points: the
+    /// pool had `size` nodes from `epoch` until the next entry.
+    pub pool_timeline: Vec<(u64, usize)>,
     /// Node-epoch utilization samples across the whole fleet.
     pub utilization: UtilizationHistogram,
 }
@@ -155,6 +169,65 @@ impl FleetAggregate {
     /// Counts one inter-node session migration.
     pub fn record_migration(&mut self) {
         self.migrations += 1;
+    }
+
+    /// Grows the per-node aggregates to cover node ids `0..nodes` (an
+    /// autoscaler commissioned new nodes mid-run).
+    pub fn ensure_nodes(&mut self, nodes: usize) {
+        while self.nodes.len() < nodes {
+            self.nodes.push(NodeAggregate::default());
+        }
+    }
+
+    /// Counts one node commissioned by the autoscaler.
+    pub fn record_scale_up(&mut self) {
+        self.scale_ups += 1;
+    }
+
+    /// Counts one node drained and decommissioned by the autoscaler.
+    pub fn record_scale_down(&mut self) {
+        self.scale_downs += 1;
+    }
+
+    /// Counts one live session migrated off a draining node.
+    pub fn record_drained_session(&mut self) {
+        self.drained_sessions += 1;
+    }
+
+    /// Records the active pool size at an epoch boundary; the timeline
+    /// stores change points only, so repeated sizes collapse.
+    pub fn record_pool_size(&mut self, epoch: u64, size: usize) {
+        if self.pool_timeline.last().map(|&(_, s)| s) != Some(size) {
+            self.pool_timeline.push((epoch, size));
+        }
+    }
+
+    /// Largest active pool size seen over the run (0 before any sample).
+    pub fn peak_nodes(&self) -> usize {
+        self.pool_timeline
+            .iter()
+            .map(|&(_, s)| s)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Overwrites one node's running totals without recording an epoch
+    /// sample — used when a node is decommissioned mid-run, so frames
+    /// that migrated away with its drained sessions are not counted both
+    /// in its final row and on their destination nodes.
+    pub fn resample_node_totals(
+        &mut self,
+        node: usize,
+        frames: u64,
+        violations: u64,
+        energy_j: f64,
+        duration_s: f64,
+    ) {
+        let agg = &mut self.nodes[node];
+        agg.frames = frames;
+        agg.violations = violations;
+        agg.energy_j = energy_j;
+        agg.duration_s = duration_s;
     }
 
     /// Records how many sessions were warm-started over the run (the
@@ -184,6 +257,7 @@ impl FleetAggregate {
         agg.duration_s = duration_s;
         agg.utilization.push(utilization);
         self.utilization.record(utilization);
+        self.node_epochs += 1;
     }
 
     /// Frames completed across the cluster.
@@ -282,6 +356,56 @@ mod tests {
         assert_eq!(f.nodes[0].frames, 25);
         assert_eq!(f.nodes[0].violations, 2);
         assert_eq!(f.nodes[0].utilization.count(), 2);
+        assert_eq!(f.node_epochs, 2);
         assert!((f.total_energy_j() - 260.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pool_timeline_keeps_change_points_only() {
+        let mut f = FleetAggregate::new(2);
+        f.record_pool_size(0, 2);
+        f.record_pool_size(1, 2);
+        f.record_pool_size(2, 4);
+        f.record_pool_size(3, 4);
+        f.record_pool_size(7, 3);
+        assert_eq!(f.pool_timeline, vec![(0, 2), (2, 4), (7, 3)]);
+        assert_eq!(f.peak_nodes(), 4);
+        assert_eq!(FleetAggregate::default().peak_nodes(), 0);
+    }
+
+    #[test]
+    fn ensure_nodes_grows_without_shrinking() {
+        let mut f = FleetAggregate::new(2);
+        f.record_node_epoch(0, 10, 0, 50.0, 1.0, 0.5);
+        f.ensure_nodes(4);
+        assert_eq!(f.nodes.len(), 4);
+        assert_eq!(f.nodes[0].frames, 10, "existing rows survive growth");
+        f.ensure_nodes(3);
+        assert_eq!(f.nodes.len(), 4, "never shrinks");
+    }
+
+    #[test]
+    fn resample_overwrites_totals_without_an_epoch_sample() {
+        let mut f = FleetAggregate::new(1);
+        f.record_node_epoch(0, 100, 10, 500.0, 5.0, 0.8);
+        f.resample_node_totals(0, 40, 4, 500.0, 5.0);
+        assert_eq!(f.nodes[0].frames, 40);
+        assert_eq!(f.nodes[0].violations, 4);
+        assert_eq!(f.node_epochs, 1, "resample is not an epoch");
+        assert_eq!(f.nodes[0].utilization.count(), 1);
+    }
+
+    #[test]
+    fn autoscale_counters_accumulate() {
+        let mut f = FleetAggregate::new(1);
+        f.record_scale_up();
+        f.record_scale_up();
+        f.record_scale_down();
+        f.record_drained_session();
+        f.record_drained_session();
+        f.record_drained_session();
+        assert_eq!(f.scale_ups, 2);
+        assert_eq!(f.scale_downs, 1);
+        assert_eq!(f.drained_sessions, 3);
     }
 }

@@ -16,6 +16,17 @@ pub enum TranscodeError {
     NoSessions,
     /// The encoder rejected a knob setting (propagated).
     Encoder(String),
+    /// `align_clock` was asked to move a clock backwards or to skip time
+    /// on a server that still holds sessions (only a freshly
+    /// commissioned, empty server may jump its clock forward).
+    CannotAlignClock {
+        /// The server's current virtual time (s).
+        time: f64,
+        /// The requested target time (s).
+        target: f64,
+        /// Sessions resident on the server.
+        sessions: usize,
+    },
 }
 
 impl fmt::Display for TranscodeError {
@@ -27,6 +38,14 @@ impl fmt::Display for TranscodeError {
             TranscodeError::UnknownSession(id) => write!(f, "no session with id {id}"),
             TranscodeError::NoSessions => write!(f, "simulation has no sessions"),
             TranscodeError::Encoder(msg) => write!(f, "encoder error: {msg}"),
+            TranscodeError::CannotAlignClock {
+                time,
+                target,
+                sessions,
+            } => write!(
+                f,
+                "cannot align clock from {time} s to {target} s with {sessions} session(s) resident"
+            ),
         }
     }
 }

@@ -181,6 +181,30 @@ impl ServerSim {
         self.time
     }
 
+    /// Fast-forwards an *empty* server's clock to `target` without
+    /// charging energy — a node commissioned mid-run by a fleet
+    /// autoscaler did not exist (and drew no idle power) before that
+    /// instant, but must join its peers time-aligned so sessions can
+    /// migrate onto it at the next epoch boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`TranscodeError::CannotAlignClock`] if the server holds any
+    /// session (finished or not) or `target` lies behind the current
+    /// clock — skipping time under live sessions would corrupt their
+    /// QoS timelines.
+    pub fn align_clock(&mut self, target: f64) -> Result<(), TranscodeError> {
+        if !self.sessions.is_empty() || target < self.time {
+            return Err(TranscodeError::CannotAlignClock {
+                time: self.time,
+                target,
+                sessions: self.sessions.len(),
+            });
+        }
+        self.time = target;
+        Ok(())
+    }
+
     /// Resident sessions in id order (vacated slots of migrated-away
     /// sessions are skipped, so ids may have gaps).
     pub fn sessions(&self) -> Vec<&TranscodeSession> {
@@ -799,6 +823,42 @@ mod tests {
         assert!(a.all_finished());
         a.run_epoch(2.0, 100).unwrap();
         assert_eq!(a.time(), 2.0);
+    }
+
+    #[test]
+    fn align_clock_commissions_an_empty_server_without_energy() {
+        let mut srv = ServerSim::with_default_platform();
+        srv.align_clock(20.0).unwrap();
+        assert_eq!(srv.time(), 20.0);
+        assert_eq!(
+            srv.sensor().total_energy_j(),
+            0.0,
+            "the skipped span was never powered"
+        );
+        assert_eq!(srv.sensor().total_time_s(), 0.0);
+        // From here the server behaves like any other: idle power accrues.
+        srv.run_epoch(22.0, 10).unwrap();
+        assert_eq!(srv.time(), 22.0);
+        assert!((srv.sensor().total_time_s() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn align_clock_refuses_sessions_and_backward_jumps() {
+        let mut srv = ServerSim::with_default_platform();
+        srv.run_epoch(5.0, 10).unwrap();
+        assert_eq!(
+            srv.align_clock(3.0).unwrap_err(),
+            TranscodeError::CannotAlignClock {
+                time: 5.0,
+                target: 3.0,
+                sessions: 0,
+            }
+        );
+        srv.add_session(SessionConfig::single_video(hr_spec(10), 1), fixed(8, 2.9));
+        assert!(matches!(
+            srv.align_clock(9.0),
+            Err(TranscodeError::CannotAlignClock { sessions: 1, .. })
+        ));
     }
 
     #[test]

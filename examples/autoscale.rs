@@ -1,0 +1,213 @@
+//! Elastic fleet vs. worst-case fixed pool under a bursty workload.
+//!
+//! A transcoding service sized for its peak pays for the peak around the
+//! clock. This demo runs the same three-phase churn — a quiet morning, a
+//! sharp arrival burst, a quiet tail — through two fleets of MAMUT
+//! nodes:
+//!
+//! * the **fixed** fleet keeps the worst-case pool (`POOL_MAX` nodes)
+//!   powered for the whole run;
+//! * the **elastic** fleet starts at `POOL_MIN` nodes and lets a
+//!   [`ThresholdScaler`] commission and retire capacity as utilization
+//!   and QoS demand, with a [`PowerQosBalance`] rebalancer spreading the
+//!   burst onto freshly commissioned nodes and drain-before-decommission
+//!   migrating live sessions off retiring ones. Both fleets share
+//!   knowledge through a [`KnowledgeStore`], so nodes the autoscaler
+//!   adds mid-run warm-start their sessions from policies the fleet
+//!   already learned.
+//!
+//! The punchline is the node-epoch count (node-seconds of powered
+//! capacity): the elastic pool serves the same sessions with a fraction
+//! of the capacity while staying within a few QoS percentage points of
+//! the worst-case pool.
+//!
+//! Run with: `cargo run --release --example autoscale`
+
+use std::sync::Arc;
+
+use mamut::fleet::{
+    warm_start_factory, ControllerFactory, KnowledgeStore, MergePolicy, SessionClass,
+    SessionRequest, SharedKnowledgeStore,
+};
+use mamut::prelude::*;
+
+/// Worst-case pool the fixed fleet keeps powered for the whole run.
+const POOL_MAX: usize = 6;
+/// Baseline pool the elastic fleet starts from and returns to.
+const POOL_MIN: usize = 2;
+/// Frames each teacher session trains for before the store is seeded.
+const TRAINING_FRAMES: u64 = 20_000;
+
+fn mamut_factory() -> ControllerFactory {
+    Box::new(|req| {
+        let cfg = if req.hr {
+            MamutConfig::paper_hr()
+        } else {
+            MamutConfig::paper_lr()
+        };
+        Box::new(MamutController::new(cfg.with_seed(req.seed)).expect("paper config is valid"))
+    })
+}
+
+/// Trains one HR and one LR teacher to maturity and publishes both, so
+/// every session in either fleet (including those on nodes the
+/// autoscaler commissions mid-run) starts from learned tables and the
+/// comparison isolates *elasticity*, not the learning transient.
+fn train_store() -> SharedKnowledgeStore {
+    let mut server = ServerSim::with_default_platform();
+    let hr = catalog::by_name("Kimono")
+        .unwrap()
+        .with_frame_count(TRAINING_FRAMES)
+        .unwrap();
+    let lr = catalog::by_name("BQMall")
+        .unwrap()
+        .with_frame_count(TRAINING_FRAMES)
+        .unwrap();
+    server.add_session(
+        SessionConfig::single_video(hr, 1),
+        Box::new(MamutController::new(MamutConfig::paper_hr().with_seed(1)).unwrap()),
+    );
+    server.add_session(
+        SessionConfig::single_video(lr, 2),
+        Box::new(MamutController::new(MamutConfig::paper_lr().with_seed(2)).unwrap()),
+    );
+    server
+        .run_to_completion(100_000_000)
+        .expect("training run completes");
+    let mut store = KnowledgeStore::new(MergePolicy::VisitWeighted);
+    for session in server.sessions() {
+        store.publish(
+            SessionClass::of_hr(session.is_high_resolution()),
+            &session.controller().snapshot(),
+        );
+    }
+    store.into_shared()
+}
+
+/// Quiet phase, burst, quiet tail — generated per phase with the usual
+/// seeded churn generator, time-shifted, and replayed as one trace.
+fn bursty_workload() -> Workload {
+    fn phase(
+        seed: u64,
+        sessions: usize,
+        mean_interarrival_s: f64,
+        offset_s: f64,
+    ) -> Vec<SessionRequest> {
+        let generated = Workload::generate(&WorkloadConfig {
+            seed,
+            sessions,
+            mean_interarrival_s,
+            hr_ratio: 0.4,
+            live_ratio: 0.3,
+            vod_frames: (120, 300),
+            live_frames: (400, 900),
+        });
+        generated
+            .arrivals()
+            .iter()
+            .cloned()
+            .map(|mut r| {
+                r.arrival_s += offset_s;
+                r
+            })
+            .collect()
+    }
+    let mut arrivals = phase(11, 6, 4.0, 0.0); // quiet: ~one arrival / 4 s
+    arrivals.extend(phase(22, 14, 0.3, 25.0)); // burst: ~three arrivals / s
+    arrivals.extend(phase(33, 4, 4.0, 40.0)); // tail: quiet again
+    Workload::replay(arrivals)
+}
+
+fn run_fleet(elastic: bool, store: &SharedKnowledgeStore) -> FleetSummary {
+    let store = Arc::clone(store);
+    let mut fleet = FleetSim::new(
+        FleetConfig::default(),
+        Box::new(LeastLoaded::new()),
+        bursty_workload(),
+    );
+    let initial = if elastic { POOL_MIN } else { POOL_MAX };
+    for _ in 0..initial {
+        fleet.add_node(warm_start_factory(Arc::clone(&store), mamut_factory()));
+    }
+    fleet.set_knowledge_store(Arc::clone(&store));
+    if elastic {
+        fleet.set_autoscaler(
+            Box::new(
+                ThresholdScaler::new()
+                    .with_limits(POOL_MIN, POOL_MAX)
+                    .with_watermarks(0.35, 0.75)
+                    .with_cooldown(2),
+            ),
+            Box::new(|| (Platform::xeon_e5_2667_v4(), mamut_factory())),
+        );
+        // Elasticity rides on migration: spread a landed burst onto the
+        // nodes the scaler just commissioned.
+        fleet.set_rebalancer(Box::new(
+            PowerQosBalance::new().with_min_gap(0.3).with_max_moves(2),
+        ));
+    }
+    fleet.run().expect("fleet run completes")
+}
+
+fn main() {
+    println!("== phase 1: training teachers ({TRAINING_FRAMES} frames each) ==");
+    let store = train_store();
+
+    println!(
+        "\n== phase 2: bursty workload, {} sessions (quiet / burst / tail) ==\n",
+        bursty_workload().len()
+    );
+
+    println!("fixed worst-case pool ({POOL_MAX} nodes):");
+    let fixed = run_fleet(false, &store);
+    print!("{fixed}");
+
+    println!("\nelastic pool ({POOL_MIN}–{POOL_MAX} nodes, threshold autoscaler):");
+    let elastic = run_fleet(true, &store);
+    print!("{elastic}");
+
+    let saving = 100.0 * (1.0 - elastic.node_epochs as f64 / fixed.node_epochs.max(1) as f64);
+    let delta_gap = elastic.cluster_violation_percent - fixed.cluster_violation_percent;
+    println!("\n                    fixed      elastic");
+    println!(
+        "node-epochs     {:>9}    {:>9}",
+        fixed.node_epochs, elastic.node_epochs
+    );
+    println!(
+        "delta %         {:>9.2}    {:>9.2}",
+        fixed.cluster_violation_percent, elastic.cluster_violation_percent
+    );
+    println!(
+        "mean power W    {:>9.1}    {:>9.1}",
+        fixed.mean_power_w, elastic.mean_power_w
+    );
+    println!(
+        "energy J        {:>9.0}    {:>9.0}",
+        fixed.total_energy_j, elastic.total_energy_j
+    );
+
+    assert_eq!(
+        elastic.total_sessions, fixed.total_sessions,
+        "both pools must serve every arrival"
+    );
+    assert!(
+        elastic.scale_ups > 0 && elastic.scale_downs > 0,
+        "the elastic pool must actually scale: {} up / {} down",
+        elastic.scale_ups,
+        elastic.scale_downs
+    );
+    assert!(
+        elastic.node_epochs < fixed.node_epochs,
+        "elastic pool must be cheaper: {} vs {} node-epochs",
+        elastic.node_epochs,
+        fixed.node_epochs
+    );
+    assert!(
+        delta_gap <= 5.0,
+        "elastic QoS must stay within 5 points of the worst-case pool (gap {delta_gap:.2})"
+    );
+    println!(
+        "\n=> elastic pool saved {saving:.0}% node-epochs ({} -> {}) at {delta_gap:+.2} QoS points",
+        fixed.node_epochs, elastic.node_epochs
+    );
+}

@@ -82,8 +82,9 @@ pub mod prelude {
     };
     pub use mamut_encoder::{HevcEncoder, Preset};
     pub use mamut_fleet::{
-        AdmissionGated, Dispatcher, FleetConfig, FleetSim, FleetSummary, GateMode, KnowledgeStore,
-        LeastLoaded, MergePolicy, NodeView, PowerAware, Rebalancer, RoundRobin, SessionClass,
+        AdmissionGated, Autoscaler, Dispatcher, FleetConfig, FleetSim, FleetSummary, GateMode,
+        KnowledgeStore, LeastLoaded, MergePolicy, NodeView, PowerAware, PowerQosBalance,
+        PredictiveScaler, Rebalancer, RoundRobin, SessionClass, ThresholdScaler,
         UtilizationBalance, Workload, WorkloadConfig,
     };
     pub use mamut_platform::Platform;

@@ -2,11 +2,36 @@
 //! yield a byte-identical `FleetSummary` across runs AND across worker
 //! thread counts — the parallel epoch loop is an execution detail, not a
 //! source of nondeterminism.
+//!
+//! The worker counts exercised against the 1-worker reference come from
+//! `MAMUT_FLEET_WORKERS` when set (a comma-separated list, e.g.
+//! `MAMUT_FLEET_WORKERS=8`); CI runs this file as a matrix over 1, 2 and
+//! 8 workers so cross-worker byte-identity is pinned on real runners,
+//! not just locally. Unset, the defaults below cover the same ground.
 
 use std::sync::Arc;
 
-use mamut::fleet::{warm_start_factory, KnowledgeStore, MergePolicy, UtilizationBalance};
+use mamut::fleet::{
+    warm_start_factory, KnowledgeStore, MergePolicy, PowerQosBalance, SessionRequest,
+    ThresholdScaler, UtilizationBalance,
+};
 use mamut::prelude::*;
+
+/// Worker counts to compare against the sequential reference: the
+/// `MAMUT_FLEET_WORKERS` env list when present, `default` otherwise.
+fn worker_counts(default: &[usize]) -> Vec<usize> {
+    match std::env::var("MAMUT_FLEET_WORKERS") {
+        Ok(list) => list
+            .split(',')
+            .map(|w| {
+                w.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad MAMUT_FLEET_WORKERS entry {w:?}"))
+            })
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
 
 fn factory() -> mamut::fleet::ControllerFactory {
     Box::new(|req| {
@@ -87,7 +112,7 @@ fn repeated_runs_are_byte_identical() {
 fn worker_thread_count_never_changes_the_summary() {
     for policy in POLICIES {
         let sequential = summary_text(policy, 1, 7);
-        for workers in [2, 3, 8, 16] {
+        for workers in worker_counts(&[2, 3, 8, 16]) {
             assert_eq!(
                 sequential,
                 summary_text(policy, workers, 7),
@@ -132,7 +157,7 @@ fn learning_summary_text(workers: usize, seed: u64) -> String {
 #[test]
 fn migration_and_warm_start_preserve_worker_count_determinism() {
     let sequential = learning_summary_text(1, 7);
-    for workers in [2, 4, 16] {
+    for workers in worker_counts(&[2, 4, 16]) {
         assert_eq!(
             sequential,
             learning_summary_text(workers, 7),
@@ -143,6 +168,109 @@ fn migration_and_warm_start_preserve_worker_count_determinism() {
     assert!(
         sequential.contains("warm_starts=") && !sequential.contains("warm_starts=0 "),
         "no warm starts in {sequential}"
+    );
+}
+
+/// The full PR 3 stack — elastic autoscaling (grow *and* drain/retire),
+/// power/QoS-aware rebalancing, knowledge sharing and warm starts, all
+/// at once — must stay byte-identical across worker counts: every
+/// scaling and migration decision runs on the coordinator between
+/// epochs.
+fn elastic_summary_text(workers: usize) -> String {
+    // Quiet start, hard burst, quiet tail: forces both directions of
+    // scaling within one run.
+    let burst: Vec<SessionRequest> = {
+        let quiet = Workload::generate(&WorkloadConfig {
+            seed: 7,
+            sessions: 6,
+            mean_interarrival_s: 2.5,
+            hr_ratio: 0.5,
+            live_ratio: 0.3,
+            vod_frames: (60, 150),
+            live_frames: (300, 600),
+        });
+        let spike = Workload::generate(&WorkloadConfig {
+            seed: 8,
+            sessions: 10,
+            mean_interarrival_s: 0.2,
+            hr_ratio: 0.5,
+            live_ratio: 0.2,
+            vod_frames: (60, 150),
+            live_frames: (300, 600),
+        });
+        quiet
+            .arrivals()
+            .iter()
+            .cloned()
+            .chain(spike.arrivals().iter().cloned().map(|mut r| {
+                r.arrival_s += 12.0;
+                r
+            }))
+            .collect()
+    };
+    let store = KnowledgeStore::new(MergePolicy::VisitWeighted).into_shared();
+    let mut fleet = FleetSim::new(
+        FleetConfig::default().with_worker_threads(workers),
+        dispatcher("least-loaded"),
+        Workload::replay(burst),
+    );
+    for _ in 0..2 {
+        fleet.add_node(warm_start_factory(Arc::clone(&store), mamut_factory()));
+    }
+    fleet.set_knowledge_store(Arc::clone(&store));
+    fleet.set_rebalancer(Box::new(
+        PowerQosBalance::new().with_min_gap(0.3).with_max_moves(2),
+    ));
+    fleet.set_autoscaler(
+        Box::new(
+            ThresholdScaler::new()
+                .with_limits(2, 5)
+                .with_watermarks(0.35, 0.75)
+                .with_cooldown(1),
+        ),
+        Box::new(|| {
+            (
+                Platform::xeon_e5_2667_v4(),
+                Box::new(|req: &SessionRequest| {
+                    let cfg = if req.hr {
+                        MamutConfig::paper_hr()
+                    } else {
+                        MamutConfig::paper_lr()
+                    };
+                    Box::new(MamutController::new(cfg.with_seed(req.seed)).unwrap())
+                        as Box<dyn Controller>
+                }),
+            )
+        }),
+    );
+    let summary = fleet.run().expect("fleet run completes");
+    format!(
+        "{summary}scale_ups={} scale_downs={} drained={} store_publishes={}",
+        summary.scale_ups,
+        summary.scale_downs,
+        summary.drained_sessions,
+        store.lock().unwrap().publishes()
+    )
+}
+
+#[test]
+fn autoscaling_with_migration_and_knowledge_preserves_determinism() {
+    let sequential = elastic_summary_text(1);
+    for workers in worker_counts(&[2, 4, 16]) {
+        assert_eq!(
+            sequential,
+            elastic_summary_text(workers),
+            "elastic fleet diverged at {workers} workers"
+        );
+    }
+    // The run exercised what it claims to: the pool breathed.
+    assert!(
+        !sequential.contains("scale_ups=0"),
+        "pool never grew: {sequential}"
+    );
+    assert!(
+        !sequential.contains("scale_downs=0"),
+        "pool never shrank: {sequential}"
     );
 }
 

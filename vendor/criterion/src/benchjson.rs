@@ -1,0 +1,126 @@
+//! Flat `{"metric": number}` JSON read/merge/write helpers — the
+//! interchange format between the benches (which emit metrics when
+//! `MAMUT_BENCH_JSON` is set), the committed `ci/bench_baseline.json`,
+//! and the `bench_gate` regression check. Std-only on purpose: the
+//! format is one object of string keys to finite numbers, nothing more.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parses a flat JSON object of `"key": number` pairs.
+///
+/// # Errors
+///
+/// Returns a message for anything that is not a one-level object of
+/// finite numbers (nested values, strings, malformed numbers).
+pub fn parse(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let inner = text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|t| t.trim_end().strip_suffix('}'))
+        .ok_or_else(|| "expected a top-level JSON object".to_owned())?;
+    let mut metrics = BTreeMap::new();
+    for entry in inner.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (key, value) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("entry {entry:?} is not a \"key\": value pair"))?;
+        let key = key.trim();
+        let key = key
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("key {key:?} is not quoted"))?;
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("value for {key:?} is not a number: {e}"))?;
+        if !value.is_finite() {
+            return Err(format!("value for {key:?} is not finite"));
+        }
+        metrics.insert(key.to_owned(), value);
+    }
+    Ok(metrics)
+}
+
+/// Renders metrics as a stable, sorted, pretty-printed JSON object.
+pub fn render(metrics: &BTreeMap<String, f64>) -> String {
+    if metrics.is_empty() {
+        return "{}\n".to_owned();
+    }
+    let body = metrics
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("{{\n{body}\n}}\n")
+}
+
+/// Loads the metrics file at `path`; a missing file is an empty set.
+///
+/// # Errors
+///
+/// Propagates read errors other than not-found, and parse failures.
+pub fn load(path: &Path) -> Result<BTreeMap<String, f64>, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(BTreeMap::new()),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+/// Read-modify-writes one metric into the file at `path` (several bench
+/// binaries run sequentially and share the file, each contributing its
+/// own keys).
+///
+/// # Errors
+///
+/// Propagates load/parse/write failures.
+pub fn merge_into(path: &Path, name: &str, value: f64) -> Result<(), String> {
+    let mut metrics = load(path)?;
+    metrics.insert(name.to_owned(), value);
+    std::fs::write(path, render(&metrics))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_round_trip() {
+        let text = "{\n  \"a_ns\": 12.5,\n  \"b_per_s\": 3e4\n}\n";
+        let metrics = parse(text).unwrap();
+        assert_eq!(metrics.len(), 2);
+        assert_eq!(metrics["a_ns"], 12.5);
+        assert_eq!(metrics["b_per_s"], 3e4);
+        let rendered = render(&metrics);
+        assert_eq!(parse(&rendered).unwrap(), metrics);
+    }
+
+    #[test]
+    fn parse_rejects_junk() {
+        assert!(parse("[]").is_err());
+        assert!(parse("{\"a\": \"str\"}").is_err());
+        assert!(parse("{a: 1}").is_err());
+        assert!(parse("{\"a\": }").is_err());
+        assert_eq!(parse("{}").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates_across_writers() {
+        let dir = std::env::temp_dir().join(format!("benchjson-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+        let _ = std::fs::remove_file(&path);
+        merge_into(&path, "first_ns", 10.0).unwrap();
+        merge_into(&path, "second_ns", 20.0).unwrap();
+        merge_into(&path, "first_ns", 15.0).unwrap(); // overwrite
+        let metrics = load(&path).unwrap();
+        assert_eq!(metrics["first_ns"], 15.0);
+        assert_eq!(metrics["second_ns"], 20.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
