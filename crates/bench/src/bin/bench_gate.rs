@@ -23,7 +23,8 @@
 //!
 //! ```text
 //! rm -f BENCH_fleet.json && MAMUT_BENCH_QUICK=1 MAMUT_BENCH_JSON=$PWD/BENCH_fleet.json \
-//!   cargo bench --bench fleet_scaling --bench snapshot_codec && cp BENCH_fleet.json ci/bench_baseline.json
+//!   cargo bench --bench fleet_scaling --bench snapshot_codec --bench server_hot_path && \
+//!   cp BENCH_fleet.json ci/bench_baseline.json
 //! ```
 //!
 //! Usage: `bench_gate --baseline ci/bench_baseline.json --current

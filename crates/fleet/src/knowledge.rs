@@ -102,6 +102,135 @@ pub struct ClassKnowledge {
     pub snapshot: PolicySnapshot,
     /// Sessions that have contributed to this entry.
     pub contributions: u64,
+    /// Incremental visit-weighted merge state (per-cell visit totals and
+    /// transition counts), built lazily on the first merge. With it, a
+    /// publish costs O(incoming) work against the accumulated tables
+    /// instead of re-deriving both sides' visit matrices and rebuilding
+    /// the full transition map from scratch every time.
+    acc: Option<MergeState>,
+}
+
+/// Accumulated per-agent merge state mirroring `snapshot.agents`.
+#[derive(Debug, Clone)]
+struct MergeState {
+    agents: Vec<AgentMergeState>,
+}
+
+#[derive(Debug, Clone)]
+struct AgentMergeState {
+    /// Dense `Num(s, a)` totals across all contributions (saturating, as
+    /// the per-publish visit matrices themselves saturate).
+    visits: Vec<u32>,
+    /// Transition counts keyed `(state, action, next_state)` — the
+    /// canonical sorted order, so regenerating the snapshot's record
+    /// list is a linear walk, never a re-sort.
+    transitions: BTreeMap<(u32, u32, u32), u32>,
+}
+
+impl MergeState {
+    fn from_snapshot(snapshot: &PolicySnapshot) -> MergeState {
+        MergeState {
+            agents: snapshot
+                .agents
+                .iter()
+                .map(|a| AgentMergeState {
+                    visits: a.visit_matrix(),
+                    transitions: a
+                        .transitions
+                        .iter()
+                        .map(|t| ((t.state, t.action, t.next_state), t.count))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl AgentMergeState {
+    /// Folds `new` into `agent` in place: per-cell visit-weighted Q
+    /// average (plain average where neither side has visits), saturating
+    /// action/transition count accumulation, canonical record
+    /// regeneration from the maintained map.
+    fn merge_agent(&mut self, agent: &mut AgentSnapshot, new: &AgentSnapshot) {
+        let visits_new = new.visit_matrix();
+        for (i, (q, &qn)) in agent.q.iter_mut().zip(&new.q).enumerate() {
+            let (vo, vn) = (f64::from(self.visits[i]), f64::from(visits_new[i]));
+            *q = if vo + vn > 0.0 {
+                (vo * *q + vn * qn) / (vo + vn)
+            } else {
+                0.5 * (*q + qn)
+            };
+            self.visits[i] = self.visits[i].saturating_add(visits_new[i]);
+        }
+        for (a, &b) in agent.action_counts.iter_mut().zip(&new.action_counts) {
+            *a = a.saturating_add(b);
+        }
+        for t in &new.transitions {
+            let slot = self
+                .transitions
+                .entry((t.state, t.action, t.next_state))
+                .or_insert(0);
+            *slot = slot.saturating_add(t.count);
+        }
+        agent.transitions.clear();
+        agent.transitions.extend(self.transitions.iter().map(
+            |(&(state, action, next_state), &count)| TransitionRecord {
+                state,
+                action,
+                next_state,
+                count,
+            },
+        ));
+    }
+}
+
+impl ClassKnowledge {
+    fn inserted(snapshot: PolicySnapshot) -> ClassKnowledge {
+        ClassKnowledge {
+            snapshot,
+            contributions: 1,
+            acc: None,
+        }
+    }
+
+    /// Visit-weighted merge of `incoming` into the accumulated snapshot,
+    /// or `false` when the shapes are structurally incompatible (the
+    /// caller replaces instead).
+    fn merge_in(&mut self, incoming: &PolicySnapshot) -> bool {
+        if self.snapshot.controller != incoming.controller
+            || self.snapshot.agents.len() != incoming.agents.len()
+        {
+            return false;
+        }
+        let compatible = self
+            .snapshot
+            .agents
+            .iter()
+            .zip(&incoming.agents)
+            .all(|(a, b)| {
+                a.kind == b.kind && a.n_states == b.n_states && a.n_actions == b.n_actions
+            });
+        if !compatible {
+            return false;
+        }
+        let acc = self
+            .acc
+            .get_or_insert_with(|| MergeState::from_snapshot(&self.snapshot));
+        for (agent, (st, new)) in self
+            .snapshot
+            .agents
+            .iter_mut()
+            .zip(acc.agents.iter_mut().zip(&incoming.agents))
+        {
+            st.merge_agent(agent, new);
+        }
+        // The operating point follows the newest contributor: knobs are a
+        // live setting, not an average-able statistic.
+        self.snapshot.knobs = incoming.knobs;
+        self.snapshot.exploration_decisions += incoming.exploration_decisions;
+        self.snapshot.exploitation_decisions += incoming.exploitation_decisions;
+        true
+    }
 }
 
 /// The fleet's policy repository: finished sessions publish their
@@ -149,16 +278,12 @@ impl KnowledgeStore {
     /// it enters the store.
     pub fn publish(&mut self, class: SessionClass, snapshot: &PolicySnapshot) -> PublishOutcome {
         self.publishes += 1;
-        let incoming = snapshot.clone().into_knowledge();
-        let key = (class, incoming.controller.clone());
+        let key = (class, snapshot.controller.clone());
         match self.entries.get_mut(&key) {
             None => {
                 self.entries.insert(
                     key,
-                    ClassKnowledge {
-                        snapshot: incoming,
-                        contributions: 1,
-                    },
+                    ClassKnowledge::inserted(snapshot.clone().into_knowledge()),
                 );
                 PublishOutcome::Inserted
             }
@@ -166,15 +291,18 @@ impl KnowledgeStore {
                 existing.contributions += 1;
                 match self.policy {
                     MergePolicy::Replace => {
-                        existing.snapshot = incoming;
+                        existing.snapshot = snapshot.clone().into_knowledge();
+                        existing.acc = None;
                         PublishOutcome::Replaced
                     }
                     MergePolicy::VisitWeighted => {
-                        if let Some(merged) = visit_weighted_merge(&existing.snapshot, &incoming) {
-                            existing.snapshot = merged;
+                        // The merge reads tables only, so the incoming
+                        // snapshot is never cloned on this path.
+                        if existing.merge_in(snapshot) {
                             PublishOutcome::Merged
                         } else {
-                            existing.snapshot = incoming;
+                            existing.snapshot = snapshot.clone().into_knowledge();
+                            existing.acc = None;
                             PublishOutcome::Replaced
                         }
                     }
@@ -226,6 +354,12 @@ impl KnowledgeStore {
 
 /// Per-cell visit-weighted merge of two knowledge snapshots, or `None`
 /// when they are structurally incompatible.
+///
+/// The naive pairwise reference the store used before the incremental
+/// accumulator: it re-derives both sides' visit matrices and rebuilds
+/// the transition map per call. Kept under test as the oracle the
+/// incremental [`ClassKnowledge::merge_in`] is proven equivalent to.
+#[cfg(test)]
 fn visit_weighted_merge(old: &PolicySnapshot, new: &PolicySnapshot) -> Option<PolicySnapshot> {
     if old.controller != new.controller || old.agents.len() != new.agents.len() {
         return None;
@@ -246,6 +380,7 @@ fn visit_weighted_merge(old: &PolicySnapshot, new: &PolicySnapshot) -> Option<Po
     })
 }
 
+#[cfg(test)]
 fn merge_agent(old: &AgentSnapshot, new: &AgentSnapshot) -> Option<AgentSnapshot> {
     if old.kind != new.kind || old.n_states != new.n_states || old.n_actions != new.n_actions {
         return None;
@@ -438,6 +573,73 @@ mod tests {
         assert_eq!(
             store.publish(SessionClass::Hr, &Controller::snapshot(&lr)),
             PublishOutcome::Replaced
+        );
+    }
+
+    #[test]
+    fn incremental_store_merge_equals_the_pairwise_fold() {
+        // The store's in-place accumulator must produce exactly what a
+        // left fold of the naive pairwise merge produces — same Q-values
+        // (bitwise), same counts, same canonical transition order —
+        // across a chain of differently trained contributors.
+        let teachers: Vec<_> = (0..4).map(|i| trained(10 + i, 4_000 + 2_000 * i)).collect();
+        let snapshots: Vec<_> = teachers
+            .iter()
+            .map(|t| Controller::snapshot(t).into_knowledge())
+            .collect();
+
+        let mut store = KnowledgeStore::new(MergePolicy::VisitWeighted);
+        for s in &snapshots {
+            store.publish(SessionClass::Hr, s);
+        }
+        let merged = &store.knowledge(SessionClass::Hr, "mamut").unwrap().snapshot;
+
+        let folded = snapshots[1..].iter().fold(snapshots[0].clone(), |acc, s| {
+            visit_weighted_merge(&acc, s).expect("same shape")
+        });
+
+        assert_eq!(merged.agents.len(), folded.agents.len());
+        for (m, f) in merged.agents.iter().zip(&folded.agents) {
+            let m_bits: Vec<u64> = m.q.iter().map(|q| q.to_bits()).collect();
+            let f_bits: Vec<u64> = f.q.iter().map(|q| q.to_bits()).collect();
+            assert_eq!(m_bits, f_bits, "Q tables must match bitwise");
+            assert_eq!(m.action_counts, f.action_counts);
+            assert_eq!(m.transitions, f.transitions);
+        }
+        assert_eq!(merged.exploration_decisions, folded.exploration_decisions);
+        assert_eq!(merged.exploitation_decisions, folded.exploitation_decisions);
+        assert_eq!(merged.knobs, folded.knobs);
+    }
+
+    #[test]
+    fn replace_after_merging_resets_the_accumulator() {
+        // A shape-incompatible publish replaces the entry; merges after
+        // that must accumulate from the replacement, not from stale
+        // visit totals of the displaced knowledge.
+        let hr_a = trained(1, 6_000);
+        let hr_b = trained(2, 6_000);
+        let mut store = KnowledgeStore::new(MergePolicy::VisitWeighted);
+        store.publish(SessionClass::Hr, &Controller::snapshot(&hr_a));
+        store.publish(SessionClass::Hr, &Controller::snapshot(&hr_b));
+        // LR tables have a different shape: forces a replace.
+        let lr = MamutController::new(MamutConfig::paper_lr().with_seed(3)).unwrap();
+        assert_eq!(
+            store.publish(SessionClass::Hr, &Controller::snapshot(&lr)),
+            PublishOutcome::Replaced
+        );
+        let lr_visits: u64 = Controller::snapshot(&lr)
+            .agents
+            .iter()
+            .map(|a| a.total_visits())
+            .sum();
+        let k = store.knowledge(SessionClass::Hr, "mamut").unwrap();
+        let stored: u64 = k.snapshot.agents.iter().map(|a| a.total_visits()).sum();
+        assert_eq!(stored, lr_visits, "replacement discards old visit totals");
+        // And a follow-up merge accumulates on top of the replacement.
+        let lr2 = MamutController::new(MamutConfig::paper_lr().with_seed(4)).unwrap();
+        assert_eq!(
+            store.publish(SessionClass::Hr, &Controller::snapshot(&lr2)),
+            PublishOutcome::Merged
         );
     }
 

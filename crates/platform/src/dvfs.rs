@@ -62,6 +62,11 @@ impl DvfsLevel {
 pub struct DvfsTable {
     levels: Vec<DvfsLevel>,
     real_time_floor_ghz: f64,
+    /// Decision boundaries for [`DvfsTable::nearest`], precomputed at
+    /// construction: `midpoints[i]` separates level `i` from level
+    /// `i + 1`, so snapping is a handful of ordered comparisons instead
+    /// of a distance scan — cheap enough for per-event hot paths.
+    midpoints: Vec<f64>,
 }
 
 /// Frequency floor below which real-time transcoding is infeasible (GHz).
@@ -90,9 +95,14 @@ impl DvfsTable {
                 ));
             }
         }
+        let midpoints = levels
+            .windows(2)
+            .map(|pair| 0.5 * (pair[0].freq_ghz + pair[1].freq_ghz))
+            .collect();
         Ok(DvfsTable {
             levels,
             real_time_floor_ghz,
+            midpoints,
         })
     }
 
@@ -148,17 +158,17 @@ impl DvfsTable {
         self.real_time_floor_ghz
     }
 
-    /// Snaps an arbitrary frequency request to the nearest table level.
+    /// Snaps an arbitrary frequency request to the nearest table level
+    /// (exact midpoints snap down, matching a first-minimum distance
+    /// scan). O(levels) ordered comparisons against the precomputed
+    /// midpoints — no distance arithmetic on the hot path.
     pub fn nearest(&self, freq_ghz: f64) -> DvfsLevel {
-        *self
-            .levels
+        let idx = self
+            .midpoints
             .iter()
-            .min_by(|a, b| {
-                let da = (a.freq_ghz - freq_ghz).abs();
-                let db = (b.freq_ghz - freq_ghz).abs();
-                da.partial_cmp(&db).expect("frequencies are finite")
-            })
-            .expect("table is non-empty")
+            .position(|&mid| freq_ghz <= mid)
+            .unwrap_or(self.levels.len() - 1);
+        self.levels[idx]
     }
 
     /// Voltage at a frequency, linearly interpolated between table points

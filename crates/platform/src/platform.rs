@@ -93,14 +93,26 @@ impl Platform {
 
     /// Server power for the given set of simultaneously running sessions.
     pub fn power_draw(&self, loads: &[SessionLoad]) -> f64 {
-        let groups: Vec<ThreadGroup> = loads
-            .iter()
-            .map(|l| ThreadGroup {
+        self.power_draw_for(loads.iter().copied())
+    }
+
+    /// [`Platform::power_draw`] over any re-iterable load source, without
+    /// materializing a slice — the allocation-free lookup the simulator's
+    /// event engine evaluates once per rate epoch. Iteration order is the
+    /// summation order, so the same loads in the same order produce
+    /// bit-identical watts through either entry point.
+    pub fn power_draw_for<I>(&self, loads: I) -> f64
+    where
+        I: Iterator<Item = SessionLoad> + Clone,
+    {
+        let dvfs = &self.dvfs;
+        self.power.power_for(
+            loads.map(|l| ThreadGroup {
                 threads: l.threads,
-                freq_ghz: self.dvfs.nearest(l.freq_ghz).freq_ghz,
-            })
-            .collect();
-        self.power.power(&groups, &self.dvfs)
+                freq_ghz: dvfs.nearest(l.freq_ghz).freq_ghz,
+            }),
+            dvfs,
+        )
     }
 
     /// Idle power of the server (no sessions running).

@@ -110,7 +110,20 @@ impl PowerModel {
     /// thread count draw no extra power (they time-share); the attribution
     /// of primary vs. SMT slots is proportional across groups.
     pub fn power(&self, groups: &[ThreadGroup], dvfs: &DvfsTable) -> f64 {
-        let total_requested: u32 = groups.iter().map(|g| g.threads).sum();
+        self.power_for(groups.iter().copied(), dvfs)
+    }
+
+    /// [`PowerModel::power`] over any re-iterable group source — the
+    /// allocation-free entry the simulator's hot path uses (it evaluates
+    /// power straight off its session table instead of materializing a
+    /// `Vec<ThreadGroup>` per event). The iterator is walked three times
+    /// (thread total, per-group core power, fastest clock); the summation
+    /// order matches the slice form, so both produce bit-identical watts.
+    pub fn power_for<I>(&self, groups: I, dvfs: &DvfsTable) -> f64
+    where
+        I: Iterator<Item = ThreadGroup> + Clone,
+    {
+        let total_requested: u32 = groups.clone().map(|g| g.threads).sum();
         if total_requested == 0 {
             return self.idle_power();
         }
@@ -125,7 +138,7 @@ impl PowerModel {
         let attribution = eff_total / f64::from(total_requested);
 
         let core_power: f64 = groups
-            .iter()
+            .clone()
             .map(|g| {
                 let v = dvfs.voltage_at(g.freq_ghz);
                 f64::from(g.threads) * attribution * self.c_eff * v * v * g.freq_ghz
@@ -137,7 +150,6 @@ impl PowerModel {
         let active_sockets = runnable.div_ceil(per_socket).min(self.topology.sockets());
         let idle_sockets = self.topology.sockets() - active_sockets;
         let f_max = groups
-            .iter()
             .map(|g| g.freq_ghz)
             .fold(0.0_f64, f64::max)
             .max(dvfs.min_freq_ghz());

@@ -22,6 +22,11 @@ pub struct PowerSensor {
     window_seconds: f64,
     samples: VecDeque<(f64, f64)>, // (watts, dt)
     window_time: f64,
+    /// Energy of the samples currently in the window (J), maintained
+    /// incrementally on record/evict so [`PowerSensor::window_average`]
+    /// is O(1) instead of re-summing the deque on every query — the
+    /// query runs once per simulated frame completion.
+    window_energy_j: f64,
     total_energy_j: f64,
     total_time_s: f64,
     last_watts: f64,
@@ -37,6 +42,7 @@ impl PowerSensor {
             window_seconds: window_seconds.max(1e-9),
             samples: VecDeque::new(),
             window_time: 0.0,
+            window_energy_j: 0.0,
             total_energy_j: 0.0,
             total_time_s: 0.0,
             last_watts: 0.0,
@@ -53,13 +59,15 @@ impl PowerSensor {
         self.last_watts = watts;
         self.samples.push_back((watts, dt));
         self.window_time += dt;
+        self.window_energy_j += watts * dt;
         while self.window_time > self.window_seconds && self.samples.len() > 1 {
-            let (_, old_dt) = self.samples[0];
+            let (old_watts, old_dt) = self.samples[0];
             if self.window_time - old_dt < self.window_seconds {
                 break;
             }
             self.samples.pop_front();
             self.window_time -= old_dt;
+            self.window_energy_j -= old_watts * old_dt;
         }
     }
 
@@ -70,8 +78,7 @@ impl PowerSensor {
         if self.window_time <= 0.0 {
             return 0.0;
         }
-        let energy: f64 = self.samples.iter().map(|(w, dt)| w * dt).sum();
-        energy / self.window_time
+        self.window_energy_j / self.window_time
     }
 
     /// The most recently recorded instantaneous power, in watts.

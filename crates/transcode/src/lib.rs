@@ -19,9 +19,22 @@
 //! The next event is the earliest frame completion; power is integrated
 //! over the interval, then completed frames trigger controller callbacks
 //! (`end_frame` with the measured observation, `begin_frame` for the next
-//! frame) and the rates are recomputed — so a knob change on any session
-//! reshapes everyone's progress from that instant on, exactly like
-//! rescheduling threads on a real machine.
+//! frame) — so a knob change on any session reshapes everyone's progress
+//! from that instant on, exactly like rescheduling threads on a real
+//! machine.
+//!
+//! # Incremental event engine
+//!
+//! Between controller decisions nothing can move the rate vector, so the
+//! engine caches it per *rate epoch*: each in-flight frame's remaining
+//! work is anchored at the last rate change and its completion instant
+//! is a fixed deadline in an index min-heap. A steady-state event is one
+//! heap pop plus one push — no per-session rescans, no model
+//! re-evaluation, no allocations. Knob, constraint, session-set or
+//! resolution changes bump the epoch and rebuild exactly the state they
+//! invalidate; the `oracle` feature compiles a naive per-event
+//! recomputation path that the test suite holds bit-identical to the
+//! incremental engine.
 //!
 //! # Example
 //!

@@ -14,7 +14,8 @@ const POWER_WINDOW_S: f64 = 0.25;
 enum BoundedStep {
     /// A frame completion was processed.
     Event,
-    /// The time bound was reached first; partial work was retired.
+    /// The time bound was reached first; the clock (and energy) advanced
+    /// to the bound, in-flight frames stay anchored where they were.
     Boundary,
     /// No session has work in flight (everything finished or empty).
     Idle,
@@ -73,9 +74,201 @@ impl ServerLoad {
     }
 }
 
+/// Index min-heap of predicted completion deadlines, keyed by virtual
+/// time with the session id as payload. Rebuilt wholesale on rate-epoch
+/// bumps (Floyd heapify over the persistent buffer); between bumps the
+/// only traffic is pop-the-earliest and push-the-successor, so the
+/// steady-state cost per event is O(log sessions) with zero allocations.
+#[derive(Debug, Default)]
+struct DeadlineHeap {
+    entries: Vec<(f64, u32)>,
+}
+
+impl DeadlineHeap {
+    fn peek(&self) -> Option<(f64, u32)> {
+        self.entries.first().copied()
+    }
+
+    fn push(&mut self, deadline: f64, id: u32) {
+        self.entries.push((deadline, id));
+        self.sift_up(self.entries.len() - 1);
+    }
+
+    fn pop(&mut self) -> Option<(f64, u32)> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let top = self.entries.swap_remove(0);
+        if !self.entries.is_empty() {
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn heapify(&mut self) {
+        for i in (0..self.entries.len() / 2).rev() {
+            self.sift_down(i);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.entries[i].0 < self.entries[parent].0 {
+                self.entries.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.entries.len();
+        loop {
+            let left = 2 * i + 1;
+            let right = left + 1;
+            let mut min = i;
+            if left < n && self.entries[left].0 < self.entries[min].0 {
+                min = left;
+            }
+            if right < n && self.entries[right].0 < self.entries[min].0 {
+                min = right;
+            }
+            if min == i {
+                break;
+            }
+            self.entries.swap(i, min);
+            i = min;
+        }
+    }
+}
+
+/// The hot per-session state of the event engine, hoisted out of the
+/// session objects into dense arrays (indexed by slot id) plus the
+/// cached rate-epoch aggregates. All buffers are persistent: steady-state
+/// stepping reuses them without touching the allocator.
+///
+/// # The rate-epoch invariant
+///
+/// Between two *rate-epoch bumps* every active session's effective rate
+/// (`dvfs-snapped freq · wpp(resolution, threads) · contention scale`),
+/// the total thread demand, the throughput scale and the instantaneous
+/// power draw are all constant — nothing in the model can move them
+/// except a knob change, a session-set change, or a constraint change,
+/// and each of those sets `dirty`. While clean, each in-flight frame's
+/// completion instant is therefore a fixed point in time (its
+/// `deadline`), and an event costs one heap pop + one push instead of an
+/// O(sessions) model re-evaluation.
+#[derive(Debug, Default)]
+struct HotState {
+    /// A knob/session-set/constraint change happened: the cached rates,
+    /// aggregates and heap must be rebuilt before the next event.
+    dirty: bool,
+    /// Times the rate epoch was rebuilt (diagnostics: how incremental a
+    /// run actually was).
+    rate_epochs: u64,
+    /// Per-slot effective rate in cycles/s (0.0 = slot not anchored).
+    rate: Vec<f64>,
+    /// Per-slot predicted completion time (NaN = needs re-anchoring).
+    deadline: Vec<f64>,
+    /// Per-slot thread knob the cached rate was derived from.
+    threads: Vec<u32>,
+    /// Per-slot frequency knob the cached rate was derived from.
+    freq: Vec<f64>,
+    /// Per-slot CTU row count the cached WPP factor was derived from
+    /// (changes when a playlist advances across resolutions).
+    ctu_rows: Vec<u32>,
+    /// Epoch aggregate: total threads demanded by active sessions.
+    total_threads: u32,
+    /// Epoch aggregate: contention throughput scale at `total_threads`.
+    scale: f64,
+    /// Epoch aggregate: instantaneous power draw (W).
+    power: f64,
+    /// Active (in-flight) session ids in ascending order.
+    active: Vec<u32>,
+    /// Earliest-completion queue over the active sessions.
+    heap: DeadlineHeap,
+    /// Scratch: ids completing at the current event, ascending.
+    due: Vec<u32>,
+}
+
+impl HotState {
+    /// Registers a fresh slot (new or attached session).
+    fn push_slot(&mut self) {
+        self.rate.push(0.0);
+        self.deadline.push(f64::NAN);
+        self.threads.push(0);
+        self.freq.push(0.0);
+        self.ctu_rows.push(0);
+    }
+
+    /// Drops a slot's cached state (detached or finished session).
+    fn clear_slot(&mut self, id: usize) {
+        self.rate[id] = 0.0;
+        self.deadline[id] = f64::NAN;
+    }
+
+    /// Rebuilds the earliest-completion heap from the active deadlines.
+    fn rebuild_heap(&mut self) {
+        let mut entries = std::mem::take(&mut self.heap.entries);
+        entries.clear();
+        entries.extend(
+            self.active
+                .iter()
+                .map(|&id| (self.deadline[id as usize], id)),
+        );
+        self.heap.entries = entries;
+        self.heap.heapify();
+    }
+
+    /// Earliest deadline among active sessions, or `None` when idle.
+    /// The naive oracle scans the dense array (first minimum in id
+    /// order); the engine peeks the heap — both must agree bitwise.
+    fn next_deadline(&self, naive: bool) -> Option<f64> {
+        if naive {
+            let mut best: Option<f64> = None;
+            for &id in &self.active {
+                let d = self.deadline[id as usize];
+                if best.is_none_or(|b| d < b) {
+                    best = Some(d);
+                }
+            }
+            best
+        } else {
+            self.heap.peek().map(|(d, _)| d)
+        }
+    }
+
+    /// Collects every session due at `t` into `due`, ascending by id.
+    /// Ties (bit-equal deadlines) complete together in both modes.
+    fn collect_due(&mut self, t: f64, naive: bool) {
+        self.due.clear();
+        if naive {
+            for &id in &self.active {
+                if self.deadline[id as usize] <= t {
+                    self.due.push(id);
+                }
+            }
+        } else {
+            while let Some((d, id)) = self.heap.peek() {
+                if d <= t {
+                    self.heap.pop();
+                    self.due.push(id);
+                } else {
+                    break;
+                }
+            }
+            self.due.sort_unstable();
+        }
+    }
+}
+
 /// The multi-user transcoding server: platform + sessions + virtual clock.
 ///
-/// See the [crate documentation](crate) for the event-loop semantics.
+/// See the [crate documentation](crate) for the event-loop semantics and
+/// the README's "Hot path" section for the incremental engine design
+/// (rate epochs, lazy work anchoring, the deadline heap).
 ///
 /// # Example
 ///
@@ -102,6 +295,20 @@ pub struct ServerSim {
     time: f64,
     sensor: PowerSensor,
     events: u64,
+    hot: HotState,
+    /// Count of resident sessions whose playlist is not yet exhausted —
+    /// maintained on every transition so [`ServerSim::all_finished`]
+    /// never rescans the slots.
+    unfinished: usize,
+    /// Frame threshold a [`ServerSim::run_frames`] call is driving
+    /// toward (`u64::MAX` when no such call is active).
+    milestone_frames: u64,
+    /// Sessions still unfinished *and* below `milestone_frames`.
+    milestone_pending: usize,
+    /// Oracle mode: re-derive every rate from scratch on every event and
+    /// use the linear earliest-completion scan. Only settable with the
+    /// `oracle` feature; the engine must match it bit for bit.
+    naive: bool,
 }
 
 impl std::fmt::Debug for ServerSim {
@@ -110,6 +317,7 @@ impl std::fmt::Debug for ServerSim {
             .field("time", &self.time)
             .field("sessions", &self.sessions.len())
             .field("events", &self.events)
+            .field("rate_epochs", &self.hot.rate_epochs)
             .finish_non_exhaustive()
     }
 }
@@ -123,12 +331,48 @@ impl ServerSim {
             time: 0.0,
             sensor: PowerSensor::new(POWER_WINDOW_S),
             events: 0,
+            hot: HotState {
+                dirty: true,
+                ..HotState::default()
+            },
+            unfinished: 0,
+            milestone_frames: u64::MAX,
+            milestone_pending: 0,
+            naive: false,
         }
     }
 
     /// Creates a server over the paper's dual Xeon E5-2667 v4 platform.
     pub fn with_default_platform() -> Self {
         ServerSim::new(Platform::xeon_e5_2667_v4())
+    }
+
+    /// Switches this server to the naive oracle engine: every event
+    /// re-derives the active set, thread total, throughput scale, power
+    /// draw and per-session rates from scratch and finds the earliest
+    /// completion by linear scan — no cache survives an event. Exists to
+    /// *prove* the incremental bookkeeping right: equivalence tests
+    /// drive a naive and an incremental twin through identical command
+    /// sequences and require bit-identical outcomes, so any missed
+    /// invalidation, stale aggregate, or heap-vs-scan disagreement
+    /// surfaces as a divergence.
+    ///
+    /// Scope: both modes share the anchored-work arithmetic (that *is*
+    /// the event semantics now), so this oracle checks the caching, not
+    /// the physics. The physics are pinned separately — the
+    /// hand-computation, epoch-slicing, migration frame-count and
+    /// materialization tests, plus the exact-gated bench canary.
+    #[cfg(feature = "oracle")]
+    pub fn set_naive_engine(&mut self, naive: bool) {
+        self.naive = naive;
+    }
+
+    /// How many times the cached rate vector was rebuilt so far. In a
+    /// steady state (no knob churn, no session churn) this stays frozen
+    /// while events keep flowing — the measure of how incremental a run
+    /// actually was.
+    pub fn rate_epochs(&self) -> u64 {
+        self.hot.rate_epochs
     }
 
     /// Adds a session; returns its id.
@@ -138,13 +382,17 @@ impl ServerSim {
             .push(SessionSlot::Occupied(Box::new(TranscodeSession::new(
                 id, config, controller,
             ))));
+        self.hot.push_slot();
+        self.hot.dirty = true;
+        self.unfinished += 1;
         id
     }
 
     /// Detaches a session for migration to another server, leaving its
     /// slot vacated (ids of the remaining sessions do not move). The
     /// returned session carries its controller, playlist position,
-    /// in-flight frame and QoS history; hand it to
+    /// in-flight frame (with its remaining work materialized at the
+    /// current clock) and QoS history; hand it to
     /// [`ServerSim::attach_session`] on the target server.
     ///
     /// Only meaningful when both servers' clocks agree (e.g. at a fleet
@@ -156,12 +404,30 @@ impl ServerSim {
     /// Returns [`TranscodeError::UnknownSession`] for a bad or already
     /// vacated id.
     pub fn detach_session(&mut self, id: usize) -> Result<TranscodeSession, TranscodeError> {
+        let now = self.time;
+        let rate = self.hot.rate.get(id).copied().unwrap_or(0.0);
         let slot = self
             .sessions
             .get_mut(id)
             .ok_or(TranscodeError::UnknownSession(id))?;
         match std::mem::replace(slot, SessionSlot::Vacated) {
-            SessionSlot::Occupied(s) => Ok(*s),
+            SessionSlot::Occupied(mut s) => {
+                // The lazily accounted frame must travel with its true
+                // remaining work: burn the cycles since its anchor at the
+                // rate that was in force here.
+                if let Some(fly) = s.in_flight.as_mut() {
+                    if rate != 0.0 {
+                        fly.work_remaining -= rate * (now - fly.anchor_time);
+                        fly.anchor_time = now;
+                    }
+                }
+                if !s.is_finished() {
+                    self.unfinished -= 1;
+                }
+                self.hot.clear_slot(id);
+                self.hot.dirty = true;
+                Ok(*s)
+            }
             SessionSlot::Vacated => Err(TranscodeError::UnknownSession(id)),
         }
     }
@@ -172,7 +438,12 @@ impl ServerSim {
     pub fn attach_session(&mut self, mut session: TranscodeSession) -> usize {
         let id = self.sessions.len();
         session.set_id(id);
+        if !session.is_finished() {
+            self.unfinished += 1;
+        }
         self.sessions.push(SessionSlot::Occupied(Box::new(session)));
+        self.hot.push_slot();
+        self.hot.dirty = true;
         id
     }
 
@@ -238,6 +509,7 @@ impl ServerSim {
             .and_then(SessionSlot::get_mut)
             .ok_or(TranscodeError::UnknownSession(id))?
             .set_constraints(constraints);
+        self.hot.dirty = true;
         Ok(())
     }
 
@@ -246,6 +518,7 @@ impl ServerSim {
         for s in self.sessions.iter_mut().filter_map(SessionSlot::get_mut) {
             s.set_constraints(constraints);
         }
+        self.hot.dirty = true;
     }
 
     /// The platform model.
@@ -259,24 +532,10 @@ impl ServerSim {
     }
 
     /// Whether every resident session has finished its playlist (vacated
-    /// slots count as done — their work continues elsewhere).
+    /// slots count as done — their work continues elsewhere). O(1): the
+    /// engine maintains the unfinished count across every transition.
     pub fn all_finished(&self) -> bool {
-        self.sessions
-            .iter()
-            .filter_map(SessionSlot::get)
-            .all(TranscodeSession::is_finished)
-    }
-
-    /// Shared access to an occupied slot the active list vouched for.
-    fn active_session(&self, id: usize) -> &TranscodeSession {
-        self.sessions[id].get().expect("active slot is occupied")
-    }
-
-    /// Mutable access to an occupied slot the active list vouched for.
-    fn active_session_mut(&mut self, id: usize) -> &mut TranscodeSession {
-        self.sessions[id]
-            .get_mut()
-            .expect("active slot is occupied")
+        self.unfinished == 0
     }
 
     /// Runs until all sessions finish or the event budget is exhausted.
@@ -303,7 +562,9 @@ impl ServerSim {
     }
 
     /// Runs until every session has completed at least `frames` frames or
-    /// finished, within the event budget.
+    /// finished, within the event budget. The done-check is a maintained
+    /// counter (sessions still below the threshold), updated as frames
+    /// complete — not a per-event rescan of every slot.
     ///
     /// # Errors
     ///
@@ -317,22 +578,31 @@ impl ServerSim {
             return Err(TranscodeError::NoSessions);
         }
         let start_events = self.events;
-        loop {
-            let done = self
-                .sessions
-                .iter()
-                .filter_map(SessionSlot::get)
-                .all(|s| s.is_finished() || s.frames_completed() >= frames);
-            if done {
-                return Ok(self.summary());
+        self.milestone_frames = frames;
+        self.milestone_pending = self
+            .sessions
+            .iter()
+            .filter_map(SessionSlot::get)
+            .filter(|s| !s.is_finished() && s.frames_completed() < frames)
+            .count();
+        let result = loop {
+            if self.milestone_pending == 0 {
+                break Ok(self.summary());
             }
             if self.events - start_events >= max_events {
-                return Err(TranscodeError::EventBudgetExhausted {
+                break Err(TranscodeError::EventBudgetExhausted {
                     events: self.events - start_events,
                 });
             }
-            self.step();
-        }
+            if !self.step() {
+                // Unreachable while pending > 0 (an unfinished session
+                // always has a frame to run), but never spin on Idle.
+                break Ok(self.summary());
+            }
+        };
+        self.milestone_frames = u64::MAX;
+        self.milestone_pending = 0;
+        result
     }
 
     /// Advances the simulation by one event (the next frame completion).
@@ -342,117 +612,178 @@ impl ServerSim {
         matches!(self.step_bounded(f64::INFINITY), BoundedStep::Event)
     }
 
-    /// Advances to the next frame completion, but never past virtual time
-    /// `limit`: if the earliest completion lies beyond it, work and energy
-    /// are retired up to `limit` exactly and the partial frame stays in
-    /// flight. This is what lets a fleet advance many servers in lockstep
-    /// epochs without perturbing any server's own event sequence.
-    fn step_bounded(&mut self, limit: f64) -> BoundedStep {
-        // 1. Make sure every unfinished session has a frame in flight.
+    /// Rebuilds the rate epoch at the current clock: starts any pending
+    /// frames (controller decisions), re-derives the active set, thread
+    /// total, contention scale, power draw and per-session rates, and
+    /// re-anchors exactly the frames whose effective rate actually
+    /// changed (bitwise) — everyone else keeps their deadline, so an
+    /// epoch bump perturbs nothing it does not have to.
+    fn rebuild_epoch(&mut self) {
         let now = self.time;
-        for s in self.sessions.iter_mut().filter_map(SessionSlot::get_mut) {
+        self.hot.rate_epochs += 1;
+
+        // 1. Every unfinished session gets a frame in flight.
+        for id in 0..self.sessions.len() {
+            let Some(s) = self.sessions[id].get_mut() else {
+                continue;
+            };
             if !s.is_finished() && s.in_flight.is_none() {
-                s.start_next_frame(now);
+                self.hot.deadline[id] = f64::NAN; // fresh frame: anchor below
+                if !s.start_next_frame(now) {
+                    // Playlist exhausted on the spot.
+                    let frames = s.frames_completed();
+                    self.unfinished -= 1;
+                    self.hot.clear_slot(id);
+                    if self.milestone_frames != u64::MAX && frames < self.milestone_frames {
+                        self.milestone_pending = self.milestone_pending.saturating_sub(1);
+                    }
+                }
             }
         }
 
-        // 2. Gather active loads.
-        let active: Vec<usize> = self
-            .sessions
-            .iter()
-            .enumerate()
-            .filter(|(_, slot)| slot.get().is_some_and(|s| s.in_flight.is_some()))
-            .map(|(i, _)| i)
-            .collect();
-        if active.is_empty() {
-            return BoundedStep::Idle;
+        // 2. Active set + aggregates (id order = float summation order).
+        self.hot.active.clear();
+        let mut total: u32 = 0;
+        for (id, slot) in self.sessions.iter().enumerate() {
+            let Some(s) = slot.get() else { continue };
+            if s.in_flight.is_some() {
+                self.hot.active.push(id as u32);
+                total += s.knobs().threads;
+            }
         }
-        let total_threads: u32 = active
-            .iter()
-            .map(|&i| self.active_session(i).knobs().threads)
-            .sum();
-        let scale = self.platform.throughput_scale(total_threads);
-        let loads: Vec<SessionLoad> = active
-            .iter()
-            .map(|&i| {
-                let k = self.active_session(i).knobs();
+        self.hot.total_threads = total;
+        if self.hot.active.is_empty() {
+            self.hot.rebuild_heap(); // empties the queue
+            self.hot.dirty = false;
+            return;
+        }
+        self.hot.scale = self.platform.throughput_scale(total);
+        let sessions = &self.sessions;
+        self.hot.power = self
+            .platform
+            .power_draw_for(self.hot.active.iter().map(|&id| {
+                let k = sessions[id as usize]
+                    .get()
+                    .expect("active slot is occupied")
+                    .knobs();
                 SessionLoad::new(k.threads, k.freq_ghz)
-            })
-            .collect();
-        let power = self.platform.power_draw(&loads);
+            }));
 
-        // 3. Per-session effective rates (cycles/second).
-        let rates: Vec<f64> = active
-            .iter()
-            .map(|&i| {
-                let s = self.active_session(i);
-                let k = s.knobs();
-                let level = self.platform.dvfs().nearest(k.freq_ghz);
-                level.freq_ghz * 1e9 * s.wpp_speedup() * scale
-            })
-            .collect();
-
-        // 4. Time to the earliest completion.
-        let mut dt = f64::INFINITY;
-        for (idx, &i) in active.iter().enumerate() {
-            let fly = self
-                .active_session(i)
-                .in_flight
-                .as_ref()
-                .expect("active has in-flight");
-            let t = fly.work_remaining / rates[idx];
-            if t < dt {
-                dt = t;
+        // 3. Per-session rates; re-anchor only on a real change.
+        for idx in 0..self.hot.active.len() {
+            let id = self.hot.active[idx] as usize;
+            let s = self.sessions[id]
+                .get_mut()
+                .expect("active slot is occupied");
+            let k = s.knobs();
+            let rows = s.resolution().ctu_rows();
+            let level = self.platform.dvfs().nearest(k.freq_ghz);
+            let r_new = level.freq_ghz * 1e9 * s.wpp_speedup() * self.hot.scale;
+            self.hot.threads[id] = k.threads;
+            self.hot.freq[id] = k.freq_ghz;
+            self.hot.ctu_rows[id] = rows;
+            let r_old = self.hot.rate[id];
+            if r_new.to_bits() != r_old.to_bits() || self.hot.deadline[id].is_nan() {
+                let fly = s.in_flight.as_mut().expect("active has in-flight");
+                if r_old != 0.0 {
+                    fly.work_remaining -= r_old * (now - fly.anchor_time);
+                }
+                fly.anchor_time = now;
+                self.hot.rate[id] = r_new;
+                self.hot.deadline[id] = if fly.work_remaining <= COMPLETION_EPSILON_CYCLES {
+                    now
+                } else {
+                    now + fly.work_remaining / r_new
+                };
             }
         }
-        debug_assert!(dt.is_finite() && dt >= 0.0);
 
-        // 4b. Next completion beyond the bound: retire partial work up to
-        // the bound and stop there. Frames that happen to run dry exactly
-        // at the bound complete on the next call with a zero-length step.
-        if self.time + dt > limit {
+        // 4. Fresh earliest-completion queue.
+        self.hot.rebuild_heap();
+        self.hot.dirty = false;
+    }
+
+    /// Advances to the next frame completion, but never past virtual time
+    /// `limit`: if the earliest completion lies beyond it, the clock and
+    /// energy advance to `limit` exactly and every in-flight frame stays
+    /// anchored — its deadline is a fixed instant, so crossing an epoch
+    /// boundary cannot perturb any server's own event sequence. This is
+    /// what lets a fleet advance many servers in lockstep epochs.
+    fn step_bounded(&mut self, limit: f64) -> BoundedStep {
+        if self.naive {
+            self.hot.dirty = true;
+        }
+        if self.hot.dirty {
+            self.rebuild_epoch();
+        }
+        let Some(t_next) = self.hot.next_deadline(self.naive) else {
+            return BoundedStep::Idle;
+        };
+        debug_assert!(t_next >= self.time);
+
+        // Next completion beyond the bound: charge energy up to the bound
+        // and stop there; deadlines are untouched. Frames that run dry
+        // exactly at the bound complete within this epoch.
+        if t_next > limit {
             let dt = limit - self.time;
             if dt > 0.0 {
                 self.time = limit;
-                self.sensor.record(power, dt);
-                for (idx, &i) in active.iter().enumerate() {
-                    let fly = self
-                        .active_session_mut(i)
-                        .in_flight
-                        .as_mut()
-                        .expect("active has in-flight");
-                    fly.work_remaining -= rates[idx] * dt;
-                }
+                self.sensor.record(self.hot.power, dt);
             }
             return BoundedStep::Boundary;
         }
 
-        // 5. Advance the clock, charge energy, retire work.
-        self.time += dt;
-        self.sensor.record(power, dt);
-        for (idx, &i) in active.iter().enumerate() {
-            let fly = self
-                .active_session_mut(i)
-                .in_flight
-                .as_mut()
-                .expect("active has in-flight");
-            fly.work_remaining -= rates[idx] * dt;
-        }
-
-        // 6. Complete every frame that ran dry (ties complete together).
-        let now = self.time;
+        // Advance the clock and charge energy for the interval.
+        let dt = t_next - self.time;
+        self.time = t_next;
+        self.sensor.record(self.hot.power, dt);
         let power_obs = self.sensor.window_average();
-        for &i in &active {
-            let done = {
-                let fly = self
-                    .active_session(i)
-                    .in_flight
-                    .as_ref()
-                    .expect("in-flight");
-                fly.work_remaining <= COMPLETION_EPSILON_CYCLES
+
+        // Complete every frame due now (ties complete together), start
+        // successors, and keep the caches honest: a knob or resolution
+        // change — or a session finishing — bumps the rate epoch; an
+        // unchanged session just pushes its next deadline.
+        self.hot.collect_due(t_next, self.naive);
+        for k in 0..self.hot.due.len() {
+            let id = self.hot.due[k] as usize;
+            let (alive, frames_after) = {
+                let s = self.sessions[id].get_mut().expect("due slot is occupied");
+                s.complete_frame(t_next, power_obs);
+                (s.start_next_frame(t_next), s.frames_completed())
             };
-            if done {
-                self.active_session_mut(i).complete_frame(now, power_obs);
+            if alive {
+                let s = self.sessions[id].get().expect("due slot is occupied");
+                let knobs = s.knobs();
+                let rows = s.resolution().ctu_rows();
+                if knobs.threads != self.hot.threads[id]
+                    || knobs.freq_ghz.to_bits() != self.hot.freq[id].to_bits()
+                    || rows != self.hot.ctu_rows[id]
+                {
+                    self.hot.dirty = true;
+                    self.hot.deadline[id] = f64::NAN;
+                } else {
+                    let fly = s.in_flight.as_ref().expect("frame just started");
+                    let d = if fly.work_remaining <= COMPLETION_EPSILON_CYCLES {
+                        t_next
+                    } else {
+                        t_next + fly.work_remaining / self.hot.rate[id]
+                    };
+                    self.hot.deadline[id] = d;
+                    if !self.hot.dirty {
+                        self.hot.heap.push(d, id as u32);
+                    }
+                }
+            } else {
+                self.unfinished -= 1;
+                self.hot.clear_slot(id);
+                self.hot.dirty = true;
+            }
+            if self.milestone_frames != u64::MAX {
+                let was_counted = frames_after <= self.milestone_frames;
+                let now_counted = alive && frames_after < self.milestone_frames;
+                if was_counted && !now_counted {
+                    self.milestone_pending = self.milestone_pending.saturating_sub(1);
+                }
             }
         }
 
@@ -496,7 +827,9 @@ impl ServerSim {
     }
 
     /// Instantaneous load of the server: what a fleet dispatcher inspects
-    /// before placing the next session.
+    /// before placing the next session. Cold path (once per placement
+    /// query, never per event), so it favors the straightforward
+    /// collect over the engine's allocation-free machinery.
     pub fn load(&self) -> ServerLoad {
         let loads: Vec<SessionLoad> = self
             .sessions
@@ -666,6 +999,19 @@ mod tests {
     }
 
     #[test]
+    fn run_frames_twice_reuses_the_milestone_counter_correctly() {
+        let mut srv = ServerSim::with_default_platform();
+        srv.add_session(SessionConfig::single_video(hr_spec(500), 1), fixed(10, 3.2));
+        srv.add_session(SessionConfig::single_video(lr_spec(30), 2), fixed(4, 2.6));
+        srv.run_frames(20, 100_000).unwrap();
+        // Second call: the LR session finishes before reaching 200 frames,
+        // the HR one must still be driven to the new milestone.
+        let summary = srv.run_frames(200, 1_000_000).unwrap();
+        assert!(summary.sessions[0].frames >= 200);
+        assert_eq!(summary.sessions[1].frames, 30);
+    }
+
+    #[test]
     fn event_budget_guard_fires() {
         let mut srv = ServerSim::with_default_platform();
         srv.add_session(SessionConfig::single_video(hr_spec(500), 1), fixed(10, 3.2));
@@ -714,7 +1060,9 @@ mod tests {
     #[test]
     fn epoch_slicing_matches_an_unsliced_run() {
         // Advancing in epochs must not perturb the event sequence: same
-        // final state as one uninterrupted run.
+        // final state as one uninterrupted run. With anchored deadlines
+        // this is exact by construction — a boundary touches the clock,
+        // never the frames.
         // Both runs cover the same horizon (completion plus an idle tail)
         // so the energy integrals are directly comparable.
         let horizon = 10.0;
@@ -887,5 +1235,52 @@ mod tests {
         let id = b.attach_session(a.detach_session(0).unwrap());
         b.run_epoch(1_000.0, 1_000_000).unwrap();
         assert_eq!(b.session(id).unwrap().frames_completed(), run_unmigrated());
+    }
+
+    #[test]
+    fn detach_materializes_in_flight_work_at_the_boundary() {
+        // A frame caught mid-encode by a migration must leave with its
+        // true remaining work: exactly `total − rate · elapsed`, with the
+        // rate recomputed here from first principles (DVFS snap × WPP ×
+        // contention) rather than read from the engine's cache — an
+        // independent check on the materialization arithmetic itself.
+        let mut srv = ServerSim::with_default_platform();
+        srv.add_session(SessionConfig::single_video(hr_spec(500), 3), fixed(8, 2.9));
+        srv.run_epoch(0.333, 100_000).unwrap();
+        let scale = srv.platform().throughput_scale(8);
+        let level = srv.platform().dvfs().nearest(2.9);
+        let s = srv.detach_session(0).unwrap();
+        let rate = level.freq_ghz * 1e9 * s.wpp_speedup() * scale;
+        let fly = s
+            .in_flight
+            .as_ref()
+            .expect("a long run keeps frames in flight");
+        let expected = fly.work_total - rate * (0.333 - fly.started_at);
+        assert_eq!(
+            fly.work_remaining.to_bits(),
+            expected.to_bits(),
+            "materialized work must be total − rate·elapsed: {} vs {}",
+            fly.work_remaining,
+            expected
+        );
+        assert!(fly.work_remaining > 0.0, "boundary lands mid-frame");
+        assert!(fly.work_remaining < fly.work_total);
+        assert_eq!(fly.anchor_time, 0.333, "anchor moves to the detach instant");
+    }
+
+    #[test]
+    fn steady_state_run_bumps_the_rate_epoch_only_at_churn_points() {
+        // Fixed controllers never change knobs after their first frame, so
+        // the only epoch bumps are the initial build and the two session
+        // finishes — thousands of events reuse the cached rate vector.
+        let mut srv = ServerSim::with_default_platform();
+        srv.add_session(SessionConfig::single_video(hr_spec(400), 1), fixed(10, 3.2));
+        srv.add_session(SessionConfig::single_video(lr_spec(400), 2), fixed(4, 2.6));
+        srv.run_to_completion(100_000).unwrap();
+        assert!(srv.rate_epochs() <= 4, "epochs = {}", srv.rate_epochs());
+        assert!(
+            srv.session(0).unwrap().frames_completed() == 400
+                && srv.session(1).unwrap().frames_completed() == 400
+        );
     }
 }

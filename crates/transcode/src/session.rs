@@ -69,12 +69,23 @@ impl SessionConfig {
 }
 
 /// A frame currently being encoded.
+///
+/// Remaining work is accounted *lazily*: `work_remaining` is the cycle
+/// count as of `anchor_time`, and the frame burns cycles at the rate the
+/// server cached for its session. The server re-materializes
+/// (`work_remaining -= rate · (now − anchor_time)`, anchor moved to
+/// `now`) only when the session's effective rate actually changes — a
+/// rate-epoch bump or a migration — so steady-state events never touch
+/// the frames that are not completing.
 #[derive(Debug, Clone)]
 pub(crate) struct InFlight {
+    /// Cycles left as of `anchor_time` (not "as of now").
     pub work_remaining: f64,
     pub work_total: f64,
     pub outcome: EncodeOutcome,
     pub started_at: f64,
+    /// Virtual time `work_remaining` refers to.
+    pub anchor_time: f64,
 }
 
 /// Live state of one transcoding session inside the simulator.
@@ -320,6 +331,7 @@ impl TranscodeSession {
             work_total: work,
             outcome,
             started_at: now,
+            anchor_time: now,
         });
         true
     }

@@ -102,10 +102,10 @@ fn bandwidth_drop_raises_qp_and_lowers_bitrate() {
 
 #[test]
 fn power_cap_drop_reduces_draw() {
-    // A single HR stream draws ≈65–75 W; a 66 W cap actually binds.
+    // A single HR stream draws ≈65–75 W; a 62 W cap binds firmly.
     let normal = Constraints::paper_defaults();
     let tight = Constraints {
-        power_cap_w: 66.0,
+        power_cap_w: 62.0,
         ..Constraints::paper_defaults()
     };
     let controllers = train_dual_regime(MixSpec::new(1, 0), 22, normal, tight);

@@ -150,11 +150,24 @@ macro_rules! prop_assert {
 /// Asserts equality inside a `proptest!` body.
 #[macro_export]
 macro_rules! prop_assert_eq {
-    ($left:expr, $right:expr) => {{
+    ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
         if l != r {
             return Err(format!(
                 "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{}: {} == {} ({:?} vs {:?})",
+                format!($($fmt)+),
                 stringify!($left),
                 stringify!($right),
                 l,
