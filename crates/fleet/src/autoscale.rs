@@ -18,11 +18,15 @@
 //!   [`attach_session`](crate::FleetNode::attach_session)), then retire
 //!   it. Drain always precedes decommission: no session is ever dropped.
 //!
-//! Two policies ship: [`ThresholdScaler`] reacts to observed
+//! Three policies ship: [`ThresholdScaler`] reacts to observed
 //! utilization/QoS with hysteresis and a cooldown, [`PredictiveScaler`]
-//! follows an EWMA of the arrival rate through Little's law.
+//! follows an EWMA of the arrival rate through Little's law, and
+//! [`ForecastScaler`] provisions *ahead* of predicted load by feeding
+//! any [`Forecaster`](crate::Forecaster) (seasonal-naive, Holt-Winters)
+//! through the same law.
 
 use crate::dispatch::NodeView;
+use crate::forecast::Forecaster;
 
 /// What the autoscaler sees at one epoch boundary. Views cover the
 /// *active* pool only — draining or retired nodes are no longer capacity.
@@ -341,6 +345,203 @@ impl Autoscaler for PredictiveScaler {
     }
 }
 
+/// Forecast-driven scaling: provisions capacity *ahead* of predicted
+/// load.
+///
+/// Where [`PredictiveScaler`] smooths the observed arrival rate (and so
+/// always lags it), a `ForecastScaler` consults a
+/// [`Forecaster`](crate::Forecaster) — seasonal-naive, Holt-Winters, or
+/// anything else implementing the trait — and provisions for predicted
+/// *concurrency*, not predicted instantaneous rate. The distinction
+/// matters on transients: sessions admitted during the last
+/// `mean_session_s` seconds are still resident, so the concurrency `h`
+/// epochs ahead follows Little's law with the *mean arrival rate over
+/// the residence window ending there* — trailing observations blended
+/// with leading forecasts. Sizing from the instantaneous forecast alone
+/// would tear capacity down the moment the rate falls, while the
+/// sessions that arrived at the peak still need it.
+///
+/// The pool is sized for the worst windowed rate over the next
+/// `lead_epochs` boundaries: on seasonal traffic (diurnal cycles,
+/// scheduled live events) it starts growing before the rise arrives and
+/// sheds as the resident load — not merely the rate — drains away.
+pub struct ForecastScaler {
+    /// Epochs of lead time: the pool is sized for the worst windowed
+    /// rate predicted over the next `lead_epochs` boundaries (≥ 1).
+    pub lead_epochs: u64,
+    /// Expected session residence time (virtual seconds) — the `W` of
+    /// Little's law.
+    pub mean_session_s: f64,
+    /// Concurrent sessions one node is provisioned for.
+    pub sessions_per_node: f64,
+    /// Never shrink below this many active nodes.
+    pub min_nodes: usize,
+    /// Never grow above this many active nodes.
+    pub max_nodes: usize,
+    /// Epochs that must pass after a scaling event before the next one.
+    pub cooldown_epochs: u64,
+    forecaster: Box<dyn Forecaster>,
+    /// Observed rates of the most recent epochs (back of the deque is
+    /// the newest), as much history as one residence window needs.
+    recent_hz: std::collections::VecDeque<f64>,
+    last_scale_epoch: Option<u64>,
+}
+
+impl std::fmt::Debug for ForecastScaler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ForecastScaler")
+            .field("forecaster", &self.forecaster.name())
+            .field("lead_epochs", &self.lead_epochs)
+            .field("mean_session_s", &self.mean_session_s)
+            .field("sessions_per_node", &self.sessions_per_node)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ForecastScaler {
+    /// A scaler around `forecaster` with the same sizing defaults as
+    /// [`PredictiveScaler`] (20 s expected residence, 4 sessions per
+    /// node, pool of 1–16 nodes, 2-epoch cooldown) and 2 epochs of lead.
+    pub fn new(forecaster: Box<dyn Forecaster>) -> Self {
+        ForecastScaler {
+            lead_epochs: 2,
+            mean_session_s: 20.0,
+            sessions_per_node: 4.0,
+            min_nodes: 1,
+            max_nodes: 16,
+            cooldown_epochs: 2,
+            forecaster,
+            recent_hz: std::collections::VecDeque::new(),
+            last_scale_epoch: None,
+        }
+    }
+
+    /// Overrides the lead time (clamped to ≥ 1 epoch).
+    pub fn with_lead_epochs(mut self, epochs: u64) -> Self {
+        self.lead_epochs = epochs.max(1);
+        self
+    }
+
+    /// Overrides the expected session residence time.
+    pub fn with_mean_session_s(mut self, seconds: f64) -> Self {
+        self.mean_session_s = seconds.max(0.0);
+        self
+    }
+
+    /// Overrides the per-node session capacity.
+    pub fn with_sessions_per_node(mut self, sessions: f64) -> Self {
+        self.sessions_per_node = sessions.max(1e-6);
+        self
+    }
+
+    /// Overrides the pool-size limits.
+    pub fn with_limits(mut self, min_nodes: usize, max_nodes: usize) -> Self {
+        self.min_nodes = min_nodes.max(1);
+        self.max_nodes = max_nodes.max(self.min_nodes);
+        self
+    }
+
+    /// Overrides the cooldown between scaling events.
+    pub fn with_cooldown(mut self, epochs: u64) -> Self {
+        self.cooldown_epochs = epochs;
+        self
+    }
+
+    /// The predictor driving the scaler (e.g. to persist its state with
+    /// [`Forecaster::snapshot_state`](crate::Forecaster::snapshot_state)
+    /// after a run).
+    pub fn forecaster(&self) -> &dyn Forecaster {
+        self.forecaster.as_ref()
+    }
+
+    /// Mutable access to the predictor (e.g. to restore persisted state
+    /// before a run).
+    pub fn forecaster_mut(&mut self) -> &mut dyn Forecaster {
+        self.forecaster.as_mut()
+    }
+
+    /// Residence window length in epochs for an epoch of `epoch_s`
+    /// seconds (≥ 1): how many boundaries' arrivals are concurrently
+    /// resident.
+    fn window_epochs(&self, epoch_s: f64) -> i64 {
+        ((self.mean_session_s / epoch_s.max(1e-9)).ceil() as i64).max(1)
+    }
+
+    /// The rate at offset `j ≤ 0` epochs from the newest observation
+    /// (0 = the current epoch's arrivals; before the run began = 0, the
+    /// literal truth for a cold-started fleet).
+    fn observed_hz(&self, j: i64) -> f64 {
+        let idx = self.recent_hz.len() as i64 - 1 + j;
+        if idx >= 0 {
+            self.recent_hz[idx as usize]
+        } else {
+            0.0
+        }
+    }
+
+    /// The concurrency-driving rate the pool is sized for (Hz): the
+    /// worst, over the next `lead_epochs` boundaries, of the mean
+    /// arrival rate across the residence window ending at each boundary
+    /// — trailing observations blended with leading forecasts.
+    pub fn planned_rate_hz(&self, epoch_s: f64) -> f64 {
+        let window = self.window_epochs(epoch_s);
+        let mut worst: f64 = 0.0;
+        for h in 1..=self.lead_epochs.max(1) as i64 {
+            let sum: f64 = (h - window + 1..=h)
+                .map(|j| {
+                    if j <= 0 {
+                        self.observed_hz(j)
+                    } else {
+                        self.forecaster.forecast_hz(j as u64)
+                    }
+                })
+                .sum();
+            worst = worst.max(sum / window as f64);
+        }
+        worst
+    }
+}
+
+impl Autoscaler for ForecastScaler {
+    fn name(&self) -> &'static str {
+        "forecast"
+    }
+
+    fn plan(&mut self, signals: &ScaleSignals) -> ScaleDecision {
+        // The predictor observes every boundary, cooldown or not — a
+        // seasonal model that skipped epochs would lose its phase.
+        self.forecaster
+            .observe(signals.arrivals_due, signals.epoch_s);
+        let instant_hz = signals.arrivals_due as f64 / signals.epoch_s.max(1e-9);
+        self.recent_hz.push_back(instant_hz);
+        while self.recent_hz.len() as i64 > self.window_epochs(signals.epoch_s) {
+            self.recent_hz.pop_front();
+        }
+        if self
+            .last_scale_epoch
+            .is_some_and(|last| signals.epoch.saturating_sub(last) < self.cooldown_epochs)
+        {
+            return ScaleDecision::Hold;
+        }
+        // Little's law on the windowed rate, plus the backlog already
+        // waiting.
+        let expected = self.planned_rate_hz(signals.epoch_s) * self.mean_session_s
+            + signals.queued_sessions as f64;
+        let target = ((expected / self.sessions_per_node).ceil() as usize)
+            .clamp(self.min_nodes, self.max_nodes);
+        let pool = signals.active.len();
+        if target > pool {
+            self.last_scale_epoch = Some(signals.epoch);
+            ScaleDecision::Grow(target - pool)
+        } else if target < pool {
+            self.last_scale_epoch = Some(signals.epoch);
+            ScaleDecision::Shrink(pool - target)
+        } else {
+            ScaleDecision::Hold
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,6 +665,124 @@ mod tests {
         sig.arrivals_due = 6;
         assert_eq!(s.plan(&sig), ScaleDecision::Hold, "cooling down");
         assert!((s.rate_hz() - 6.0).abs() < 1e-12, "estimate still tracked");
+    }
+
+    #[test]
+    fn forecast_scaler_provisions_ahead_of_a_seasonal_rise() {
+        use crate::forecast::SeasonalNaive;
+        // Season: 3 quiet epochs, then 3 busy ones. After one observed
+        // season the scaler must grow while arrivals are still quiet,
+        // because the predictor sees the busy slots inside its lead.
+        // (mean_session_s = epoch_s ⇒ residence window of one epoch —
+        // the target is the pure forecast.)
+        let mut s = ForecastScaler::new(Box::new(SeasonalNaive::new(6)))
+            .with_lead_epochs(2)
+            .with_mean_session_s(1.0)
+            .with_sessions_per_node(0.5)
+            .with_cooldown(0)
+            .with_limits(1, 16);
+        let season = [0usize, 0, 0, 10, 10, 10];
+        let pool = [view(0, 4, 1, 0.0)];
+        let mut last = ScaleDecision::Hold;
+        for (epoch, &due) in season.iter().chain(&season[..3]).enumerate() {
+            let mut sig = signals(epoch as u64, &pool, 0);
+            sig.arrivals_due = due;
+            last = s.plan(&sig);
+        }
+        // Epoch 8 observed (still quiet); epochs 9–10 are forecast busy:
+        // 10 Hz × 1 s / 0.5 per node = 20 nodes, clamped to 16 → grow 15.
+        assert_eq!(last, ScaleDecision::Grow(15));
+        assert!((s.planned_rate_hz(1.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forecast_scaler_sheds_ahead_of_a_seasonal_fall() {
+        use crate::forecast::SeasonalNaive;
+        let mut s = ForecastScaler::new(Box::new(SeasonalNaive::new(4)))
+            .with_lead_epochs(1)
+            .with_mean_session_s(1.0)
+            .with_sessions_per_node(2.0)
+            .with_cooldown(0)
+            .with_limits(1, 16);
+        let big: Vec<NodeView> = (0..6).map(|i| view(i, 4, 1, 0.0)).collect();
+        // One full season: busy, busy, quiet, quiet. At the last busy
+        // epoch of season two, the next slot is forecast quiet — shrink
+        // while the current epoch is still loud (sessions are short:
+        // residence is one epoch, so nothing lingers).
+        for (epoch, due) in [10usize, 10, 0, 0, 10, 10].iter().enumerate() {
+            let mut sig = signals(epoch as u64, &big, 0);
+            sig.arrivals_due = *due;
+            let decision = s.plan(&sig);
+            if epoch == 5 {
+                assert_eq!(decision, ScaleDecision::Shrink(5), "fall not anticipated");
+            }
+        }
+    }
+
+    #[test]
+    fn forecast_scaler_holds_capacity_while_resident_sessions_drain() {
+        // A predictor that (correctly) says the rate is about to be
+        // zero: with 3-epoch residence, the pool must NOT collapse the
+        // moment the rate forecast does — the burst's sessions are
+        // still resident, and the windowed rate decays over the next
+        // window instead of snapping to zero.
+        struct Silence;
+        impl crate::forecast::Forecaster for Silence {
+            fn name(&self) -> &'static str {
+                "silence"
+            }
+            fn observe(&mut self, _arrivals: usize, _epoch_s: f64) {}
+            fn forecast_hz(&self, _horizon: u64) -> f64 {
+                0.0
+            }
+            fn snapshot_state(&self) -> Vec<u8> {
+                Vec::new()
+            }
+            fn restore_state(
+                &mut self,
+                _bytes: &[u8],
+            ) -> Result<(), mamut_core::snapshot::SnapshotError> {
+                Ok(())
+            }
+        }
+        let mut s = ForecastScaler::new(Box::new(Silence))
+            .with_lead_epochs(1)
+            .with_mean_session_s(3.0) // 3-epoch residence window
+            .with_sessions_per_node(6.0)
+            .with_cooldown(0)
+            .with_limits(1, 16);
+        let pool = [view(0, 4, 1, 0.0)];
+        // A 12 Hz burst epoch: windowed rate = (0 + 12 + f(1)=0)/3 = 4,
+        // concurrency 4 Hz × 3 s = 12 → 2 nodes: capacity is kept for
+        // the resident sessions even though the forecast says silence.
+        let mut sig = signals(0, &pool, 0);
+        sig.arrivals_due = 12;
+        assert_eq!(s.plan(&sig), ScaleDecision::Grow(1));
+        assert!((s.planned_rate_hz(1.0) - 4.0).abs() < 1e-12);
+        // Two quiet epochs later the window has drained: back to min.
+        let two: Vec<NodeView> = (0..2).map(|i| view(i, 4, 1, 0.0)).collect();
+        for epoch in 1..3 {
+            let decision = s.plan(&signals(epoch, &two, 0));
+            if epoch == 2 {
+                assert_eq!(decision, ScaleDecision::Shrink(1), "window never drained");
+            }
+        }
+    }
+
+    #[test]
+    fn forecast_scaler_observes_through_cooldown() {
+        use crate::forecast::SeasonalNaive;
+        let mut s = ForecastScaler::new(Box::new(SeasonalNaive::new(2))).with_cooldown(10);
+        let pool = [view(0, 4, 1, 0.0)];
+        let mut sig = signals(0, &pool, 0);
+        sig.arrivals_due = 8;
+        s.plan(&sig); // first decision starts the cooldown
+        let mut sig = signals(1, &pool, 0);
+        sig.arrivals_due = 6;
+        assert_eq!(s.plan(&sig), ScaleDecision::Hold, "cooling down");
+        // Both epochs were still observed by the predictor.
+        assert_eq!(s.forecaster().forecast_hz(1), 8.0);
+        assert_eq!(s.forecaster().forecast_hz(2), 6.0);
     }
 
     #[test]

@@ -28,7 +28,9 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
-use mamut_core::snapshot::{AgentSnapshot, PolicySnapshot, TransitionRecord};
+use mamut_core::snapshot::{
+    AgentSnapshot, PolicySnapshot, SnapshotError, SnapshotReader, SnapshotWriter, TransitionRecord,
+};
 use mamut_core::Controller;
 
 use crate::node::ControllerFactory;
@@ -251,6 +253,12 @@ pub struct KnowledgeStore {
 /// A store shared between warm-start factories and the fleet loop.
 pub type SharedKnowledgeStore = Arc<Mutex<KnowledgeStore>>;
 
+/// Magic bytes opening every encoded knowledge store.
+const STORE_MAGIC: &[u8; 8] = b"MAMUTKS\0";
+
+/// Current knowledge-store codec version. Decoders reject newer.
+pub const STORE_VERSION: u16 = 1;
+
 impl KnowledgeStore {
     /// Creates an empty store with the given merge policy.
     pub fn new(policy: MergePolicy) -> Self {
@@ -349,6 +357,102 @@ impl KnowledgeStore {
     /// Seeding attempts, successful or not.
     pub fn seed_attempts(&self) -> u64 {
         self.seed_attempts
+    }
+
+    /// Serializes the whole store — merge policy, every class's merged
+    /// knowledge, contribution and service counters — through the
+    /// std-only snapshot codec, so accumulated fleet knowledge survives
+    /// process restarts and scenario sweeps can chain runs.
+    ///
+    /// The encoding is canonical (entries in key order, each policy in
+    /// its canonical snapshot form), so snapshot → restore → snapshot is
+    /// byte-identical. The incremental merge accumulator is *not*
+    /// encoded: it is derived state, rebuilt lazily on the first merge
+    /// after a restore, and the rebuild is exact — merges after a
+    /// restore produce bitwise the same tables as merges without one.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        for &b in STORE_MAGIC {
+            w.put_u8(b);
+        }
+        w.put_u16(STORE_VERSION);
+        w.put_u8(match self.policy {
+            MergePolicy::Replace => 0,
+            MergePolicy::VisitWeighted => 1,
+        });
+        w.put_u64(self.publishes);
+        w.put_u64(self.seeds_served);
+        w.put_u64(self.seed_attempts);
+        w.put_u32(self.entries.len() as u32);
+        for ((class, controller), entry) in &self.entries {
+            w.put_u8(match class {
+                SessionClass::Hr => 0,
+                SessionClass::Lr => 1,
+            });
+            w.put_str(controller);
+            w.put_u64(entry.contributions);
+            w.put_bytes(&entry.snapshot.to_bytes());
+        }
+        w.into_bytes()
+    }
+
+    /// Rehydrates a store captured by [`KnowledgeStore::snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when the bytes are not a knowledge-store
+    /// snapshot, were written by a newer codec, or any embedded policy
+    /// snapshot fails to decode.
+    pub fn restore(bytes: &[u8]) -> Result<KnowledgeStore, SnapshotError> {
+        if bytes.len() < STORE_MAGIC.len() || &bytes[..STORE_MAGIC.len()] != STORE_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let mut r = SnapshotReader::new(&bytes[STORE_MAGIC.len()..]);
+        let version = r.get_u16()?;
+        if version > STORE_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let policy = match r.get_u8()? {
+            0 => MergePolicy::Replace,
+            1 => MergePolicy::VisitWeighted,
+            _ => return Err(SnapshotError::Corrupt("unknown merge policy")),
+        };
+        let publishes = r.get_u64()?;
+        let seeds_served = r.get_u64()?;
+        let seed_attempts = r.get_u64()?;
+        let n_entries = r.get_u32()?;
+        let mut entries = BTreeMap::new();
+        for _ in 0..n_entries {
+            let class = match r.get_u8()? {
+                0 => SessionClass::Hr,
+                1 => SessionClass::Lr,
+                _ => return Err(SnapshotError::Corrupt("unknown session class")),
+            };
+            let controller = r.get_str()?;
+            let contributions = r.get_u64()?;
+            let snapshot = PolicySnapshot::from_bytes(&r.get_bytes()?)?;
+            if entries
+                .insert(
+                    (class, controller),
+                    ClassKnowledge {
+                        snapshot,
+                        contributions,
+                        acc: None,
+                    },
+                )
+                .is_some()
+            {
+                return Err(SnapshotError::Corrupt("duplicate knowledge entry"));
+            }
+        }
+        r.expect_end()?;
+        Ok(KnowledgeStore {
+            policy,
+            entries,
+            publishes,
+            seeds_served,
+            seed_attempts,
+        })
     }
 }
 
@@ -687,6 +791,93 @@ mod tests {
         assert_eq!(store.publish(SessionClass::Lr, &b), PublishOutcome::Merged);
         let k = store.knowledge(SessionClass::Lr, "t").unwrap();
         assert!((k.snapshot.agents[0].q[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn store_snapshot_restore_round_trips_byte_identically() {
+        let mut store = KnowledgeStore::new(MergePolicy::VisitWeighted);
+        store.publish(SessionClass::Hr, &Controller::snapshot(&trained(1, 8_000)));
+        store.publish(SessionClass::Hr, &Controller::snapshot(&trained(2, 8_000)));
+        store.publish(SessionClass::Lr, &{
+            let lr = MamutController::new(MamutConfig::paper_lr().with_seed(3)).unwrap();
+            Controller::snapshot(&lr)
+        });
+        let mut pupil = MamutController::new(MamutConfig::paper_hr().with_seed(9)).unwrap();
+        assert!(store.seed(SessionClass::Hr, &mut pupil));
+
+        let bytes = store.snapshot();
+        let back = KnowledgeStore::restore(&bytes).unwrap();
+        assert_eq!(back.policy(), MergePolicy::VisitWeighted);
+        assert_eq!(back.publishes(), store.publishes());
+        assert_eq!(back.seeds_served(), store.seeds_served());
+        assert_eq!(back.seed_attempts(), store.seed_attempts());
+        assert_eq!(back.snapshot(), bytes, "re-encoding is byte-identical");
+
+        // Warm starts survive the "restart": the restored store seeds a
+        // fresh controller with exactly the tables the original would.
+        let mut a = MamutController::new(MamutConfig::paper_hr().with_seed(7)).unwrap();
+        let mut b = MamutController::new(MamutConfig::paper_hr().with_seed(7)).unwrap();
+        let mut back = back;
+        assert!(store.seed(SessionClass::Hr, &mut a));
+        assert!(back.seed(SessionClass::Hr, &mut b));
+        assert_eq!(
+            Controller::snapshot(&a).to_bytes(),
+            Controller::snapshot(&b).to_bytes()
+        );
+    }
+
+    #[test]
+    fn merges_after_a_restore_match_merges_without_one() {
+        // The accumulator is derived state: a store that restarts
+        // between publishes must end bitwise identical to one that
+        // never did.
+        let snaps: Vec<_> = (0..3)
+            .map(|i| Controller::snapshot(&trained(20 + i, 5_000)))
+            .collect();
+        let mut continuous = KnowledgeStore::new(MergePolicy::VisitWeighted);
+        continuous.publish(SessionClass::Hr, &snaps[0]);
+        continuous.publish(SessionClass::Hr, &snaps[1]);
+
+        let mut restarted = KnowledgeStore::restore(
+            &{
+                let mut s = KnowledgeStore::new(MergePolicy::VisitWeighted);
+                s.publish(SessionClass::Hr, &snaps[0]);
+                s.publish(SessionClass::Hr, &snaps[1]);
+                s
+            }
+            .snapshot(),
+        )
+        .unwrap();
+
+        continuous.publish(SessionClass::Hr, &snaps[2]);
+        restarted.publish(SessionClass::Hr, &snaps[2]);
+        assert_eq!(continuous.snapshot(), restarted.snapshot());
+    }
+
+    #[test]
+    fn store_restore_rejects_mangled_streams() {
+        let mut store = KnowledgeStore::new(MergePolicy::Replace);
+        store.publish(SessionClass::Hr, &Controller::snapshot(&trained(1, 2_000)));
+        let bytes = store.snapshot();
+        assert!(matches!(
+            KnowledgeStore::restore(b"NOTASTORE...."),
+            Err(SnapshotError::BadMagic)
+        ));
+        let mut newer = bytes.clone();
+        newer[8] = 0xFF; // bump the version word
+        assert!(matches!(
+            KnowledgeStore::restore(&newer),
+            Err(SnapshotError::UnsupportedVersion(_))
+        ));
+        for cut in 8..bytes.len() {
+            assert!(
+                KnowledgeStore::restore(&bytes[..cut]).is_err(),
+                "cut at {cut} slipped through"
+            );
+        }
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(KnowledgeStore::restore(&trailing).is_err());
     }
 
     #[test]

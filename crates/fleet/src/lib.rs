@@ -21,12 +21,13 @@
 //!   with per-node controller factories so MAMUT, mono-agent and
 //!   heuristic nodes can be mixed in one cluster;
 //! * [`Autoscaler`] — elastic pool sizing: [`ThresholdScaler`]
-//!   (utilization/QoS watermarks with hysteresis and cooldown) and
+//!   (utilization/QoS watermarks with hysteresis and cooldown),
 //!   [`PredictiveScaler`] (EWMA of the arrival rate through Little's
-//!   law) grow and shrink the pool per epoch; shrinking drains live
-//!   sessions to peers before a node is decommissioned, growing
-//!   commissions clock-aligned nodes that warm-start from the
-//!   knowledge store;
+//!   law) and [`ForecastScaler`] (any [`Forecaster`] — seasonal-naive
+//!   or Holt-Winters — provisioning ahead of predicted load) grow and
+//!   shrink the pool per epoch; shrinking drains live sessions to
+//!   peers before a node is decommissioned, growing commissions
+//!   clock-aligned nodes that warm-start from the knowledge store;
 //! * [`FleetSummary`] — per-node and cluster-wide ∆, power, energy,
 //!   rejected/queued counts, autoscale events, the pool-size timeline
 //!   and a utilization histogram, built on `mamut_metrics::fleet`.
@@ -67,6 +68,7 @@
 mod autoscale;
 mod dispatch;
 mod error;
+mod forecast;
 mod knowledge;
 mod node;
 mod rebalance;
@@ -74,18 +76,21 @@ mod sim;
 mod summary;
 mod workload;
 
-pub use autoscale::{Autoscaler, PredictiveScaler, ScaleDecision, ScaleSignals, ThresholdScaler};
+pub use autoscale::{
+    Autoscaler, ForecastScaler, PredictiveScaler, ScaleDecision, ScaleSignals, ThresholdScaler,
+};
 pub use dispatch::{
     AdmissionGated, DispatchDecision, Dispatcher, GateMode, LeastLoaded, NodeView, PowerAware,
     RoundRobin,
 };
 pub use error::FleetError;
+pub use forecast::{Forecaster, HoltWinters, SeasonalNaive, FORECAST_STATE_VERSION};
 pub use knowledge::{
     warm_start_factory, ClassKnowledge, KnowledgeStore, MergePolicy, PublishOutcome, SessionClass,
-    SharedKnowledgeStore,
+    SharedKnowledgeStore, STORE_VERSION,
 };
 pub use node::{ControllerFactory, FleetNode, MigratedSession, NodeState};
 pub use rebalance::{MigrationDirective, PowerQosBalance, Rebalancer, UtilizationBalance};
 pub use sim::{FleetConfig, FleetSim, NodeProvisioner};
 pub use summary::{FleetSummary, NodeFacts, NodeReport};
-pub use workload::{SessionRequest, Workload, WorkloadConfig};
+pub use workload::{SessionRequest, Workload, WorkloadConfig, WorkloadError};

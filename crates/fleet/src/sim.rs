@@ -112,6 +112,7 @@ pub struct FleetSim {
     knowledge: Option<SharedKnowledgeStore>,
     autoscaler: Option<Box<dyn Autoscaler>>,
     provisioner: Option<NodeProvisioner>,
+    phase_marks: Vec<(u64, String)>,
 }
 
 impl std::fmt::Debug for FleetSim {
@@ -141,7 +142,19 @@ impl FleetSim {
             knowledge: None,
             autoscaler: None,
             provisioner: None,
+            phase_marks: Vec::new(),
         }
+    }
+
+    /// Annotates the run with workload phase boundaries (`(epoch,
+    /// label)`): the summary renders them inline in its pool-size
+    /// timeline so autoscaler behavior is legible against the scenario
+    /// phase that drove it. Marks are sorted by epoch; labels are free
+    /// text (scenario realizations provide them pre-quantized to the
+    /// fleet's epoch length).
+    pub fn set_phase_marks(&mut self, mut marks: Vec<(u64, String)>) {
+        marks.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        self.phase_marks = marks;
     }
 
     /// Installs an inter-epoch session migration policy. Without one,
@@ -321,6 +334,7 @@ impl FleetSim {
             self.epoch as f64 * self.config.epoch_s,
             &facts,
             &self.aggregate,
+            self.phase_marks.clone(),
             self.nodes.iter().map(FleetNode::summary).collect(),
         ))
     }

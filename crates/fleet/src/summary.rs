@@ -89,6 +89,12 @@ pub struct FleetSummary {
     pub peak_nodes: usize,
     /// Active-pool-size change points as `(epoch, size)`.
     pub pool_timeline: Vec<(u64, usize)>,
+    /// Scenario phase boundaries as `(epoch, label)`, rendered inline in
+    /// the pool-size timeline so autoscaler behavior is legible against
+    /// the workload phase that drove it. Empty unless the run was driven
+    /// by an annotated scenario (see
+    /// [`FleetSim::set_phase_marks`](crate::FleetSim::set_phase_marks)).
+    pub phase_marks: Vec<(u64, String)>,
     /// Node-epoch utilization histogram.
     pub utilization: UtilizationHistogram,
     /// Full per-node run summaries (not rendered; for drill-down).
@@ -103,6 +109,7 @@ impl FleetSummary {
         duration_s: f64,
         node_facts: &[NodeFacts],
         aggregate: &FleetAggregate,
+        phase_marks: Vec<(u64, String)>,
         node_runs: Vec<RunSummary>,
     ) -> FleetSummary {
         let nodes = aggregate
@@ -145,6 +152,7 @@ impl FleetSummary {
             node_epochs: aggregate.node_epochs,
             peak_nodes: aggregate.peak_nodes(),
             pool_timeline: aggregate.pool_timeline.clone(),
+            phase_marks,
             utilization: aggregate.utilization.clone(),
             node_runs,
         }
@@ -194,16 +202,30 @@ impl FleetSummary {
         t
     }
 
-    /// Compact `epoch:size` rendering of the pool-size timeline.
+    /// Compact `epoch:size` rendering of the pool-size timeline, with
+    /// any scenario phase boundaries interleaved as `[label@e<epoch>]`
+    /// markers (a mark sorts before pool samples at the same epoch, so
+    /// a phase reads as annotating the sizes that follow it).
     pub fn render_pool_timeline(&self) -> String {
-        if self.pool_timeline.is_empty() {
+        if self.pool_timeline.is_empty() && self.phase_marks.is_empty() {
             return "(no samples)".to_owned();
         }
-        self.pool_timeline
-            .iter()
-            .map(|(epoch, size)| format!("e{epoch}:{size}"))
-            .collect::<Vec<_>>()
-            .join(" ")
+        let mut parts = Vec::with_capacity(self.pool_timeline.len() + self.phase_marks.len());
+        let mut samples = self.pool_timeline.iter().peekable();
+        for (epoch, label) in &self.phase_marks {
+            while let Some(&&(e, size)) = samples.peek() {
+                if e >= *epoch {
+                    break;
+                }
+                parts.push(format!("e{e}:{size}"));
+                samples.next();
+            }
+            parts.push(format!("[{label}@e{epoch}]"));
+        }
+        for &(e, size) in samples {
+            parts.push(format!("e{e}:{size}"));
+        }
+        parts.join(" ")
     }
 }
 
@@ -240,7 +262,7 @@ impl std::fmt::Display for FleetSummary {
             self.scale_downs,
             self.drained_sessions
         )?;
-        if self.pool_timeline.len() > 1 {
+        if self.pool_timeline.len() > 1 || !self.phase_marks.is_empty() {
             writeln!(f, "pool-size timeline: {}", self.render_pool_timeline())?;
         }
         writeln!(f, "node-epoch utilization: {}", self.utilization.render())
@@ -271,6 +293,7 @@ mod tests {
             10.0,
             &[facts(3), facts(2)],
             &agg,
+            Vec::new(),
             Vec::new(),
         )
     }
@@ -306,6 +329,7 @@ mod tests {
             10.0,
             &[node0, node1],
             &agg,
+            Vec::new(),
             Vec::new(),
         )
     }
@@ -377,6 +401,36 @@ mod tests {
         let text = sample().to_string();
         assert!(text.contains("pool: 2 peak node(s)"), "{text}");
         assert!(!text.contains("pool-size timeline"), "{text}");
+    }
+
+    #[test]
+    fn phase_marks_interleave_with_the_pool_timeline() {
+        let mut s = elastic_sample();
+        s.phase_marks = vec![
+            (0, "diurnal".into()),
+            (5, "flash-crowd".into()),
+            (9, "tail".into()),
+        ];
+        assert_eq!(
+            s.render_pool_timeline(),
+            "[diurnal@e0] e0:1 e3:2 [flash-crowd@e5] e8:1 [tail@e9]"
+        );
+        let text = s.to_string();
+        assert!(
+            text.contains("[flash-crowd@e5]"),
+            "marks missing from display: {text}"
+        );
+    }
+
+    #[test]
+    fn phase_marks_render_even_for_a_fixed_pool() {
+        // A fixed pool normally skips the timeline line; an annotated
+        // run must still show where its phases fell.
+        let mut s = sample();
+        s.phase_marks = vec![(2, "steady".into())];
+        assert!(s
+            .to_string()
+            .contains("pool-size timeline: e0:2 [steady@e2]"));
     }
 
     #[test]

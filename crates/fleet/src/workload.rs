@@ -54,6 +54,71 @@ impl SessionRequest {
     }
 }
 
+/// A structurally invalid [`WorkloadConfig`]: the typed rejection the
+/// builder validation returns instead of panicking mid-generation or
+/// silently producing an empty or degenerate workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// `sessions` was zero — the workload would be silently empty.
+    NoSessions,
+    /// `mean_interarrival_s` was zero, negative, or not finite.
+    NonPositiveRate {
+        /// The offending mean interarrival time.
+        mean_interarrival_s: f64,
+    },
+    /// A ratio field was not a finite value in `[0, 1]`.
+    RatioOutOfRange {
+        /// Which ratio (`"hr_ratio"` or `"live_ratio"`).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A session-length bound was zero frames.
+    ZeroFrames {
+        /// Which profile (`"vod_frames"` or `"live_frames"`).
+        field: &'static str,
+    },
+    /// A session-length range had `min > max`.
+    InvertedFrames {
+        /// Which profile (`"vod_frames"` or `"live_frames"`).
+        field: &'static str,
+        /// The inverted bounds.
+        bounds: (u64, u64),
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::NoSessions => {
+                write!(f, "workload config generates zero sessions")
+            }
+            WorkloadError::NonPositiveRate {
+                mean_interarrival_s,
+            } => write!(
+                f,
+                "mean interarrival time must be finite and positive, got {mean_interarrival_s}"
+            ),
+            WorkloadError::RatioOutOfRange { field, value } => {
+                write!(f, "{field} must be a finite value in [0, 1], got {value}")
+            }
+            WorkloadError::ZeroFrames { field } => {
+                write!(f, "{field} bounds must be at least one frame")
+            }
+            WorkloadError::InvertedFrames { field, bounds } => {
+                write!(
+                    f,
+                    "{field} range is inverted: min {} > max {}",
+                    bounds.0, bounds.1
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
 /// Parameters of a generated churn workload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadConfig {
@@ -102,6 +167,41 @@ impl WorkloadConfig {
         self.sessions = sessions;
         self
     }
+
+    /// Checks the config for structural validity: a non-empty session
+    /// count, a finite positive arrival rate, ratios in `[0, 1]` and
+    /// well-formed session-length ranges.
+    ///
+    /// # Errors
+    ///
+    /// The first [`WorkloadError`] found, in field order.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        if self.sessions == 0 {
+            return Err(WorkloadError::NoSessions);
+        }
+        if !(self.mean_interarrival_s.is_finite() && self.mean_interarrival_s > 0.0) {
+            return Err(WorkloadError::NonPositiveRate {
+                mean_interarrival_s: self.mean_interarrival_s,
+            });
+        }
+        for (field, value) in [("hr_ratio", self.hr_ratio), ("live_ratio", self.live_ratio)] {
+            if !(value.is_finite() && (0.0..=1.0).contains(&value)) {
+                return Err(WorkloadError::RatioOutOfRange { field, value });
+            }
+        }
+        for (field, bounds) in [
+            ("vod_frames", self.vod_frames),
+            ("live_frames", self.live_frames),
+        ] {
+            if bounds.0 == 0 || bounds.1 == 0 {
+                return Err(WorkloadError::ZeroFrames { field });
+            }
+            if bounds.0 > bounds.1 {
+                return Err(WorkloadError::InvertedFrames { field, bounds });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A timed list of session arrivals, sorted by arrival time.
@@ -112,9 +212,28 @@ pub struct Workload {
 
 impl Workload {
     /// Generates a churn workload from `config` (deterministic).
+    ///
+    /// # Panics
+    ///
+    /// On a structurally invalid config (the typed rejection
+    /// [`WorkloadConfig::validate`] would return). Use
+    /// [`Workload::try_generate`] to handle the error instead.
     pub fn generate(config: &WorkloadConfig) -> Workload {
+        Workload::try_generate(config).unwrap_or_else(|e| panic!("invalid WorkloadConfig: {e}"))
+    }
+
+    /// Generates a churn workload from `config` (deterministic),
+    /// validating it first.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError`] when the config is structurally invalid — zero
+    /// sessions, a non-positive or non-finite arrival rate, ratios
+    /// outside `[0, 1]`, or degenerate session-length ranges.
+    pub fn try_generate(config: &WorkloadConfig) -> Result<Workload, WorkloadError> {
+        config.validate()?;
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let mean = config.mean_interarrival_s.max(1e-6);
+        let mean = config.mean_interarrival_s;
         let mut t = 0.0;
         let mut arrivals = Vec::with_capacity(config.sessions);
         for id in 0..config.sessions as u64 {
@@ -128,7 +247,6 @@ impl Workload {
             } else {
                 config.vod_frames
             };
-            let (lo, hi) = (lo.max(1), hi.max(lo.max(1)));
             let frames = rng.gen_range(lo..=hi);
             let seed = rng.gen_range(0..u64::MAX);
             arrivals.push(SessionRequest {
@@ -140,7 +258,7 @@ impl Workload {
                 seed,
             });
         }
-        Workload { arrivals }
+        Ok(Workload { arrivals })
     }
 
     /// Wraps an explicit arrival trace (sorted by arrival time; ties keep
@@ -244,6 +362,109 @@ mod tests {
             let cfg = r.session_config();
             assert_eq!(cfg.seed, r.seed);
         }
+    }
+
+    #[test]
+    fn zero_sessions_config_is_rejected() {
+        let cfg = WorkloadConfig::default().with_sessions(0);
+        assert_eq!(
+            Workload::try_generate(&cfg).unwrap_err(),
+            WorkloadError::NoSessions
+        );
+    }
+
+    #[test]
+    fn non_positive_or_non_finite_rate_is_rejected() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let cfg = WorkloadConfig {
+                mean_interarrival_s: bad,
+                ..WorkloadConfig::default()
+            };
+            assert!(
+                matches!(
+                    Workload::try_generate(&cfg),
+                    Err(WorkloadError::NonPositiveRate { .. })
+                ),
+                "rate {bad} slipped through"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_ratios_are_rejected() {
+        for (hr, live, field) in [
+            (1.5, 0.5, "hr_ratio"),
+            (-0.1, 0.5, "hr_ratio"),
+            (f64::NAN, 0.5, "hr_ratio"),
+            (0.5, 2.0, "live_ratio"),
+            (0.5, f64::NAN, "live_ratio"),
+        ] {
+            let cfg = WorkloadConfig {
+                hr_ratio: hr,
+                live_ratio: live,
+                ..WorkloadConfig::default()
+            };
+            match Workload::try_generate(&cfg) {
+                Err(WorkloadError::RatioOutOfRange { field: f, .. }) => assert_eq!(f, field),
+                other => panic!("({hr}, {live}) yielded {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_frame_ranges_are_rejected() {
+        let zero = WorkloadConfig {
+            vod_frames: (0, 100),
+            ..WorkloadConfig::default()
+        };
+        assert_eq!(
+            Workload::try_generate(&zero).unwrap_err(),
+            WorkloadError::ZeroFrames {
+                field: "vod_frames"
+            }
+        );
+        let inverted = WorkloadConfig {
+            live_frames: (500, 100),
+            ..WorkloadConfig::default()
+        };
+        assert_eq!(
+            Workload::try_generate(&inverted).unwrap_err(),
+            WorkloadError::InvertedFrames {
+                field: "live_frames",
+                bounds: (500, 100)
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid WorkloadConfig")]
+    fn generate_panics_with_the_typed_error_message() {
+        Workload::generate(&WorkloadConfig::default().with_sessions(0));
+    }
+
+    #[test]
+    fn valid_config_passes_validation_and_generates() {
+        let cfg = WorkloadConfig::default();
+        assert_eq!(cfg.validate(), Ok(()));
+        assert_eq!(
+            Workload::try_generate(&cfg).unwrap(),
+            Workload::generate(&cfg)
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(WorkloadError::NoSessions.to_string().contains("zero"));
+        let e = WorkloadError::RatioOutOfRange {
+            field: "hr_ratio",
+            value: 2.0,
+        };
+        assert!(e.to_string().contains("hr_ratio"));
+        let e = WorkloadError::InvertedFrames {
+            field: "vod_frames",
+            bounds: (9, 3),
+        };
+        assert!(e.to_string().contains("9"));
     }
 
     #[test]

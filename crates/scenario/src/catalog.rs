@@ -1,0 +1,183 @@
+//! Named scenario presets: the shapes of traffic a transcoding fleet
+//! actually faces, sized so a full sweep stays CI-friendly.
+//!
+//! | preset | shape | stresses |
+//! |---|---|---|
+//! | [`daily_vod`] | three diurnal "days" of VOD traffic | seasonal forecasting, shed-ahead |
+//! | [`live_final`] | quiet → ramped flash crowd at a final → tail | provision-ahead, drain-after |
+//! | [`flash_mob`] | near-step surge with fast decay | reactive headroom, cooldown tuning |
+//! | [`regional_follow_the_sun`] | rate mass shifting between regional mixes | class-mix drift, knowledge reuse |
+//!
+//! Every preset is an ordinary [`Scenario`] value — reseed it with
+//! [`Scenario::with_seed`], extend it with [`Scenario::then`], or use
+//! it as a starting point for a custom composition.
+
+use crate::phase::{MixProfile, Phase};
+use crate::scenario::Scenario;
+
+/// The simulated "day" length used by the periodic presets (virtual
+/// seconds). Short enough that a multi-day sweep finishes in CI, long
+/// enough that a cycle spans many fleet epochs.
+pub const DAY_S: f64 = 128.0;
+
+/// Three diurnal days of VOD-heavy traffic: the canonical seasonal
+/// workload. Starts at the overnight trough, peaks mid-"day", repeats —
+/// one day to prime a seasonal predictor, two to profit from it.
+pub fn daily_vod() -> Scenario {
+    Scenario::new("daily_vod", 101).then(Phase::Diurnal {
+        duration_s: 3.0 * DAY_S,
+        mean_rate_hz: 6.0,
+        amplitude: 0.85,
+        period_s: DAY_S,
+        phase_offset_s: 0.75 * DAY_S, // start at the trough
+        mix: MixProfile::vod_heavy(),
+    })
+}
+
+/// A championship final: steady background, a ramped flash crowd of
+/// live HR viewers around the whistle, then a quiet tail as the crowd
+/// drifts off.
+pub fn live_final() -> Scenario {
+    Scenario::new("live_final", 202)
+        .then(Phase::Steady {
+            duration_s: 32.0,
+            rate_hz: 2.0,
+            mix: MixProfile::vod_heavy(),
+        })
+        .then(Phase::FlashCrowd {
+            duration_s: 72.0,
+            base_rate_hz: 2.0,
+            peak_rate_hz: 6.0,
+            event_at_s: 24.0,
+            ramp_s: 16.0,
+            decay_s: 12.0,
+            mix: MixProfile::live_heavy(),
+        })
+        .then(Phase::Steady {
+            duration_s: 32.0,
+            rate_hz: 1.5,
+            mix: MixProfile::vod_heavy(),
+        })
+}
+
+/// An unscheduled viral surge: near-zero warning (2 s ramp), a high
+/// peak, fast decay — the worst case for purely reactive scaling.
+pub fn flash_mob() -> Scenario {
+    Scenario::new("flash_mob", 303)
+        .then(Phase::Steady {
+            duration_s: 24.0,
+            rate_hz: 1.2,
+            mix: MixProfile::vod_heavy(),
+        })
+        .then(Phase::FlashCrowd {
+            duration_s: 56.0,
+            base_rate_hz: 1.2,
+            peak_rate_hz: 9.0,
+            event_at_s: 8.0,
+            ramp_s: 2.0,
+            decay_s: 7.0,
+            mix: MixProfile {
+                hr_ratio: 0.5,
+                live_ratio: 0.4,
+                ..MixProfile::vod_heavy()
+            },
+        })
+}
+
+/// Follow-the-sun: total demand stays level while the session-class
+/// mix hands over from a VOD-heavy region to a live-heavy one and
+/// back, with the content catalog drifting HR-ward in between.
+pub fn regional_follow_the_sun() -> Scenario {
+    Scenario::new("regional_follow_the_sun", 404)
+        .then(Phase::RegionalShift {
+            duration_s: DAY_S / 2.0,
+            rate_hz: 5.0,
+            from: MixProfile::vod_heavy(),
+            to: MixProfile::live_heavy(),
+        })
+        .then(Phase::ContentDrift {
+            duration_s: DAY_S / 4.0,
+            rate_hz: 5.0,
+            mix: MixProfile::live_heavy(),
+            hr_from: 0.6,
+            hr_to: 0.8,
+            length_scale_from: 1.0,
+            length_scale_to: 1.25,
+        })
+        .then(Phase::RegionalShift {
+            duration_s: DAY_S / 2.0,
+            rate_hz: 5.0,
+            from: MixProfile::live_heavy(),
+            to: MixProfile::vod_heavy(),
+        })
+}
+
+/// Every preset, in catalog order.
+pub fn all() -> Vec<Scenario> {
+    vec![
+        daily_vod(),
+        live_final(),
+        flash_mob(),
+        regional_follow_the_sun(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_validates_and_realizes() {
+        for scenario in all() {
+            let realized = scenario
+                .realize()
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", scenario.name()));
+            assert!(
+                realized.len() >= 150,
+                "{} realized only {} arrivals",
+                scenario.name(),
+                realized.len()
+            );
+            assert!(
+                realized.len() <= 3000,
+                "{} realized {} arrivals — too big for CI sweeps",
+                scenario.name(),
+                realized.len()
+            );
+            assert_eq!(realized.name, scenario.name());
+            assert_eq!(realized.marks.len(), scenario.phases().len());
+        }
+    }
+
+    #[test]
+    fn preset_names_are_unique_and_stable() {
+        let names: Vec<&str> = vec![
+            "daily_vod",
+            "live_final",
+            "flash_mob",
+            "regional_follow_the_sun",
+        ];
+        let got: Vec<String> = all().iter().map(|s| s.name().to_owned()).collect();
+        assert_eq!(got, names);
+    }
+
+    #[test]
+    fn daily_vod_starts_quiet_and_peaks_mid_day() {
+        let s = daily_vod();
+        assert!(
+            s.rate_hz_at(0.0) < 1.2,
+            "trough start: {}",
+            s.rate_hz_at(0.0)
+        );
+        let peak = s.rate_hz_at(DAY_S / 2.0);
+        assert!((peak - 6.0 * 1.85).abs() < 1e-9, "mid-day peak off: {peak}");
+    }
+
+    #[test]
+    fn follow_the_sun_keeps_total_rate_level() {
+        let s = regional_follow_the_sun();
+        for t in [1.0, 40.0, 80.0, 120.0, 150.0] {
+            assert!((s.rate_hz_at(t) - 5.0).abs() < 1e-12, "rate moved at {t}");
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! The scenario building blocks: session-class mixes and arrival
+//! phases.
+//!
+//! A [`Phase`] is a time-limited shape of traffic — a rate curve
+//! `λ(t)` plus a (possibly time-varying) session-class [`MixProfile`].
+//! Phases compose back-to-back into a
+//! [`Scenario`](crate::Scenario); each knows its own peak rate, so the
+//! realization can thin a homogeneous arrival process against the
+//! instantaneous curve.
+
+/// The session-class mix arrivals are drawn from at one instant:
+/// HR/LR split, live/VOD split, and the length profiles of each.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixProfile {
+    /// Fraction of arrivals that are HR (1080p).
+    pub hr_ratio: f64,
+    /// Fraction of arrivals that are live streams (long profile).
+    pub live_ratio: f64,
+    /// VOD session length, uniform in `[min, max]` frames.
+    pub vod_frames: (u64, u64),
+    /// Live session length, uniform in `[min, max]` frames.
+    pub live_frames: (u64, u64),
+}
+
+impl MixProfile {
+    /// A VOD-heavy mix: mostly short on-demand clips, few live events.
+    pub fn vod_heavy() -> MixProfile {
+        MixProfile {
+            hr_ratio: 0.35,
+            live_ratio: 0.1,
+            vod_frames: (96, 240),
+            live_frames: (300, 600),
+        }
+    }
+
+    /// A live-heavy mix: long HR event streams dominate.
+    pub fn live_heavy() -> MixProfile {
+        MixProfile {
+            hr_ratio: 0.6,
+            live_ratio: 0.7,
+            vod_frames: (96, 240),
+            live_frames: (300, 600),
+        }
+    }
+
+    /// Linear blend toward `other` by weight `w ∈ [0, 1]` (ratios and
+    /// frame bounds interpolate; bounds round to whole frames, never
+    /// below one).
+    pub fn blend(&self, other: &MixProfile, w: f64) -> MixProfile {
+        let w = w.clamp(0.0, 1.0);
+        let lerp = |a: f64, b: f64| a + (b - a) * w;
+        let lerp_u = |a: u64, b: u64| lerp(a as f64, b as f64).round().max(1.0) as u64;
+        MixProfile {
+            hr_ratio: lerp(self.hr_ratio, other.hr_ratio),
+            live_ratio: lerp(self.live_ratio, other.live_ratio),
+            vod_frames: (
+                lerp_u(self.vod_frames.0, other.vod_frames.0),
+                lerp_u(self.vod_frames.1, other.vod_frames.1),
+            ),
+            live_frames: (
+                lerp_u(self.live_frames.0, other.live_frames.0),
+                lerp_u(self.live_frames.1, other.live_frames.1),
+            ),
+        }
+    }
+
+    /// Scales both length profiles by `factor` (rounded, floored at one
+    /// frame).
+    pub fn with_length_scale(&self, factor: f64) -> MixProfile {
+        let scale = |v: u64| ((v as f64) * factor).round().max(1.0) as u64;
+        MixProfile {
+            vod_frames: (scale(self.vod_frames.0), scale(self.vod_frames.1)),
+            live_frames: (scale(self.live_frames.0), scale(self.live_frames.1)),
+            ..*self
+        }
+    }
+
+    pub(crate) fn validate(&self, phase: usize) -> Result<(), crate::ScenarioError> {
+        use crate::ScenarioError::InvalidPhase;
+        for (what, v) in [("hr_ratio", self.hr_ratio), ("live_ratio", self.live_ratio)] {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return Err(InvalidPhase {
+                    phase,
+                    what,
+                    value: v,
+                });
+            }
+        }
+        for (what, (lo, hi)) in [
+            ("vod_frames", self.vod_frames),
+            ("live_frames", self.live_frames),
+        ] {
+            if lo == 0 || hi < lo {
+                return Err(InvalidPhase {
+                    phase,
+                    what,
+                    value: lo as f64,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One composable arrival phase: a rate curve over its duration plus a
+/// session-class mix (fixed or evolving).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Phase {
+    /// Constant-rate arrivals with a fixed mix.
+    Steady {
+        /// Phase length (virtual seconds).
+        duration_s: f64,
+        /// Arrival rate (Hz).
+        rate_hz: f64,
+        /// Session-class mix.
+        mix: MixProfile,
+    },
+    /// A sinusoidal daily cycle:
+    /// `λ(t) = mean · (1 + amplitude · sin(2π (t + phase_offset_s) / period_s))`,
+    /// clamped at zero.
+    Diurnal {
+        /// Phase length (virtual seconds) — typically a whole number of
+        /// periods.
+        duration_s: f64,
+        /// Mean arrival rate (Hz).
+        mean_rate_hz: f64,
+        /// Relative swing in `[0, 1]`: 0 is flat, 1 swings between 0
+        /// and twice the mean.
+        amplitude: f64,
+        /// The "day" length (virtual seconds).
+        period_s: f64,
+        /// Shifts where in the cycle the phase starts (e.g.
+        /// `0.75 · period_s` starts at the trough).
+        phase_offset_s: f64,
+        /// Session-class mix.
+        mix: MixProfile,
+    },
+    /// A flash crowd around a scheduled instant: base rate, a linear
+    /// ramp over `ramp_s` up to `peak_rate_hz` at `event_at_s`, then an
+    /// exponential decay back toward base with time constant `decay_s`.
+    FlashCrowd {
+        /// Phase length (virtual seconds).
+        duration_s: f64,
+        /// Rate before the ramp and the decay's asymptote (Hz).
+        base_rate_hz: f64,
+        /// Rate at the event instant (Hz).
+        peak_rate_hz: f64,
+        /// When the event fires, relative to the phase start (seconds).
+        event_at_s: f64,
+        /// Length of the linear pre-event ramp (0 for a step).
+        ramp_s: f64,
+        /// Post-event exponential decay time constant (seconds).
+        decay_s: f64,
+        /// Session-class mix.
+        mix: MixProfile,
+    },
+    /// Rate mass moving between session-class mixes: total rate is
+    /// constant while the mix blends linearly from one region's profile
+    /// to another's over the phase — daylight handing traffic between
+    /// regions.
+    RegionalShift {
+        /// Phase length (virtual seconds).
+        duration_s: f64,
+        /// Arrival rate (Hz), constant over the shift.
+        rate_hz: f64,
+        /// Mix at the phase start.
+        from: MixProfile,
+        /// Mix at the phase end.
+        to: MixProfile,
+    },
+    /// The content itself drifting: the HR share moves from
+    /// `hr_from` to `hr_to` and session lengths scale from
+    /// `length_scale_from` to `length_scale_to` over the phase, on top
+    /// of the base mix — resolutions and clip lengths evolving with the
+    /// catalog.
+    ContentDrift {
+        /// Phase length (virtual seconds).
+        duration_s: f64,
+        /// Arrival rate (Hz).
+        rate_hz: f64,
+        /// Base session-class mix (its `hr_ratio` is overridden by the
+        /// drift).
+        mix: MixProfile,
+        /// HR share at the phase start.
+        hr_from: f64,
+        /// HR share at the phase end.
+        hr_to: f64,
+        /// Session-length scale factor at the phase start.
+        length_scale_from: f64,
+        /// Session-length scale factor at the phase end.
+        length_scale_to: f64,
+    },
+}
+
+impl Phase {
+    /// The phase's length (virtual seconds).
+    pub fn duration_s(&self) -> f64 {
+        match *self {
+            Phase::Steady { duration_s, .. }
+            | Phase::Diurnal { duration_s, .. }
+            | Phase::FlashCrowd { duration_s, .. }
+            | Phase::RegionalShift { duration_s, .. }
+            | Phase::ContentDrift { duration_s, .. } => duration_s,
+        }
+    }
+
+    /// A short label for reports and pool-timeline annotations.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::Steady { .. } => "steady",
+            Phase::Diurnal { .. } => "diurnal",
+            Phase::FlashCrowd { .. } => "flash-crowd",
+            Phase::RegionalShift { .. } => "regional-shift",
+            Phase::ContentDrift { .. } => "content-drift",
+        }
+    }
+
+    /// The instantaneous arrival rate `t` seconds into the phase (Hz).
+    pub fn rate_hz_at(&self, t: f64) -> f64 {
+        match *self {
+            Phase::Steady { rate_hz, .. }
+            | Phase::RegionalShift { rate_hz, .. }
+            | Phase::ContentDrift { rate_hz, .. } => rate_hz,
+            Phase::Diurnal {
+                mean_rate_hz,
+                amplitude,
+                period_s,
+                phase_offset_s,
+                ..
+            } => {
+                let angle = std::f64::consts::TAU * (t + phase_offset_s) / period_s;
+                (mean_rate_hz * (1.0 + amplitude * angle.sin())).max(0.0)
+            }
+            Phase::FlashCrowd {
+                base_rate_hz,
+                peak_rate_hz,
+                event_at_s,
+                ramp_s,
+                decay_s,
+                ..
+            } => {
+                if t >= event_at_s {
+                    base_rate_hz
+                        + (peak_rate_hz - base_rate_hz) * (-(t - event_at_s) / decay_s).exp()
+                } else if t >= event_at_s - ramp_s {
+                    base_rate_hz
+                        + (peak_rate_hz - base_rate_hz) * (t - (event_at_s - ramp_s)) / ramp_s
+                } else {
+                    base_rate_hz
+                }
+            }
+        }
+    }
+
+    /// The phase's peak rate — the thinning envelope `λ_max ≥ λ(t)`.
+    pub fn peak_rate_hz(&self) -> f64 {
+        match *self {
+            Phase::Steady { rate_hz, .. }
+            | Phase::RegionalShift { rate_hz, .. }
+            | Phase::ContentDrift { rate_hz, .. } => rate_hz,
+            Phase::Diurnal {
+                mean_rate_hz,
+                amplitude,
+                ..
+            } => mean_rate_hz * (1.0 + amplitude),
+            Phase::FlashCrowd {
+                base_rate_hz,
+                peak_rate_hz,
+                ..
+            } => base_rate_hz.max(peak_rate_hz),
+        }
+    }
+
+    /// The session-class mix in force `t` seconds into the phase.
+    pub fn mix_at(&self, t: f64) -> MixProfile {
+        match *self {
+            Phase::Steady { ref mix, .. }
+            | Phase::Diurnal { ref mix, .. }
+            | Phase::FlashCrowd { ref mix, .. } => *mix,
+            Phase::RegionalShift {
+                duration_s,
+                ref from,
+                ref to,
+                ..
+            } => from.blend(to, t / duration_s),
+            Phase::ContentDrift {
+                duration_s,
+                ref mix,
+                hr_from,
+                hr_to,
+                length_scale_from,
+                length_scale_to,
+                ..
+            } => {
+                let w = (t / duration_s).clamp(0.0, 1.0);
+                let mut m = mix.with_length_scale(
+                    length_scale_from + (length_scale_to - length_scale_from) * w,
+                );
+                m.hr_ratio = hr_from + (hr_to - hr_from) * w;
+                m
+            }
+        }
+    }
+
+    pub(crate) fn validate(&self, phase: usize) -> Result<(), crate::ScenarioError> {
+        use crate::ScenarioError::InvalidPhase;
+        let positive = |what, value: f64| {
+            if value.is_finite() && value > 0.0 {
+                Ok(())
+            } else {
+                Err(InvalidPhase { phase, what, value })
+            }
+        };
+        let non_negative = |what, value: f64| {
+            if value.is_finite() && value >= 0.0 {
+                Ok(())
+            } else {
+                Err(InvalidPhase { phase, what, value })
+            }
+        };
+        positive("duration_s", self.duration_s())?;
+        match *self {
+            Phase::Steady {
+                rate_hz, ref mix, ..
+            } => {
+                non_negative("rate_hz", rate_hz)?;
+                mix.validate(phase)
+            }
+            Phase::Diurnal {
+                mean_rate_hz,
+                amplitude,
+                period_s,
+                phase_offset_s,
+                ref mix,
+                ..
+            } => {
+                non_negative("mean_rate_hz", mean_rate_hz)?;
+                if !(amplitude.is_finite() && (0.0..=1.0).contains(&amplitude)) {
+                    return Err(InvalidPhase {
+                        phase,
+                        what: "amplitude",
+                        value: amplitude,
+                    });
+                }
+                positive("period_s", period_s)?;
+                if !phase_offset_s.is_finite() {
+                    return Err(InvalidPhase {
+                        phase,
+                        what: "phase_offset_s",
+                        value: phase_offset_s,
+                    });
+                }
+                mix.validate(phase)
+            }
+            Phase::FlashCrowd {
+                base_rate_hz,
+                peak_rate_hz,
+                event_at_s,
+                ramp_s,
+                decay_s,
+                ref mix,
+                ..
+            } => {
+                non_negative("base_rate_hz", base_rate_hz)?;
+                non_negative("peak_rate_hz", peak_rate_hz)?;
+                if peak_rate_hz < base_rate_hz {
+                    return Err(InvalidPhase {
+                        phase,
+                        what: "peak_rate_hz below base_rate_hz",
+                        value: peak_rate_hz,
+                    });
+                }
+                non_negative("event_at_s", event_at_s)?;
+                non_negative("ramp_s", ramp_s)?;
+                positive("decay_s", decay_s)?;
+                mix.validate(phase)
+            }
+            Phase::RegionalShift {
+                rate_hz,
+                ref from,
+                ref to,
+                ..
+            } => {
+                non_negative("rate_hz", rate_hz)?;
+                from.validate(phase)?;
+                to.validate(phase)
+            }
+            Phase::ContentDrift {
+                rate_hz,
+                ref mix,
+                hr_from,
+                hr_to,
+                length_scale_from,
+                length_scale_to,
+                ..
+            } => {
+                non_negative("rate_hz", rate_hz)?;
+                mix.validate(phase)?;
+                for (what, v) in [("hr_from", hr_from), ("hr_to", hr_to)] {
+                    if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                        return Err(InvalidPhase {
+                            phase,
+                            what,
+                            value: v,
+                        });
+                    }
+                }
+                positive("length_scale_from", length_scale_from)?;
+                positive("length_scale_to", length_scale_to)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diurnal_rate_cycles_and_never_goes_negative() {
+        let p = Phase::Diurnal {
+            duration_s: 100.0,
+            mean_rate_hz: 2.0,
+            amplitude: 1.0,
+            period_s: 100.0,
+            phase_offset_s: 75.0, // start at the trough
+            mix: MixProfile::vod_heavy(),
+        };
+        assert!(p.rate_hz_at(0.0) < 1e-9, "trough start");
+        assert!((p.rate_hz_at(50.0) - 4.0).abs() < 1e-9, "peak mid-phase");
+        for i in 0..100 {
+            let r = p.rate_hz_at(i as f64);
+            assert!(r >= 0.0 && r <= p.peak_rate_hz() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn flash_crowd_ramps_spikes_and_decays() {
+        let p = Phase::FlashCrowd {
+            duration_s: 60.0,
+            base_rate_hz: 0.5,
+            peak_rate_hz: 4.5,
+            event_at_s: 20.0,
+            ramp_s: 10.0,
+            decay_s: 5.0,
+            mix: MixProfile::live_heavy(),
+        };
+        assert_eq!(p.rate_hz_at(0.0), 0.5);
+        assert!((p.rate_hz_at(15.0) - 2.5).abs() < 1e-9, "mid-ramp");
+        assert!((p.rate_hz_at(20.0) - 4.5).abs() < 1e-9, "event instant");
+        let after = p.rate_hz_at(25.0);
+        assert!(after > 0.5 && after < 4.5, "decaying: {after}");
+        assert!(p.rate_hz_at(59.0) < 0.51 + 0.01);
+        assert_eq!(p.peak_rate_hz(), 4.5);
+    }
+
+    #[test]
+    fn regional_shift_blends_the_mixes() {
+        let p = Phase::RegionalShift {
+            duration_s: 10.0,
+            rate_hz: 1.0,
+            from: MixProfile::vod_heavy(),
+            to: MixProfile::live_heavy(),
+        };
+        assert_eq!(p.mix_at(0.0), MixProfile::vod_heavy());
+        assert_eq!(p.mix_at(10.0), MixProfile::live_heavy());
+        let mid = p.mix_at(5.0);
+        assert!((mid.live_ratio - 0.4).abs() < 1e-9);
+        assert!(mid.hr_ratio > 0.35 && mid.hr_ratio < 0.6);
+    }
+
+    #[test]
+    fn content_drift_moves_hr_share_and_lengths() {
+        let p = Phase::ContentDrift {
+            duration_s: 10.0,
+            rate_hz: 1.0,
+            mix: MixProfile::vod_heavy(),
+            hr_from: 0.1,
+            hr_to: 0.9,
+            length_scale_from: 1.0,
+            length_scale_to: 2.0,
+        };
+        assert!((p.mix_at(0.0).hr_ratio - 0.1).abs() < 1e-9);
+        assert!((p.mix_at(10.0).hr_ratio - 0.9).abs() < 1e-9);
+        let end = p.mix_at(10.0);
+        assert_eq!(end.vod_frames, (192, 480));
+    }
+
+    #[test]
+    fn blend_floors_frame_bounds_at_one() {
+        let tiny = MixProfile {
+            vod_frames: (1, 1),
+            live_frames: (1, 1),
+            ..MixProfile::vod_heavy()
+        };
+        let m = tiny.blend(&tiny, 0.5).with_length_scale(0.01);
+        assert_eq!(m.vod_frames, (1, 1));
+        assert_eq!(m.live_frames, (1, 1));
+    }
+}

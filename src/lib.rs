@@ -20,6 +20,7 @@
 //! | [`baselines`] | `mamut-baselines` | mono-agent QL + heuristic baselines       |
 //! | [`metrics`]   | `mamut-metrics`   | QoS (∆), stats, traces, tables            |
 //! | [`fleet`]     | `mamut-fleet`     | cluster, churn, dispatch, KaaS, migration |
+//! | [`scenario`]  | `mamut-scenario`  | workload scenarios, seasonal forecasting  |
 //!
 //! Learned state is portable: every [`prelude::Controller`] snapshots to
 //! a versioned binary form (`control::snapshot`), fleets share knowledge
@@ -63,6 +64,7 @@ pub use mamut_encoder as encoder;
 pub use mamut_fleet as fleet;
 pub use mamut_metrics as metrics;
 pub use mamut_platform as platform;
+pub use mamut_scenario as scenario;
 pub use mamut_transcode as transcode;
 pub use mamut_video as video;
 
@@ -82,12 +84,14 @@ pub mod prelude {
     };
     pub use mamut_encoder::{HevcEncoder, Preset};
     pub use mamut_fleet::{
-        AdmissionGated, Autoscaler, Dispatcher, FleetConfig, FleetSim, FleetSummary, GateMode,
-        KnowledgeStore, LeastLoaded, MergePolicy, NodeView, PowerAware, PowerQosBalance,
-        PredictiveScaler, Rebalancer, RoundRobin, SessionClass, ThresholdScaler,
-        UtilizationBalance, Workload, WorkloadConfig,
+        AdmissionGated, Autoscaler, Dispatcher, FleetConfig, FleetSim, FleetSummary,
+        ForecastScaler, Forecaster, GateMode, HoltWinters, KnowledgeStore, LeastLoaded,
+        MergePolicy, NodeView, PowerAware, PowerQosBalance, PredictiveScaler, Rebalancer,
+        RoundRobin, SeasonalNaive, SessionClass, ThresholdScaler, UtilizationBalance, Workload,
+        WorkloadConfig, WorkloadError,
     };
     pub use mamut_platform::Platform;
+    pub use mamut_scenario::{MixProfile, Phase, RealizedScenario, Scenario, ScenarioError};
     pub use mamut_transcode::{MixSpec, RunSummary, ServerSim, SessionConfig};
     pub use mamut_video::{catalog, Playlist, Resolution, SequenceSpec};
 }
