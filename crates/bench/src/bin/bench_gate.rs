@@ -1,7 +1,10 @@
 //! CI bench-regression gate: compares a freshly emitted metrics file
 //! (`BENCH_fleet.json`, written by the benches when `MAMUT_BENCH_JSON`
 //! is set) against the committed baseline (`ci/bench_baseline.json`)
-//! and fails when a tracked metric regresses beyond the tolerance.
+//! and fails when a tracked metric regresses beyond the tolerance. All
+//! gated metrics are checked in one pass and every regression is
+//! listed with its percentage at the end, so one CI run names the full
+//! damage instead of stopping at the first hit.
 //!
 //! Metric direction is encoded in the key suffix:
 //!
@@ -23,7 +26,8 @@
 //!
 //! ```text
 //! rm -f BENCH_fleet.json && MAMUT_BENCH_QUICK=1 MAMUT_BENCH_JSON=$PWD/BENCH_fleet.json \
-//!   cargo bench --bench fleet_scaling --bench snapshot_codec --bench server_hot_path && \
+//!   cargo bench --bench fleet_scaling --bench snapshot_codec --bench server_hot_path \
+//!     --bench scenario_forecast --bench fleetrl_train && \
 //!   cp BENCH_fleet.json ci/bench_baseline.json
 //! ```
 //!
@@ -83,7 +87,24 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
-fn run(args: &Args) -> Result<bool, String> {
+/// One gated metric that failed: what moved, and by how much.
+struct Regression {
+    name: String,
+    /// Relative change vs. the baseline (`+0.23` = 23% worse on a cost
+    /// metric). `None` when the metric vanished from the current run.
+    change: Option<f64>,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.change {
+            Some(change) => write!(f, "{} ({:+.1}%)", self.name, 100.0 * change),
+            None => write!(f, "{} (missing from current run)", self.name),
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<Vec<Regression>, String> {
     let baseline = benchjson::load(Path::new(&args.baseline))?;
     let current = benchjson::load(Path::new(&args.current))?;
     if baseline.is_empty() {
@@ -105,11 +126,14 @@ fn run(args: &Args) -> Result<bool, String> {
         "{:<42} {:>14} {:>14} {:>9}  verdict",
         "metric", "baseline", "current", "change"
     );
-    let mut regressed = false;
+    let mut regressions = Vec::new();
     for (name, &base) in &baseline {
         let Some(&cur) = current.get(name) else {
             println!("{name:<42} {base:>14.1} {:>14} {:>9}  MISSING", "-", "-");
-            regressed = true;
+            regressions.push(Regression {
+                name: name.clone(),
+                change: None,
+            });
             continue;
         };
         let change = if base.abs() > f64::EPSILON {
@@ -125,7 +149,12 @@ fn run(args: &Args) -> Result<bool, String> {
             // tolerance does not apply (tiny epsilon for f64 round trips).
             Direction::Exact => change.abs() > 1e-9,
         };
-        regressed |= bad;
+        if bad {
+            regressions.push(Regression {
+                name: name.clone(),
+                change: Some(change),
+            });
+        }
         println!(
             "{name:<42} {base:>14.1} {cur:>14.1} {:>+8.1}%  {}",
             100.0 * change,
@@ -135,7 +164,7 @@ fn run(args: &Args) -> Result<bool, String> {
     for name in current.keys().filter(|n| !baseline.contains_key(*n)) {
         println!("{name:<42} (new metric, not gated — extend the baseline to track it)");
     }
-    Ok(regressed)
+    Ok(regressions)
 }
 
 fn main() -> ExitCode {
@@ -148,16 +177,23 @@ fn main() -> ExitCode {
         }
     };
     match run(&args) {
-        Ok(false) => {
+        Ok(regressions) if regressions.is_empty() => {
             println!("bench gate: PASS");
             ExitCode::SUCCESS
         }
-        Ok(true) => {
+        Ok(regressions) => {
+            // The per-metric table above already shows every verdict;
+            // repeat just the failures here so a CI log's last lines
+            // name the full damage, not only the first hit.
             eprintln!(
-                "bench gate: FAIL — a tracked metric regressed more than {:.0}% \
-                 (intentional? update the baseline via the README one-liner)",
+                "bench gate: FAIL — {} tracked metric(s) regressed beyond {:.0}%:",
+                regressions.len(),
                 100.0 * args.tolerance
             );
+            for regression in &regressions {
+                eprintln!("  {regression}");
+            }
+            eprintln!("(intentional? update the baseline via the README one-liner)");
             ExitCode::FAILURE
         }
         Err(e) => {

@@ -89,6 +89,21 @@ pub enum ScaleDecision {
     Shrink(usize),
 }
 
+/// Where an autoscaler's last decision came from: a hand-tuned rule, a
+/// learned policy exploiting its value estimates, or a learned policy
+/// exploring. The fleet folds this into its per-run policy counters
+/// ([`FleetSummary`](crate::FleetSummary) renders them), mirroring the
+/// per-session exploration/exploitation split of the paper's agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicySource {
+    /// A hand-tuned rule (thresholds, EWMA, forecasting).
+    Heuristic,
+    /// A learned policy's greedy (argmax) pick.
+    Greedy,
+    /// A learned policy's ε-greedy exploratory draw.
+    Exploratory,
+}
+
 /// An elastic pool-sizing policy, consulted once per epoch boundary.
 ///
 /// `Send` for the same reason as [`Dispatcher`](crate::Dispatcher): the
@@ -103,6 +118,14 @@ pub trait Autoscaler: Send {
     /// active node survives) and grow never pushes the lifetime pool
     /// past `FleetConfig::max_pool_nodes`.
     fn plan(&mut self, signals: &ScaleSignals) -> ScaleDecision;
+
+    /// Where the most recent [`Autoscaler::plan`] decision came from.
+    /// Hand-tuned policies keep the default; learned policies report
+    /// greedy vs. exploratory so the fleet's policy counters mirror the
+    /// per-session exploration stats.
+    fn decision_source(&self) -> PolicySource {
+        PolicySource::Heuristic
+    }
 }
 
 /// Reactive scaling on utilization and QoS watermarks.
@@ -783,6 +806,57 @@ mod tests {
         // Both epochs were still observed by the predictor.
         assert_eq!(s.forecaster().forecast_hz(1), 8.0);
         assert_eq!(s.forecaster().forecast_hz(2), 6.0);
+    }
+
+    #[test]
+    fn forecast_scaler_clamps_zero_lead_to_one() {
+        use crate::forecast::SeasonalNaive;
+        // lead_epochs = 0 would make planned_rate_hz an empty max (0 Hz
+        // forever); the builder clamps to 1 so the scaler always looks
+        // at least one boundary ahead.
+        let s = ForecastScaler::new(Box::new(SeasonalNaive::new(4))).with_lead_epochs(0);
+        assert_eq!(s.lead_epochs, 1);
+        // And planned_rate_hz itself guards the field being forced to 0.
+        let mut forced = ForecastScaler::new(Box::new(SeasonalNaive::new(4)))
+            .with_mean_session_s(1.0)
+            .with_cooldown(0);
+        forced.lead_epochs = 0;
+        let pool = [view(0, 4, 1, 0.0)];
+        let mut sig = signals(0, &pool, 0);
+        sig.arrivals_due = 6;
+        forced.plan(&sig);
+        assert!(
+            forced.planned_rate_hz(1.0) > 0.0,
+            "zero lead must still see the observed window"
+        );
+    }
+
+    #[test]
+    fn forecast_scaler_with_no_history_shrinks_to_the_floor() {
+        use crate::forecast::HoltWinters;
+        // First boundary ever, zero arrivals observed: the windowed rate
+        // is 0 Hz, so the target is min_nodes — an over-provisioned cold
+        // pool sheds instead of crashing on empty history.
+        let mut s = ForecastScaler::new(Box::new(HoltWinters::new(8)))
+            .with_mean_session_s(4.0)
+            .with_sessions_per_node(2.0)
+            .with_cooldown(0)
+            .with_limits(1, 16);
+        let big: Vec<NodeView> = (0..4).map(|i| view(i, 2, 1, 0.0)).collect();
+        assert_eq!(s.plan(&signals(0, &big, 0)), ScaleDecision::Shrink(3));
+        assert_eq!(s.planned_rate_hz(1.0), 0.0);
+    }
+
+    #[test]
+    fn heuristic_scalers_report_a_heuristic_source() {
+        use crate::autoscale::PolicySource;
+        let mut t = ThresholdScaler::new();
+        t.plan(&signals(0, &[view(0, 4, 1, 0.0)], 0));
+        assert_eq!(t.decision_source(), PolicySource::Heuristic);
+        assert_eq!(
+            PredictiveScaler::new().decision_source(),
+            PolicySource::Heuristic
+        );
     }
 
     #[test]

@@ -487,6 +487,47 @@ mod tests {
     }
 
     #[test]
+    fn empty_history_forecasts_zero_at_every_horizon() {
+        // The RL featurizer's forecast-error bucket divides by the
+        // forecast; a fresh predictor must answer a clean 0 Hz, not NaN.
+        let sn = SeasonalNaive::new(6);
+        let hw = HoltWinters::new(6);
+        for h in [0u64, 1, 5, 100] {
+            assert_eq!(sn.forecast_hz(h), 0.0, "seasonal-naive at h={h}");
+            assert_eq!(hw.forecast_hz(h), 0.0, "holt-winters at h={h}");
+        }
+        // Snapshots of the empty state round-trip too.
+        let mut sn2 = SeasonalNaive::new(6);
+        sn2.restore_state(&sn.snapshot_state()).unwrap();
+        assert_eq!(sn2.snapshot_state(), sn.snapshot_state());
+        let mut hw2 = HoltWinters::new(6);
+        hw2.restore_state(&hw.snapshot_state()).unwrap();
+        assert_eq!(hw2.snapshot_state(), hw.snapshot_state());
+    }
+
+    #[test]
+    fn partial_first_season_falls_back_to_the_running_mean() {
+        // History shorter than one season: both predictors answer the
+        // mean of what they have seen, independent of the horizon — the
+        // honest cold-start before any seasonal structure exists.
+        let mut sn = SeasonalNaive::new(12);
+        let mut hw = HoltWinters::new(12);
+        feed(&mut sn, &[2, 4, 6]);
+        feed(&mut hw, &[2, 4, 6]);
+        for h in 1..=24 {
+            assert!((sn.forecast_hz(h) - 4.0).abs() < 1e-12, "sn at h={h}");
+            assert!((hw.forecast_hz(h) - 4.0).abs() < 1e-12, "hw at h={h}");
+        }
+        assert!(!hw.is_primed(), "eleven of twelve slots must not prime");
+        // One more epoch completes the season for neither (11 < 12)…
+        feed(&mut hw, &[8; 8]);
+        assert!(!hw.is_primed());
+        // …the twelfth does.
+        hw.observe(8, 1.0);
+        assert!(hw.is_primed());
+    }
+
+    #[test]
     fn holt_winters_primes_after_one_season_and_tracks_the_shape() {
         let mut f = HoltWinters::new(12).with_smoothing(0.4, 0.1, 0.3);
         feed(&mut f, &season());

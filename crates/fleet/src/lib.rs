@@ -77,7 +77,8 @@ mod summary;
 mod workload;
 
 pub use autoscale::{
-    Autoscaler, ForecastScaler, PredictiveScaler, ScaleDecision, ScaleSignals, ThresholdScaler,
+    Autoscaler, ForecastScaler, PolicySource, PredictiveScaler, ScaleDecision, ScaleSignals,
+    ThresholdScaler,
 };
 pub use dispatch::{
     AdmissionGated, DispatchDecision, Dispatcher, GateMode, LeastLoaded, NodeView, PowerAware,

@@ -363,11 +363,14 @@ impl FleetSim {
             queued_sessions: self.queued.len(),
             pending_sessions: self.pending.len() - arrivals_due,
         };
-        let decision = self
-            .autoscaler
-            .as_mut()
-            .expect("presence checked above")
-            .plan(&signals);
+        let scaler = self.autoscaler.as_mut().expect("presence checked above");
+        let decision = scaler.plan(&signals);
+        let source = scaler.decision_source();
+        self.aggregate.record_policy_decision(
+            source != crate::autoscale::PolicySource::Heuristic,
+            source == crate::autoscale::PolicySource::Exploratory,
+            decision != ScaleDecision::Hold,
+        );
         match decision {
             ScaleDecision::Hold => Ok(()),
             ScaleDecision::Grow(count) => self.commission_nodes(count, epoch_start),

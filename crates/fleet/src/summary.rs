@@ -97,6 +97,18 @@ pub struct FleetSummary {
     pub phase_marks: Vec<(u64, String)>,
     /// Node-epoch utilization histogram.
     pub utilization: UtilizationHistogram,
+    /// Epoch decisions a learned fleet policy took greedily (argmax) —
+    /// the fleet-layer analogue of per-session exploitation decisions.
+    pub greedy_actions: u64,
+    /// Epoch decisions a learned fleet policy took exploratorily
+    /// (ε-greedy draws).
+    pub exploratory_actions: u64,
+    /// Epoch decisions planned by a hand-tuned (non-learned) policy.
+    pub heuristic_decisions: u64,
+    /// Scale events (grow or shrink) decided by a learned policy.
+    pub learned_scale_events: u64,
+    /// Scale events decided by a heuristic policy.
+    pub heuristic_scale_events: u64,
     /// Full per-node run summaries (not rendered; for drill-down).
     pub node_runs: Vec<RunSummary>,
 }
@@ -154,6 +166,11 @@ impl FleetSummary {
             pool_timeline: aggregate.pool_timeline.clone(),
             phase_marks,
             utilization: aggregate.utilization.clone(),
+            greedy_actions: aggregate.greedy_actions,
+            exploratory_actions: aggregate.exploratory_actions,
+            heuristic_decisions: aggregate.heuristic_decisions,
+            learned_scale_events: aggregate.learned_scale_events,
+            heuristic_scale_events: aggregate.heuristic_scale_events,
             node_runs,
         }
     }
@@ -262,6 +279,18 @@ impl std::fmt::Display for FleetSummary {
             self.scale_downs,
             self.drained_sessions
         )?;
+        // Only learned-policy runs render the policy line: heuristic
+        // runs keep their historical byte-for-byte output.
+        if self.greedy_actions + self.exploratory_actions > 0 {
+            writeln!(
+                f,
+                "policy: {} greedy / {} exploratory decisions | scale events: {} learned, {} heuristic",
+                self.greedy_actions,
+                self.exploratory_actions,
+                self.learned_scale_events,
+                self.heuristic_scale_events
+            )?;
+        }
         if self.pool_timeline.len() > 1 || !self.phase_marks.is_empty() {
             writeln!(f, "pool-size timeline: {}", self.render_pool_timeline())?;
         }
@@ -394,6 +423,53 @@ mod tests {
         // Per-node migration columns are rendered.
         assert!(text.contains("mig+"), "{text}");
         assert!(text.contains("mig-"), "{text}");
+    }
+
+    #[test]
+    fn policy_counters_render_only_for_learned_runs() {
+        // Heuristic runs (even with heuristic decisions recorded) keep
+        // their historical rendering…
+        let mut agg = FleetAggregate::new(1);
+        agg.record_node_epoch(0, 100, 0, 100.0, 1.0, 0.5);
+        agg.record_policy_decision(false, false, true);
+        let heuristic = FleetSummary::assemble(
+            "rl".into(),
+            1,
+            1.0,
+            &[facts(1)],
+            &agg,
+            Vec::new(),
+            Vec::new(),
+        );
+        assert_eq!(heuristic.heuristic_decisions, 1);
+        assert_eq!(heuristic.heuristic_scale_events, 1);
+        assert!(!heuristic.to_string().contains("policy:"), "{heuristic}");
+        // …while a learned run gets the greedy/exploratory split and the
+        // scale-event attribution.
+        agg.record_policy_decision(true, false, true);
+        agg.record_policy_decision(true, true, false);
+        agg.record_policy_decision(true, false, false);
+        let learned = FleetSummary::assemble(
+            "rl".into(),
+            4,
+            4.0,
+            &[facts(1)],
+            &agg,
+            Vec::new(),
+            Vec::new(),
+        );
+        assert_eq!(learned.greedy_actions, 2);
+        assert_eq!(learned.exploratory_actions, 1);
+        assert_eq!(learned.learned_scale_events, 1);
+        let text = learned.to_string();
+        assert!(
+            text.contains("policy: 2 greedy / 1 exploratory decisions"),
+            "{text}"
+        );
+        assert!(
+            text.contains("scale events: 1 learned, 1 heuristic"),
+            "{text}"
+        );
     }
 
     #[test]

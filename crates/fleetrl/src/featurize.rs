@@ -1,0 +1,269 @@
+//! Fleet-state featurization: bucketing [`ScaleSignals`]-level
+//! observations into a compact discrete state a tabular policy can
+//! index.
+//!
+//! The paper's session agents discretize per-stream observations (FPS
+//! error, thread count, frequency) into small Q-table states; the fleet
+//! layer does the same one level up. Five signals cover what a scaling
+//! and dispatch policy needs to know about the cluster:
+//!
+//! | feature | buckets | boundary intuition |
+//! |---|---|---|
+//! | mean utilization | 4 | idle / comfortable / busy / saturated |
+//! | mean QoS violation % | 3 | healthy / strained / suffering |
+//! | relative forecast error | 3 | over-forecast / on-track / under-forecast |
+//! | mean power-headroom fraction | 3 | tight / moderate / ample |
+//! | pool position | 4 | at-min / low / high / at-max |
+//!
+//! 432 joint states in all — small enough that the catalog's training
+//! episodes visit the reachable region many times, large enough that
+//! "saturated and under-forecast at max pool" and "idle at min pool"
+//! never alias.
+
+use mamut_fleet::ScaleSignals;
+
+/// Bucket edges and pool limits for [`FleetFeaturizer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureConfig {
+    /// Mean-utilization bucket edges (ascending, 3 edges → 4 buckets).
+    pub util_edges: [f64; 3],
+    /// Mean QoS violation-percent edges (2 edges → 3 buckets).
+    pub qos_edges: [f64; 2],
+    /// Symmetric relative forecast-error edge: error below `-edge` is
+    /// over-forecast, above `+edge` under-forecast, else on-track.
+    pub forecast_err_edge: f64,
+    /// Mean power-headroom-fraction edges (2 edges → 3 buckets).
+    pub headroom_edges: [f64; 2],
+    /// Pool limits `(min, max)` the policy operates within; also the
+    /// bounds of the pool-position feature.
+    pub pool: (usize, usize),
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            util_edges: [0.30, 0.60, 0.85],
+            qos_edges: [0.5, 5.0],
+            forecast_err_edge: 0.25,
+            headroom_edges: [0.25, 0.50],
+            pool: (1, 32),
+        }
+    }
+}
+
+/// Buckets per feature, in index order (utilization, QoS, forecast
+/// error, headroom, pool position).
+const DIMS: [usize; 5] = [4, 3, 3, 3, 4];
+
+/// A discretized fleet state (dense index plus the per-feature buckets
+/// it was built from, for reports and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetState {
+    /// Dense index in `0..FleetFeaturizer::n_states()`.
+    pub index: usize,
+    /// Per-feature bucket indices: utilization, QoS violation,
+    /// forecast error, power headroom, pool position.
+    pub buckets: [usize; 5],
+}
+
+/// Discretizes fleet observations into [`FleetState`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetFeaturizer {
+    config: FeatureConfig,
+}
+
+/// Index of `v` among ascending `edges` (0 below the first edge,
+/// `edges.len()` at or above the last).
+fn bucket(v: f64, edges: &[f64]) -> usize {
+    edges.iter().take_while(|&&e| v >= e).count()
+}
+
+impl FleetFeaturizer {
+    /// A featurizer over `config`'s buckets.
+    pub fn new(config: FeatureConfig) -> Self {
+        FleetFeaturizer { config }
+    }
+
+    /// The configured bucket edges and pool limits.
+    pub fn config(&self) -> &FeatureConfig {
+        &self.config
+    }
+
+    /// Number of joint states the featurizer can produce.
+    pub fn n_states(&self) -> usize {
+        DIMS.iter().product()
+    }
+
+    /// Discretizes one epoch boundary. `forecast_err` is the signed
+    /// relative error of the previous boundary's one-step forecast
+    /// against the rate that actually materialized (positive when
+    /// arrivals exceeded the forecast; 0 before any forecast exists).
+    pub fn featurize(&self, signals: &ScaleSignals, forecast_err: f64) -> FleetState {
+        let c = &self.config;
+        let util = bucket(signals.mean_utilization(), &c.util_edges);
+        let qos = bucket(signals.mean_qos_violation_percent(), &c.qos_edges);
+        let err = if !forecast_err.is_finite() || forecast_err.abs() <= c.forecast_err_edge {
+            1
+        } else if forecast_err < 0.0 {
+            0
+        } else {
+            2
+        };
+        let headroom = if signals.active.is_empty() {
+            DIMS[3] - 1
+        } else {
+            let mean_fraction = signals
+                .active
+                .iter()
+                .map(|n| {
+                    if n.power_cap_w > 0.0 {
+                        (n.power_headroom_w() / n.power_cap_w).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    }
+                })
+                .sum::<f64>()
+                / signals.active.len() as f64;
+            bucket(mean_fraction, &c.headroom_edges)
+        };
+        let pool = self.pool_position(signals.active.len());
+        let buckets = [util, qos, err, headroom, pool];
+        let index = buckets
+            .iter()
+            .zip(DIMS)
+            .fold(0usize, |acc, (&b, dim)| acc * dim + b);
+        FleetState { index, buckets }
+    }
+
+    /// Pool-position bucket: at-min / lower half / upper half / at-max.
+    fn pool_position(&self, active: usize) -> usize {
+        let (min, max) = self.config.pool;
+        if active <= min {
+            0
+        } else if active >= max {
+            3
+        } else if max <= min + 1 {
+            0
+        } else {
+            let fraction = (active - min) as f64 / (max - min) as f64;
+            if fraction < 0.5 {
+                1
+            } else {
+                2
+            }
+        }
+    }
+}
+
+impl Default for FleetFeaturizer {
+    fn default() -> Self {
+        FleetFeaturizer::new(FeatureConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mamut_fleet::NodeView;
+
+    fn view(node_id: usize, threads: u32, qos_violation: f64, power_w: f64) -> NodeView {
+        NodeView {
+            node_id,
+            active_sessions: (threads / 4) as usize,
+            threads_demanded: threads,
+            planned_threads: threads,
+            hw_threads: 32,
+            power_w,
+            power_cap_w: 120.0,
+            qos_violation_percent: qos_violation,
+            resident_shapes: Vec::new(),
+        }
+    }
+
+    fn signals<'a>(active: &'a [NodeView], arrivals: usize) -> ScaleSignals<'a> {
+        ScaleSignals {
+            epoch: 0,
+            epoch_s: 1.0,
+            active,
+            arrivals_due: arrivals,
+            queued_sessions: 0,
+            pending_sessions: 0,
+        }
+    }
+
+    #[test]
+    fn bucket_edges_are_half_open() {
+        assert_eq!(bucket(0.0, &[0.3, 0.6, 0.85]), 0);
+        assert_eq!(bucket(0.29, &[0.3, 0.6, 0.85]), 0);
+        assert_eq!(bucket(0.3, &[0.3, 0.6, 0.85]), 1);
+        assert_eq!(bucket(0.84, &[0.3, 0.6, 0.85]), 2);
+        assert_eq!(bucket(2.0, &[0.3, 0.6, 0.85]), 3);
+    }
+
+    #[test]
+    fn index_is_dense_and_in_range() {
+        let f = FleetFeaturizer::default();
+        assert_eq!(f.n_states(), 432);
+        // Extremes of every feature stay inside the table.
+        let idle = [view(0, 0, 0.0, 40.0)];
+        let hot: Vec<NodeView> = (0..32).map(|i| view(i, 32, 60.0, 119.0)).collect();
+        for (nodes, err) in [(&idle[..], -3.0), (&hot[..], 3.0)] {
+            let s = f.featurize(&signals(nodes, 5), err);
+            assert!(s.index < f.n_states(), "index {} out of range", s.index);
+        }
+    }
+
+    #[test]
+    fn distinct_conditions_map_to_distinct_states() {
+        let f = FleetFeaturizer::default();
+        let idle = [view(0, 2, 0.0, 40.0)];
+        let saturated = [view(0, 32, 30.0, 118.0)];
+        let a = f.featurize(&signals(&idle, 0), 0.0);
+        let b = f.featurize(&signals(&saturated, 0), 0.0);
+        assert_ne!(a.index, b.index);
+        assert_eq!(a.buckets[0], 0, "2/32 threads is idle");
+        assert_eq!(b.buckets[0], 3, "32/32 threads is saturated");
+        assert_eq!(b.buckets[1], 2, "30% violations is suffering");
+    }
+
+    #[test]
+    fn forecast_error_splits_three_ways_and_tolerates_nan() {
+        let f = FleetFeaturizer::default();
+        let pool = [view(0, 8, 0.0, 60.0)];
+        let over = f.featurize(&signals(&pool, 0), -0.5);
+        let on = f.featurize(&signals(&pool, 0), 0.1);
+        let under = f.featurize(&signals(&pool, 0), 0.5);
+        let nan = f.featurize(&signals(&pool, 0), f64::NAN);
+        assert_eq!(over.buckets[2], 0);
+        assert_eq!(on.buckets[2], 1);
+        assert_eq!(under.buckets[2], 2);
+        assert_eq!(nan.buckets[2], 1, "NaN error reads as on-track");
+    }
+
+    #[test]
+    fn pool_position_tracks_the_limits() {
+        let f = FleetFeaturizer::new(FeatureConfig {
+            pool: (1, 9),
+            ..FeatureConfig::default()
+        });
+        assert_eq!(f.pool_position(1), 0, "at min");
+        assert_eq!(f.pool_position(2), 1, "lower half");
+        assert_eq!(f.pool_position(6), 2, "upper half");
+        assert_eq!(f.pool_position(9), 3, "at max");
+        assert_eq!(f.pool_position(40), 3, "clamped above max");
+        // Degenerate one-node pool never panics.
+        let tiny = FleetFeaturizer::new(FeatureConfig {
+            pool: (1, 1),
+            ..FeatureConfig::default()
+        });
+        assert_eq!(tiny.pool_position(1), 0);
+    }
+
+    #[test]
+    fn empty_pool_reads_as_ample_headroom() {
+        let f = FleetFeaturizer::default();
+        let s = f.featurize(&signals(&[], 0), 0.0);
+        assert_eq!(s.buckets[3], 2, "no nodes → nothing power-constrained");
+        assert!(s.index < f.n_states());
+    }
+}

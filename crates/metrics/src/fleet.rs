@@ -145,6 +145,20 @@ pub struct FleetAggregate {
     pub pool_timeline: Vec<(u64, usize)>,
     /// Node-epoch utilization samples across the whole fleet.
     pub utilization: UtilizationHistogram,
+    /// Epoch decisions a learned fleet policy took greedily (argmax of
+    /// its value estimates) — the fleet-layer analogue of a session
+    /// controller's exploitation decisions.
+    pub greedy_actions: u64,
+    /// Epoch decisions a learned fleet policy took exploratorily
+    /// (ε-greedy random draws).
+    pub exploratory_actions: u64,
+    /// Epoch decisions planned by a hand-tuned (non-learned) policy.
+    pub heuristic_decisions: u64,
+    /// Scale events (grow or shrink, before clamping) decided by a
+    /// learned policy.
+    pub learned_scale_events: u64,
+    /// Scale events decided by a heuristic policy.
+    pub heuristic_scale_events: u64,
 }
 
 impl FleetAggregate {
@@ -228,6 +242,29 @@ impl FleetAggregate {
         agg.violations = violations;
         agg.energy_j = energy_j;
         agg.duration_s = duration_s;
+    }
+
+    /// Counts one epoch decision by the fleet policy that planned it.
+    /// `learned` says whether a learned (RL) policy or a hand-tuned
+    /// heuristic made the call; for learned policies `exploratory`
+    /// distinguishes ε-greedy draws from greedy argmax picks; `scaled`
+    /// is true when the decision changed the pool size (grow or shrink).
+    pub fn record_policy_decision(&mut self, learned: bool, exploratory: bool, scaled: bool) {
+        if learned {
+            if exploratory {
+                self.exploratory_actions += 1;
+            } else {
+                self.greedy_actions += 1;
+            }
+            if scaled {
+                self.learned_scale_events += 1;
+            }
+        } else {
+            self.heuristic_decisions += 1;
+            if scaled {
+                self.heuristic_scale_events += 1;
+            }
+        }
     }
 
     /// Records how many sessions were warm-started over the run (the
@@ -393,6 +430,21 @@ mod tests {
         assert_eq!(f.nodes[0].violations, 4);
         assert_eq!(f.node_epochs, 1, "resample is not an epoch");
         assert_eq!(f.nodes[0].utilization.count(), 1);
+    }
+
+    #[test]
+    fn policy_decision_counters_split_by_source() {
+        let mut f = FleetAggregate::new(1);
+        f.record_policy_decision(true, false, true); // learned greedy grow
+        f.record_policy_decision(true, true, false); // learned exploratory hold
+        f.record_policy_decision(true, false, false); // learned greedy hold
+        f.record_policy_decision(false, false, true); // heuristic shrink
+        f.record_policy_decision(false, false, false); // heuristic hold
+        assert_eq!(f.greedy_actions, 2);
+        assert_eq!(f.exploratory_actions, 1);
+        assert_eq!(f.heuristic_decisions, 2);
+        assert_eq!(f.learned_scale_events, 1);
+        assert_eq!(f.heuristic_scale_events, 1);
     }
 
     #[test]

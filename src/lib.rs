@@ -21,6 +21,7 @@
 //! | [`metrics`]   | `mamut-metrics`   | QoS (∆), stats, traces, tables            |
 //! | [`fleet`]     | `mamut-fleet`     | cluster, churn, dispatch, KaaS, migration |
 //! | [`scenario`]  | `mamut-scenario`  | workload scenarios, seasonal forecasting  |
+//! | [`fleetrl`]   | `mamut-fleetrl`   | learned fleet scaling & dispatch          |
 //!
 //! Learned state is portable: every [`prelude::Controller`] snapshots to
 //! a versioned binary form (`control::snapshot`), fleets share knowledge
@@ -62,6 +63,7 @@ pub use mamut_baselines as baselines;
 pub use mamut_core as control;
 pub use mamut_encoder as encoder;
 pub use mamut_fleet as fleet;
+pub use mamut_fleetrl as fleetrl;
 pub use mamut_metrics as metrics;
 pub use mamut_platform as platform;
 pub use mamut_scenario as scenario;
@@ -90,6 +92,7 @@ pub mod prelude {
         RoundRobin, SeasonalNaive, SessionClass, ThresholdScaler, UtilizationBalance, Workload,
         WorkloadConfig, WorkloadError,
     };
+    pub use mamut_fleetrl::{FleetPolicy, RlDispatch, RlScaler, TrainConfig, Trainer};
     pub use mamut_platform::Platform;
     pub use mamut_scenario::{MixProfile, Phase, RealizedScenario, Scenario, ScenarioError};
     pub use mamut_transcode::{MixSpec, RunSummary, ServerSim, SessionConfig};

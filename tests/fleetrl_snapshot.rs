@@ -1,0 +1,130 @@
+//! Fleet-policy snapshot invariants, property-tested: the `MAMUTFP`
+//! codec round-trips byte-identically for arbitrarily trained tables,
+//! a restored policy continues making exactly the decisions the
+//! original would, and damaged streams never restore (or mutate the
+//! target).
+
+use mamut::fleetrl::{EpsilonSchedule, FleetPolicy};
+use proptest::prelude::*;
+
+/// Trains a policy with a proptest-drawn workout: `steps` ε-greedy
+/// selections each followed by an update on a mixed state walk. A pure
+/// function of its inputs, so both halves of an equivalence check can
+/// rebuild the same policy.
+fn workout(seed: u64, n_states: usize, steps: u64, alpha: f64, gamma: f64) -> FleetPolicy {
+    let mut policy = FleetPolicy::new(n_states, seed)
+        .with_learning(alpha, gamma)
+        .with_schedule(EpsilonSchedule {
+            start: 0.5,
+            end: 0.05,
+            decay_steps: steps / 2 + 1,
+        });
+    let mut x = seed | 1;
+    let mut next = move || {
+        // SplitMix64 step: cheap, deterministic, well mixed.
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut state = 0usize;
+    for _ in 0..steps {
+        let (action, _) = policy.select(state);
+        let next_state = (next() % n_states as u64) as usize;
+        let reward = (next() as i64 as f64) / (1u64 << 40) as f64;
+        policy.update(state, action, reward, next_state);
+        state = next_state;
+    }
+    policy
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn encode_decode_encode_is_byte_identical(
+        seed in 0u64..u64::MAX,
+        n_states in 1usize..96,
+        steps in 0u64..400,
+    ) {
+        let policy = workout(seed, n_states, steps, 0.2, 0.9);
+        let bytes = policy.snapshot_state();
+        let mut restored = FleetPolicy::new(n_states, 0);
+        restored.restore_state(&bytes).unwrap();
+        prop_assert_eq!(&restored.snapshot_state(), &bytes);
+        prop_assert_eq!(restored.steps(), policy.steps());
+    }
+
+    #[test]
+    fn restored_policy_continues_exactly_like_the_original(
+        seed in 0u64..u64::MAX,
+        n_states in 1usize..64,
+        steps in 1u64..200,
+        tail in 1u64..64,
+    ) {
+        let mut original = workout(seed, n_states, steps, 0.15, 0.92);
+        let mut restored = FleetPolicy::new(n_states, seed ^ 0xABCD);
+        restored.restore_state(&original.snapshot_state()).unwrap();
+
+        // Same post-restore workout on both: identical selections
+        // (ε draws included — the RNG state travels in the snapshot)
+        // and identical bytes after.
+        let mut state = 0usize;
+        for step in 0..tail {
+            let a = original.select(state);
+            let b = restored.select(state);
+            prop_assert_eq!(a, b, "selection diverged at step {}", step);
+            let reward = (step as f64) / 7.0 - 3.0;
+            let next_state = (seed.wrapping_add(step) % n_states as u64) as usize;
+            original.update(state, a.0, reward, next_state);
+            restored.update(state, a.0, reward, next_state);
+            state = next_state;
+        }
+        prop_assert_eq!(original.snapshot_state(), restored.snapshot_state());
+    }
+
+    #[test]
+    fn truncated_streams_never_restore_and_never_mutate(
+        seed in 0u64..u64::MAX,
+        n_states in 1usize..32,
+        cut_back in 1usize..64,
+    ) {
+        let bytes = workout(seed, n_states, 40, 0.2, 0.9).snapshot_state();
+        let cut = bytes.len().saturating_sub(cut_back);
+
+        let pristine = workout(seed ^ 1, n_states, 8, 0.3, 0.8);
+        let before = pristine.snapshot_state();
+        let mut target = workout(seed ^ 1, n_states, 8, 0.3, 0.8);
+        prop_assert!(target.restore_state(&bytes[..cut]).is_err());
+        // A failed restore must leave the target untouched.
+        prop_assert_eq!(target.snapshot_state(), before);
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected(
+        seed in 0u64..u64::MAX,
+        n_states in 2usize..32,
+    ) {
+        let bytes = workout(seed, n_states, 20, 0.2, 0.9).snapshot_state();
+        let mut smaller = FleetPolicy::new(n_states - 1, seed);
+        prop_assert!(smaller.restore_state(&bytes).is_err());
+        let mut bigger = FleetPolicy::new(n_states + 1, seed);
+        prop_assert!(bigger.restore_state(&bytes).is_err());
+    }
+}
+
+#[test]
+fn garbage_and_foreign_magics_are_rejected() {
+    use mamut::fleet::{Forecaster, HoltWinters};
+
+    let mut policy = FleetPolicy::new(4, 1);
+    assert!(policy.restore_state(b"garbage").is_err());
+    assert!(policy.restore_state(b"").is_err());
+    // A valid stream from a *different* MAMUT codec must not restore.
+    let foreign = HoltWinters::new(8).snapshot_state();
+    assert!(policy.restore_state(&foreign).is_err());
+    // The policy still works after every rejection.
+    let _ = policy.select(0);
+    assert_eq!(policy.steps(), 1);
+}
