@@ -159,7 +159,7 @@ impl Agent {
         peer_min_sum: u32,
     ) {
         self.transitions.record(state, action, next_state);
-        self.action_counts[action] += 1;
+        self.action_counts[action] = self.action_counts[action].saturating_add(1);
         let alpha = self.alpha(state, action, peer_min_sum).min(1.0); // first visits can push Eq. 3 above 1; clamp for stability
         let bootstrap = self.q.max_q(next_state);
         let target = reward + self.gamma * bootstrap;

@@ -142,14 +142,18 @@ impl MamutController {
     /// `Σ_{j≠i} min_{a∈A_j} Num(a)` — the Eq. 3 peer term for agent `i`.
     ///
     /// With the `beta_prime = 0` ablation this value is still computed but
-    /// has no effect on α.
+    /// has no effect on α. The sum saturates: knowledge-store merges
+    /// accumulate action counts with saturating arithmetic, so agents
+    /// warm-started from heavily synced fleet knowledge can legitimately
+    /// sit at counts near `u32::MAX`, and a wrapping sum would *invert*
+    /// the Eq. 3 schedule (enormous peer progress reads as almost none).
     fn peer_min_sum(&self, agent: usize) -> u32 {
         self.agents
             .iter()
             .enumerate()
             .filter(|(j, _)| *j != agent)
             .map(|(_, a)| a.min_action_count())
-            .sum()
+            .fold(0, u32::saturating_add)
     }
 
     /// Finalizes the pending update, if any, and returns the state the

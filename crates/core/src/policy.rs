@@ -50,7 +50,7 @@ impl PolicyReport {
             .iter()
             .filter(|k| **k != agent)
             .map(|k| controller.agent(*k).min_action_count())
-            .sum();
+            .fold(0u32, u32::saturating_add);
         let mut entries = Vec::new();
         for idx in 0..STATE_COUNT {
             let visits: u32 = (0..ag.n_actions()).map(|a| ag.visits(idx, a)).sum();

@@ -55,11 +55,12 @@ impl TransitionModel {
     }
 
     /// Records one observed transition.
+    ///
+    /// Counts saturate at `u32::MAX` rather than wrapping — models
+    /// restored from visit-weighted knowledge merges (which saturate by
+    /// design) can arrive here already near the ceiling.
     pub fn record(&mut self, state: usize, action: usize, next_state: usize) {
-        debug_assert!(next_state < self.n_states);
-        let i = self.idx(state, action);
-        *self.counts[i].entry(next_state).or_insert(0) += 1;
-        self.totals[i] += 1;
+        self.record_many(state, action, next_state, 1);
     }
 
     /// `Num(s, a)` — times `action` was taken in `state`.
@@ -125,8 +126,9 @@ impl TransitionModel {
     pub fn record_many(&mut self, state: usize, action: usize, next_state: usize, count: u32) {
         debug_assert!(next_state < self.n_states);
         let i = self.idx(state, action);
-        *self.counts[i].entry(next_state).or_insert(0) += count;
-        self.totals[i] += count;
+        let slot = self.counts[i].entry(next_state).or_insert(0);
+        *slot = slot.saturating_add(count);
+        self.totals[i] = self.totals[i].saturating_add(count);
     }
 
     /// Resets the model to empty (restore starts from a clean slate).

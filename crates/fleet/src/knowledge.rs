@@ -359,6 +359,68 @@ impl KnowledgeStore {
         self.seed_attempts
     }
 
+    /// Folds every entry of `other` into this store under this store's
+    /// merge policy — the inter-shard sync primitive. Knowledge-wise
+    /// this is exactly what publishing other's merged entries here would
+    /// do (the visit-weighted merge is associative: weighting by
+    /// accumulated visit totals makes merging two merged entries equal
+    /// the flat fold over all contributors), and contribution counts
+    /// accumulate. The `publishes`/seed counters are **not** touched:
+    /// absorbing moves knowledge between stores, it is not a session
+    /// finishing — so per-shard invariants like "publishes == sessions
+    /// served" survive any number of syncs.
+    pub fn absorb(&mut self, other: &KnowledgeStore) {
+        for (key, incoming) in &other.entries {
+            match self.entries.get_mut(key) {
+                None => {
+                    self.entries.insert(
+                        key.clone(),
+                        ClassKnowledge {
+                            snapshot: incoming.snapshot.clone(),
+                            contributions: incoming.contributions,
+                            // Derived state: rebuilt lazily (and exactly)
+                            // on the first merge, same as after a restore.
+                            acc: None,
+                        },
+                    );
+                }
+                Some(existing) => {
+                    existing.contributions += incoming.contributions;
+                    let replace = match self.policy {
+                        MergePolicy::Replace => true,
+                        MergePolicy::VisitWeighted => !existing.merge_in(&incoming.snapshot),
+                    };
+                    if replace {
+                        existing.snapshot = incoming.snapshot.clone();
+                        existing.acc = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replaces this store's knowledge with `global`'s — the second half
+    /// of a sync round: shards are absorbed into a fleet-wide fold, then
+    /// each shard adopts the fold so all regions seed from the same
+    /// merged tables. Local counters (`publishes`, seeds) are kept;
+    /// entries and their contribution counts become the global ones.
+    pub fn adopt_knowledge(&mut self, global: &KnowledgeStore) {
+        self.entries = global
+            .entries
+            .iter()
+            .map(|(key, entry)| {
+                (
+                    key.clone(),
+                    ClassKnowledge {
+                        snapshot: entry.snapshot.clone(),
+                        contributions: entry.contributions,
+                        acc: None,
+                    },
+                )
+            })
+            .collect();
+    }
+
     /// Serializes the whole store — merge policy, every class's merged
     /// knowledge, contribution and service counters — through the
     /// std-only snapshot codec, so accumulated fleet knowledge survives
@@ -791,6 +853,62 @@ mod tests {
         assert_eq!(store.publish(SessionClass::Lr, &b), PublishOutcome::Merged);
         let k = store.knowledge(SessionClass::Lr, "t").unwrap();
         assert!((k.snapshot.agents[0].q[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_merges_knowledge_without_counting_publishes() {
+        let (a, b) = (trained(1, 8_000), trained(2, 8_000));
+        // Reference: both sessions publish into one store.
+        let mut flat = KnowledgeStore::new(MergePolicy::VisitWeighted);
+        flat.publish(SessionClass::Hr, &Controller::snapshot(&a));
+        flat.publish(SessionClass::Hr, &Controller::snapshot(&b));
+        // Sharded: one publish per store, then a sync absorb.
+        let mut east = KnowledgeStore::new(MergePolicy::VisitWeighted);
+        let mut west = KnowledgeStore::new(MergePolicy::VisitWeighted);
+        east.publish(SessionClass::Hr, &Controller::snapshot(&a));
+        west.publish(SessionClass::Hr, &Controller::snapshot(&b));
+        east.absorb(&west);
+        assert_eq!(east.publishes(), 1, "absorb is not a publish");
+        let merged = east.knowledge(SessionClass::Hr, "mamut").unwrap();
+        let reference = flat.knowledge(SessionClass::Hr, "mamut").unwrap();
+        assert_eq!(merged.contributions, 2);
+        assert_eq!(
+            merged.snapshot.to_bytes(),
+            reference.snapshot.to_bytes(),
+            "absorbing a single-contributor store equals publishing it here"
+        );
+        // Absorbing into an empty store copies entries wholesale.
+        let mut empty = KnowledgeStore::new(MergePolicy::VisitWeighted);
+        empty.absorb(&east);
+        assert_eq!(empty.publishes(), 0);
+        assert_eq!(
+            empty
+                .knowledge(SessionClass::Hr, "mamut")
+                .unwrap()
+                .snapshot
+                .to_bytes(),
+            merged.snapshot.to_bytes()
+        );
+    }
+
+    #[test]
+    fn adopt_keeps_local_counters_and_takes_global_tables() {
+        let mut global = KnowledgeStore::new(MergePolicy::VisitWeighted);
+        global.publish(SessionClass::Hr, &Controller::snapshot(&trained(1, 8_000)));
+        global.publish(SessionClass::Hr, &Controller::snapshot(&trained(2, 8_000)));
+        let mut shard = KnowledgeStore::new(MergePolicy::VisitWeighted);
+        shard.publish(SessionClass::Hr, &Controller::snapshot(&trained(3, 4_000)));
+        shard.adopt_knowledge(&global);
+        assert_eq!(shard.publishes(), 1, "local history survives adoption");
+        let adopted = shard.knowledge(SessionClass::Hr, "mamut").unwrap();
+        let source = global.knowledge(SessionClass::Hr, "mamut").unwrap();
+        assert_eq!(adopted.contributions, source.contributions);
+        assert_eq!(adopted.snapshot.to_bytes(), source.snapshot.to_bytes());
+        // The adopted entry merges cleanly afterwards (acc rebuilds).
+        assert_eq!(
+            shard.publish(SessionClass::Hr, &Controller::snapshot(&trained(4, 4_000))),
+            PublishOutcome::Merged
+        );
     }
 
     #[test]

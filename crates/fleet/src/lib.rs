@@ -30,7 +30,12 @@
 //!   clock-aligned nodes that warm-start from the knowledge store;
 //! * [`FleetSummary`] — per-node and cluster-wide ∆, power, energy,
 //!   rejected/queued counts, autoscale events, the pool-size timeline
-//!   and a utilization histogram, built on `mamut_metrics::fleet`.
+//!   and a utilization histogram, built on `mamut_metrics::fleet`;
+//! * [`ShardedFleetSim`] — regions/cells of nodes, each a full
+//!   `FleetSim` with its own autoscaler, rebalancer and knowledge-store
+//!   shard, driven in lockstep with periodic inter-shard knowledge sync
+//!   and cross-shard session overflow — the 1k–10k-node scale-out
+//!   topology (see `docs/ARCHITECTURE.md`).
 //!
 //! # Example
 //!
@@ -72,6 +77,7 @@ mod forecast;
 mod knowledge;
 mod node;
 mod rebalance;
+mod shard;
 mod sim;
 mod summary;
 mod workload;
@@ -92,6 +98,7 @@ pub use knowledge::{
 };
 pub use node::{ControllerFactory, FleetNode, MigratedSession, NodeState};
 pub use rebalance::{MigrationDirective, PowerQosBalance, Rebalancer, UtilizationBalance};
+pub use shard::{ShardConfig, ShardedFleetSim, ShardedFleetSummary};
 pub use sim::{FleetConfig, FleetSim, NodeProvisioner};
 pub use summary::{FleetSummary, NodeFacts, NodeReport};
 pub use workload::{SessionRequest, Workload, WorkloadConfig, WorkloadError};

@@ -1,0 +1,631 @@
+//! Sharded fleet coordination: regions/cells of nodes, each a full
+//! [`FleetSim`] with its own dispatcher, autoscaler, rebalancer and
+//! knowledge store, driven in lockstep by one [`ShardedFleetSim`].
+//!
+//! A single coordinator tops out well below the "millions of users"
+//! target: one global rebalance/autoscale pass per epoch, every node
+//! visited every epoch, one `Arc<Mutex>` knowledge store. Sharding
+//! splits the fleet the way real deployments do — by region or cell —
+//! so per-epoch coordination cost is per-shard, shard steps touch only
+//! *active* nodes (the idle fast path parks finished ones), and the
+//! expensive global operations become explicit, infrequent exchanges:
+//!
+//! * **knowledge sync** — every [`ShardConfig::sync_interval`] epochs
+//!   the shard stores are folded into a fleet-wide store (the
+//!   visit-weighted merge is associative, so the fold equals flat
+//!   publishing) and every shard adopts the fold; publish counters stay
+//!   local, so per-shard invariants survive any number of syncs;
+//! * **session overflow** — after every lockstep epoch, if the busiest
+//!   shard's mean utilization exceeds the high watermark while the
+//!   idlest sits below the low one, a live session migrates across the
+//!   shard boundary over the same `detach_session`/`attach_session`
+//!   path rebalancers use inside a shard.
+//!
+//! Everything runs on the coordinating thread in shard-id order, so
+//! the whole stack inherits the fleet's byte-identical determinism for
+//! any worker count. A single-shard configuration is the degenerate
+//! case: its summary is byte-for-byte what the wrapped [`FleetSim`]
+//! would have produced on its own.
+
+use std::sync::Arc;
+
+use mamut_metrics::UtilizationHistogram;
+
+use crate::error::FleetError;
+use crate::knowledge::KnowledgeStore;
+use crate::sim::FleetSim;
+use crate::summary::FleetSummary;
+
+/// Coordination parameters for a sharded fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardConfig {
+    /// Epochs between inter-shard knowledge syncs (0 disables syncing).
+    /// Shards without a knowledge store neither contribute nor adopt.
+    pub sync_interval: u64,
+    /// Mean-utilization watermark above which a shard sheds load.
+    pub overflow_high: f64,
+    /// Mean-utilization watermark below which a shard accepts overflow.
+    pub overflow_low: f64,
+    /// Max sessions moved across shard boundaries per epoch (utilization
+    /// is re-read after every move, so a burst drains gradually instead
+    /// of thrashing).
+    pub max_overflow_per_epoch: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            sync_interval: 8,
+            overflow_high: 0.85,
+            overflow_low: 0.5,
+            max_overflow_per_epoch: 2,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Overrides the knowledge-sync cadence (0 disables syncing).
+    pub fn with_sync_interval(mut self, epochs: u64) -> Self {
+        self.sync_interval = epochs;
+        self
+    }
+
+    /// Overrides the overflow watermarks (shed above `high`, accept
+    /// below `low`).
+    pub fn with_overflow_watermarks(mut self, low: f64, high: f64) -> Self {
+        self.overflow_low = low;
+        self.overflow_high = high;
+        self
+    }
+
+    /// Overrides the per-epoch cross-shard migration budget.
+    pub fn with_max_overflow_per_epoch(mut self, moves: usize) -> Self {
+        self.max_overflow_per_epoch = moves;
+        self
+    }
+}
+
+/// A fleet of fleets: named shards driven in lockstep epochs with
+/// periodic knowledge sync and cross-shard session overflow.
+pub struct ShardedFleetSim {
+    config: ShardConfig,
+    shards: Vec<(String, FleetSim)>,
+    inter_shard_migrations: u64,
+    knowledge_syncs: u64,
+}
+
+impl std::fmt::Debug for ShardedFleetSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedFleetSim")
+            .field("shards", &self.shards.len())
+            .field("inter_shard_migrations", &self.inter_shard_migrations)
+            .field("knowledge_syncs", &self.knowledge_syncs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedFleetSim {
+    /// Creates an empty sharded coordinator. Shards are added with
+    /// [`ShardedFleetSim::add_shard`].
+    pub fn new(config: ShardConfig) -> Self {
+        ShardedFleetSim {
+            config,
+            shards: Vec::new(),
+            inter_shard_migrations: 0,
+            knowledge_syncs: 0,
+        }
+    }
+
+    /// Adds a shard: a fully configured [`FleetSim`] (nodes, dispatcher,
+    /// workload, optional autoscaler/rebalancer/store) under a region
+    /// name. Shards step in the order they were added. All shards must
+    /// share one epoch length — lockstep epochs are what keep clocks
+    /// aligned for cross-shard migration (checked at `run`).
+    pub fn add_shard(&mut self, name: impl Into<String>, sim: FleetSim) -> usize {
+        self.shards.push((name.into(), sim));
+        self.shards.len() - 1
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Sessions moved across shard boundaries so far.
+    pub fn inter_shard_migrations(&self) -> u64 {
+        self.inter_shard_migrations
+    }
+
+    /// Knowledge-sync rounds performed so far.
+    pub fn knowledge_syncs(&self) -> u64 {
+        self.knowledge_syncs
+    }
+
+    /// Runs every shard's workload to completion in lockstep epochs.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::NoNodes`] without shards (or from a shard without
+    /// nodes); [`FleetError::InvalidConfig`] when shards disagree on the
+    /// epoch length; any shard error surfaces unchanged;
+    /// [`FleetError::EpochBudgetExhausted`] when a shard's workload
+    /// cannot drain within its epoch budget.
+    pub fn run(&mut self) -> Result<ShardedFleetSummary, FleetError> {
+        if self.shards.is_empty() {
+            return Err(FleetError::NoNodes);
+        }
+        let epoch_s = self.shards[0].1.config().epoch_s;
+        for (name, sim) in &self.shards {
+            if sim.config().epoch_s != epoch_s {
+                return Err(FleetError::InvalidConfig(format!(
+                    "shard {name} has epoch_s {} but shard {} set {epoch_s} — \
+                     lockstep shards must share one epoch length",
+                    sim.config().epoch_s,
+                    self.shards[0].0,
+                )));
+            }
+        }
+        for (_, sim) in &mut self.shards {
+            sim.begin_run()?;
+        }
+        loop {
+            for (_, sim) in &mut self.shards {
+                sim.step_epoch()?;
+            }
+            if self.shards.len() > 1 {
+                self.route_overflow()?;
+                let epoch = self.shards[0].1.epoch();
+                if self.config.sync_interval > 0 && epoch.is_multiple_of(self.config.sync_interval)
+                {
+                    self.sync_knowledge();
+                }
+            }
+            if self.shards.iter().all(|(_, sim)| sim.is_drained()) {
+                break;
+            }
+            // Only an undrained shard can be stuck: a shard that finished
+            // early keeps stepping in lockstep (cheap idle epochs under
+            // the fast path) without burning its own budget.
+            for (_, sim) in &self.shards {
+                if !sim.is_drained() && sim.epoch() >= sim.config().max_epochs {
+                    return Err(FleetError::EpochBudgetExhausted {
+                        epochs: sim.epoch(),
+                    });
+                }
+            }
+        }
+        let epochs = self.shards[0].1.epoch();
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for (name, sim) in &mut self.shards {
+            shards.push((name.clone(), sim.finish_run()?));
+        }
+        Ok(ShardedFleetSummary {
+            epochs,
+            duration_s: epochs as f64 * epoch_s,
+            shards,
+            inter_shard_migrations: self.inter_shard_migrations,
+            knowledge_syncs: self.knowledge_syncs,
+        })
+    }
+
+    /// Moves up to the per-epoch budget of sessions from the shard above
+    /// the high watermark to the shard below the low one. Utilization is
+    /// re-read after every move; ties break toward the lower shard id,
+    /// so routing is deterministic.
+    fn route_overflow(&mut self) -> Result<(), FleetError> {
+        for _ in 0..self.config.max_overflow_per_epoch {
+            let utils: Vec<f64> = self
+                .shards
+                .iter_mut()
+                .map(|(_, sim)| sim.mean_active_utilization())
+                .collect();
+            let source = (0..utils.len())
+                .max_by(|&a, &b| {
+                    utils[a]
+                        .partial_cmp(&utils[b])
+                        .expect("utilization is finite")
+                        .then(b.cmp(&a))
+                })
+                .expect("at least two shards");
+            let target = (0..utils.len())
+                .min_by(|&a, &b| {
+                    utils[a]
+                        .partial_cmp(&utils[b])
+                        .expect("utilization is finite")
+                        .then(a.cmp(&b))
+                })
+                .expect("at least two shards");
+            if source == target
+                || utils[source] <= self.config.overflow_high
+                || utils[target] >= self.config.overflow_low
+            {
+                return Ok(());
+            }
+            let Some(migrated) = self.shards[source].1.overflow_detach()? else {
+                return Ok(()); // the hot shard holds no live session
+            };
+            self.shards[target].1.overflow_attach(migrated)?;
+            self.inter_shard_migrations += 1;
+        }
+        Ok(())
+    }
+
+    /// One knowledge-sync round: fold every shard store (shard-id order)
+    /// into a fleet-wide store, then every shard adopts the fold. Shards
+    /// sharing one `Arc` store are folded once; shards without a store
+    /// are skipped. Publish and seed counters stay local — syncing moves
+    /// knowledge, it is not a session finishing.
+    fn sync_knowledge(&mut self) {
+        let mut stores = Vec::new();
+        for (_, sim) in &self.shards {
+            if let Some(store) = sim.knowledge_ref() {
+                if !stores.iter().any(|s| Arc::ptr_eq(s, store)) {
+                    stores.push(Arc::clone(store));
+                }
+            }
+        }
+        if stores.len() < 2 {
+            return; // nothing to exchange
+        }
+        let policy = stores[0].lock().expect("knowledge store poisoned").policy();
+        let mut global = KnowledgeStore::new(policy);
+        for store in &stores {
+            global.absorb(&store.lock().expect("knowledge store poisoned"));
+        }
+        for store in &stores {
+            store
+                .lock()
+                .expect("knowledge store poisoned")
+                .adopt_knowledge(&global);
+        }
+        self.knowledge_syncs += 1;
+    }
+}
+
+/// Whole-cluster results of a sharded run: per-shard [`FleetSummary`]s
+/// plus the cross-shard counters, with frames-weighted cluster rollups.
+/// The [`std::fmt::Display`] rendering prefixes every per-shard row with
+/// `shard=<name>` — including each shard's pool-size timeline — so a
+/// sharded run is debuggable from the summary alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedFleetSummary {
+    /// Lockstep epochs simulated (identical across shards).
+    pub epochs: u64,
+    /// Virtual duration (s).
+    pub duration_s: f64,
+    /// Per-shard summaries in shard-id order, with their region names.
+    pub shards: Vec<(String, FleetSummary)>,
+    /// Sessions moved across shard boundaries by the overflow router.
+    pub inter_shard_migrations: u64,
+    /// Knowledge-sync rounds performed.
+    pub knowledge_syncs: u64,
+}
+
+impl ShardedFleetSummary {
+    /// Frames completed across every shard.
+    pub fn total_frames(&self) -> u64 {
+        self.shards.iter().map(|(_, s)| s.total_frames).sum()
+    }
+
+    /// Sessions admitted across every shard.
+    pub fn total_sessions(&self) -> u64 {
+        self.shards.iter().map(|(_, s)| s.total_sessions).sum()
+    }
+
+    /// Powered node-epochs across every shard.
+    pub fn node_epochs(&self) -> u64 {
+        self.shards.iter().map(|(_, s)| s.node_epochs).sum()
+    }
+
+    /// Total cluster energy (J) across every shard.
+    pub fn total_energy_j(&self) -> f64 {
+        self.shards.iter().map(|(_, s)| s.total_energy_j).sum()
+    }
+
+    /// Cluster-wide ∆, frames-weighted across shards (the same weighting
+    /// [`FleetSummary`] applies across nodes).
+    pub fn cluster_violation_percent(&self) -> f64 {
+        let frames = self.total_frames();
+        if frames == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .shards
+            .iter()
+            .map(|(_, s)| s.cluster_violation_percent * s.total_frames as f64)
+            .sum();
+        weighted / frames as f64
+    }
+
+    /// Node-epoch utilization across every shard, bucket-merged.
+    pub fn utilization(&self) -> UtilizationHistogram {
+        let mut merged = UtilizationHistogram::new();
+        for (_, s) in &self.shards {
+            merged.merge(&s.utilization);
+        }
+        merged
+    }
+}
+
+impl std::fmt::Display for ShardedFleetSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "ShardedFleetSummary — {} shard(s), {} epochs, {:.1} s virtual | {} inter-shard migrations | {} knowledge syncs",
+            self.shards.len(),
+            self.epochs,
+            self.duration_s,
+            self.inter_shard_migrations,
+            self.knowledge_syncs
+        )?;
+        for (name, s) in &self.shards {
+            writeln!(
+                f,
+                "shard={name} [{}]: {} nodes | delta {:.2}% | {} sessions ({} mig+, {} mig-) | {} frames | {} node-epochs | {} scale-ups | {} scale-downs",
+                s.policy,
+                s.nodes.len(),
+                s.cluster_violation_percent,
+                s.total_sessions,
+                s.nodes.iter().map(|n| n.migrated_in).sum::<u64>(),
+                s.nodes.iter().map(|n| n.migrated_out).sum::<u64>(),
+                s.total_frames,
+                s.node_epochs,
+                s.scale_ups,
+                s.scale_downs
+            )?;
+            if s.pool_timeline.len() > 1 || !s.phase_marks.is_empty() {
+                writeln!(
+                    f,
+                    "shard={name} pool-size timeline: {}",
+                    s.render_pool_timeline()
+                )?;
+            }
+        }
+        writeln!(
+            f,
+            "cluster: delta {:.2}% | {} sessions | {} frames | {} node-epochs | {:.0} J",
+            self.cluster_violation_percent(),
+            self.total_sessions(),
+            self.total_frames(),
+            self.node_epochs(),
+            self.total_energy_j()
+        )?;
+        writeln!(
+            f,
+            "cluster node-epoch utilization: {}",
+            self.utilization().render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::{LeastLoaded, RoundRobin};
+    use crate::knowledge::{KnowledgeStore, MergePolicy, SessionClass};
+    use crate::node::ControllerFactory;
+    use crate::sim::FleetConfig;
+    use crate::workload::{SessionRequest, Workload, WorkloadConfig};
+    use mamut_core::{FixedController, KnobSettings};
+
+    fn fixed_factory() -> ControllerFactory {
+        Box::new(|req| {
+            let threads = if req.hr { 10 } else { 4 };
+            Box::new(FixedController::new(KnobSettings::new(32, threads, 2.9)))
+        })
+    }
+
+    fn workload(seed: u64, sessions: usize) -> Workload {
+        Workload::generate(&WorkloadConfig {
+            seed,
+            sessions,
+            mean_interarrival_s: 1.0,
+            vod_frames: (30, 90),
+            live_frames: (90, 180),
+            ..WorkloadConfig::default()
+        })
+    }
+
+    fn shard_sim(seed: u64, sessions: usize, nodes: usize) -> FleetSim {
+        let mut sim = FleetSim::new(
+            FleetConfig::default().with_worker_threads(2),
+            Box::new(LeastLoaded::new()),
+            workload(seed, sessions),
+        );
+        for _ in 0..nodes {
+            sim.add_node(fixed_factory());
+        }
+        sim
+    }
+
+    #[test]
+    fn no_shards_errors() {
+        let mut sharded = ShardedFleetSim::new(ShardConfig::default());
+        assert_eq!(sharded.run().unwrap_err(), FleetError::NoNodes);
+    }
+
+    #[test]
+    fn mismatched_epoch_lengths_error() {
+        let mut sharded = ShardedFleetSim::new(ShardConfig::default());
+        sharded.add_shard("a", shard_sim(1, 4, 2));
+        let mut odd = FleetSim::new(
+            FleetConfig::default().with_epoch_s(0.5),
+            Box::new(RoundRobin::new()),
+            workload(2, 4),
+        );
+        odd.add_node(fixed_factory());
+        sharded.add_shard("b", odd);
+        assert!(matches!(
+            sharded.run().unwrap_err(),
+            FleetError::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn single_shard_is_byte_identical_to_the_unsharded_fleet() {
+        let plain = shard_sim(11, 8, 3).run().unwrap();
+        let mut sharded = ShardedFleetSim::new(ShardConfig::default());
+        sharded.add_shard("solo", shard_sim(11, 8, 3));
+        let summary = sharded.run().unwrap();
+        assert_eq!(summary.shards.len(), 1);
+        assert_eq!(summary.inter_shard_migrations, 0);
+        assert_eq!(summary.knowledge_syncs, 0);
+        assert_eq!(
+            summary.shards[0].1, plain,
+            "degenerate config must not drift"
+        );
+        assert_eq!(summary.shards[0].1.to_string(), plain.to_string());
+    }
+
+    #[test]
+    fn lockstep_shards_serve_every_arrival() {
+        let mut sharded = ShardedFleetSim::new(ShardConfig::default());
+        sharded.add_shard("east", shard_sim(21, 6, 2));
+        sharded.add_shard("west", shard_sim(22, 10, 2));
+        let summary = sharded.run().unwrap();
+        assert_eq!(summary.total_sessions(), 16);
+        assert_eq!(
+            summary.total_frames(),
+            summary
+                .shards
+                .iter()
+                .map(|(_, s)| s.total_frames)
+                .sum::<u64>()
+        );
+        assert!(summary.total_frames() > 0);
+        // Lockstep: both shards report the run's epoch count.
+        for (_, s) in &summary.shards {
+            assert_eq!(s.epochs, summary.epochs);
+        }
+        let text = summary.to_string();
+        assert!(text.contains("shard=east"), "{text}");
+        assert!(text.contains("shard=west"), "{text}");
+        assert!(text.contains("cluster:"), "{text}");
+    }
+
+    /// An overloaded one-node shard next to an idle one: the router must
+    /// shed sessions across the boundary and nothing may be lost.
+    #[test]
+    fn overflow_routes_sessions_from_hot_to_cold_shards() {
+        let hot_arrivals: Vec<SessionRequest> = (0..6)
+            .map(|i| SessionRequest {
+                id: i,
+                arrival_s: 0.1 * i as f64,
+                hr: true,
+                live: false,
+                frames: 600,
+                seed: i,
+            })
+            .collect();
+        let expected_frames: u64 = hot_arrivals.iter().map(|r| r.frames).sum();
+        let mut hot = FleetSim::new(
+            FleetConfig::default(),
+            Box::new(LeastLoaded::new()),
+            Workload::replay(hot_arrivals),
+        );
+        hot.add_node(fixed_factory());
+        let mut cold = FleetSim::new(
+            FleetConfig::default(),
+            Box::new(LeastLoaded::new()),
+            Workload::replay(Vec::new()),
+        );
+        cold.add_node(fixed_factory());
+        cold.add_node(fixed_factory());
+
+        let mut sharded =
+            ShardedFleetSim::new(ShardConfig::default().with_overflow_watermarks(0.5, 0.9));
+        sharded.add_shard("hot", hot);
+        sharded.add_shard("cold", cold);
+        let summary = sharded.run().unwrap();
+        assert!(
+            summary.inter_shard_migrations > 0,
+            "the hot shard never shed load: {summary}"
+        );
+        assert_eq!(
+            summary.total_frames(),
+            expected_frames,
+            "moves never lose frames"
+        );
+        let cold_in: u64 = summary.shards[1]
+            .1
+            .nodes
+            .iter()
+            .map(|n| n.migrated_in)
+            .sum();
+        assert_eq!(cold_in, summary.inter_shard_migrations);
+        assert!(
+            summary.shards[1].1.total_frames > 0,
+            "overflow sessions finish on the cold shard"
+        );
+        let text = summary.to_string();
+        assert!(text.contains("inter-shard migrations"), "{text}");
+    }
+
+    #[test]
+    fn knowledge_syncs_spread_tables_without_faking_publishes() {
+        use mamut_core::{MamutConfig, MamutController};
+        let learner_factory = || -> ControllerFactory {
+            Box::new(|req| {
+                let cfg = if req.hr {
+                    MamutConfig::paper_hr()
+                } else {
+                    MamutConfig::paper_lr()
+                };
+                Box::new(MamutController::new(cfg.with_seed(req.seed)).unwrap())
+            })
+        };
+        let mut sharded = ShardedFleetSim::new(ShardConfig::default().with_sync_interval(2));
+        let mut stores = Vec::new();
+        for (i, name) in ["east", "west"].iter().enumerate() {
+            let store = KnowledgeStore::new(MergePolicy::VisitWeighted).into_shared();
+            let mut sim = FleetSim::new(
+                FleetConfig::default(),
+                Box::new(LeastLoaded::new()),
+                workload(31 + i as u64, 6),
+            );
+            sim.add_node(learner_factory());
+            sim.add_node(learner_factory());
+            sim.set_knowledge_store(Arc::clone(&store));
+            sharded.add_shard(*name, sim);
+            stores.push(store);
+        }
+        let summary = sharded.run().unwrap();
+        assert!(summary.knowledge_syncs > 0, "sync cadence never fired");
+        for (store, (_, shard)) in stores.iter().zip(&summary.shards) {
+            let store = store.lock().unwrap();
+            assert_eq!(
+                store.publishes(),
+                shard.total_sessions,
+                "sync must not count as publishing"
+            );
+            // After the final sync both shards hold the fleet-wide fold.
+            assert!(store.knowledge(SessionClass::Hr, "mamut").is_some());
+        }
+        let east = stores[0].lock().unwrap();
+        let west = stores[1].lock().unwrap();
+        let (a, b) = (
+            east.knowledge(SessionClass::Hr, "mamut"),
+            west.knowledge(SessionClass::Hr, "mamut"),
+        );
+        if let (Some(a), Some(b)) = (a, b) {
+            if summary.epochs.is_multiple_of(2) {
+                // The run ended on a sync boundary: stores are identical.
+                assert_eq!(a.snapshot.to_bytes(), b.snapshot.to_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_runs_are_reproducible() {
+        let build = || {
+            let mut sharded = ShardedFleetSim::new(ShardConfig::default());
+            sharded.add_shard("east", shard_sim(41, 6, 2));
+            sharded.add_shard("west", shard_sim(42, 6, 2));
+            sharded
+        };
+        let a = build().run().unwrap();
+        let b = build().run().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), b.to_string());
+    }
+}

@@ -39,7 +39,7 @@ use crate::autoscale::{Autoscaler, ScaleDecision, ScaleSignals};
 use crate::dispatch::{DispatchDecision, Dispatcher, NodeView};
 use crate::error::FleetError;
 use crate::knowledge::{warm_start_factory, SharedKnowledgeStore};
-use crate::node::{ControllerFactory, FleetNode};
+use crate::node::{ControllerFactory, FleetNode, MigratedSession};
 use crate::rebalance::Rebalancer;
 use crate::summary::{FleetSummary, NodeFacts};
 use crate::workload::{SessionRequest, Workload};
@@ -70,6 +70,15 @@ pub struct FleetConfig {
     /// is clamped here — the backstop behind whatever `max_nodes` the
     /// scaling policy itself enforces.
     pub max_pool_nodes: usize,
+    /// Idle-node fast path: a node whose sessions have all finished has
+    /// its next event beyond every epoch horizon, so the coordinator
+    /// parks it in a *dormant set* — skipping its per-epoch refresh,
+    /// advance, harvest and metrics work — and replays the missed idle
+    /// epochs exactly (same boundaries, same sensor records, same
+    /// aggregate pushes) the moment the node is touched again. Results
+    /// are byte-identical with the flag on or off; per-epoch coordinator
+    /// cost scales with *active* nodes instead of pool size.
+    pub idle_fast_path: bool,
 }
 
 impl Default for FleetConfig {
@@ -81,6 +90,7 @@ impl Default for FleetConfig {
             max_events_per_epoch: 10_000_000,
             max_epochs: 100_000,
             max_pool_nodes: 512,
+            idle_fast_path: true,
         }
     }
 }
@@ -97,6 +107,30 @@ impl FleetConfig {
         self.epoch_s = epoch_s;
         self
     }
+
+    /// Enables or disables the idle-node fast path (on by default).
+    pub fn with_idle_fast_path(mut self, enabled: bool) -> Self {
+        self.idle_fast_path = enabled;
+        self
+    }
+}
+
+/// A parked idle node: everything the coordinator needs to serve reads
+/// on its behalf and to replay its missed epochs exactly at wake time.
+/// While a node is dormant nothing about it can change, so the frozen
+/// view and QoS totals are bitwise what per-epoch recomputation would
+/// produce.
+struct DormantNode {
+    /// First epoch whose advance was skipped.
+    from_epoch: u64,
+    /// The node's view at dormancy entry (post-refresh).
+    view: NodeView,
+    /// Lifetime frame total at entry (constant while dormant).
+    frames: u64,
+    /// Lifetime violation total at entry (constant while dormant).
+    violations: u64,
+    /// Utilization sample every skipped epoch would have recorded.
+    utilization: f64,
 }
 
 /// A cluster of transcoding nodes behind one dispatcher.
@@ -113,6 +147,12 @@ pub struct FleetSim {
     autoscaler: Option<Box<dyn Autoscaler>>,
     provisioner: Option<NodeProvisioner>,
     phase_marks: Vec<(u64, String)>,
+    /// Idle nodes parked by the fast path, keyed by node id (BTreeMap
+    /// for deterministic iteration at settle time).
+    dormant: std::collections::BTreeMap<usize, DormantNode>,
+    /// Warm starts already served when the run began (finish subtracts
+    /// it so the summary counts this run's seeds only).
+    seeds_at_start: u64,
 }
 
 impl std::fmt::Debug for FleetSim {
@@ -143,6 +183,8 @@ impl FleetSim {
             autoscaler: None,
             provisioner: None,
             phase_marks: Vec::new(),
+            dormant: std::collections::BTreeMap::new(),
+            seeds_at_start: 0,
         }
     }
 
@@ -235,17 +277,106 @@ impl FleetSim {
     }
 
     /// Refreshes every active node and returns their views, in id order.
+    /// Dormant nodes serve their frozen view (state cannot change while
+    /// parked, so the clone is bitwise what recomputation would yield).
     fn active_views(&mut self) -> Vec<NodeView> {
-        for node in &mut self.nodes {
-            if node.is_active() {
-                node.refresh();
+        let mut views = Vec::with_capacity(self.nodes.len());
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].is_active() {
+                continue;
+            }
+            if let Some(parked) = self.dormant.get(&self.nodes[i].id()) {
+                views.push(parked.view.clone());
+            } else {
+                self.nodes[i].refresh();
+                views.push(self.nodes[i].view());
             }
         }
-        self.nodes
+        views
+    }
+
+    /// Parks every active node whose sessions have all finished: its
+    /// next event lies beyond every epoch horizon, so per-epoch work on
+    /// it is pure idle accounting — deferred to [`FleetSim::wake_node`]
+    /// and replayed exactly there. Runs at the top of each epoch, after
+    /// the previous epoch's harvest, so a parked node has nothing left
+    /// to publish.
+    fn update_dormant(&mut self) {
+        for i in 0..self.nodes.len() {
+            let id = self.nodes[i].id();
+            if !self.nodes[i].is_active()
+                || !self.nodes[i].all_finished()
+                || self.dormant.contains_key(&id)
+            {
+                continue;
+            }
+            self.nodes[i].refresh();
+            let view = self.nodes[i].view();
+            let utilization = view.utilization();
+            let (frames, violations) = Self::qos_totals(&self.nodes[i]);
+            self.dormant.insert(
+                id,
+                DormantNode {
+                    from_epoch: self.epoch,
+                    view,
+                    frames,
+                    violations,
+                    utilization,
+                },
+            );
+        }
+    }
+
+    /// Lifetime `(frames, violations)` totals across a node's sessions —
+    /// the fold the per-epoch aggregate record uses.
+    fn qos_totals(node: &FleetNode) -> (u64, u64) {
+        node.server()
+            .sessions()
             .iter()
-            .filter(|n| n.is_active())
-            .map(FleetNode::view)
-            .collect()
+            .fold((0u64, 0u64), |(f, v), s| {
+                (f + s.qos().frames(), v + s.qos().violations())
+            })
+    }
+
+    /// Un-parks a dormant node, replaying every skipped epoch exactly:
+    /// each missed boundary gets the same `run_epoch` call (one idle
+    /// sensor record per epoch — identical fp sequence to the unskipped
+    /// run) and the same aggregate record the live loop would have made.
+    /// `end_exclusive` is the first epoch the caller will handle
+    /// normally: the current epoch for pre-advance wakes (dispatch,
+    /// decommission, settle), the next for post-advance wakes
+    /// (rebalance-attach after this epoch's advance).
+    fn wake_node(&mut self, id: usize, end_exclusive: u64) -> Result<(), FleetError> {
+        let Some(parked) = self.dormant.remove(&id) else {
+            return Ok(());
+        };
+        let max_events = self.config.max_events_per_epoch;
+        for k in parked.from_epoch..end_exclusive {
+            let until = (k + 1) as f64 * self.config.epoch_s;
+            self.nodes[id]
+                .run_epoch(until, max_events)
+                .map_err(|source| FleetError::Node { node: id, source })?;
+            let server = self.nodes[id].server();
+            self.aggregate.record_node_epoch(
+                id,
+                parked.frames,
+                parked.violations,
+                server.sensor().total_energy_j(),
+                server.sensor().total_time_s(),
+                parked.utilization,
+            );
+        }
+        Ok(())
+    }
+
+    /// Replays every still-dormant node through the end of the run so
+    /// idle time and energy are fully accounted before the summary.
+    fn settle_dormant(&mut self) -> Result<(), FleetError> {
+        let parked: Vec<usize> = self.dormant.keys().copied().collect();
+        for id in parked {
+            self.wake_node(id, self.epoch)?;
+        }
+        Ok(())
     }
 
     /// Runs the whole workload to completion: every arrival dispatched
@@ -258,6 +389,24 @@ impl FleetSim {
     /// [`FleetError::EpochBudgetExhausted`] if the workload cannot drain
     /// (e.g. a gating policy queues a session no node can ever fit).
     pub fn run(&mut self) -> Result<FleetSummary, FleetError> {
+        self.begin_run()?;
+        loop {
+            self.step_epoch()?;
+            if self.is_drained() {
+                break;
+            }
+            if self.epoch >= self.config.max_epochs {
+                return Err(FleetError::EpochBudgetExhausted { epochs: self.epoch });
+            }
+        }
+        self.finish_run()
+    }
+
+    /// Validates the configuration and resets run-scoped state. The
+    /// sharded coordinator calls this once per shard before driving
+    /// epochs itself; [`FleetSim::run`] is exactly `begin_run` + a
+    /// `step_epoch` loop + `finish_run`.
+    pub(crate) fn begin_run(&mut self) -> Result<(), FleetError> {
         if self.nodes.is_empty() {
             return Err(FleetError::NoNodes);
         }
@@ -268,56 +417,70 @@ impl FleetSim {
             )));
         }
         self.aggregate = FleetAggregate::new(self.nodes.len());
-        let seeds_at_start = self.seeds_served();
-        loop {
-            let epoch_start = self.epoch as f64 * self.config.epoch_s;
-            let boundary = (self.epoch + 1) as f64 * self.config.epoch_s;
-            self.autoscale(epoch_start)?;
-            self.aggregate
-                .record_pool_size(self.epoch, self.active_node_count());
-            self.dispatch_due(epoch_start)?;
-            // Utilization is sampled after placement, before advancement:
-            // it describes the demand each node carries *through* the
-            // epoch being simulated. Only active nodes burn a node-epoch.
-            let utilizations: Vec<(usize, f64)> = self
-                .nodes
-                .iter_mut()
-                .filter(|n| n.is_active())
-                .map(|n| {
-                    n.refresh();
-                    (n.id(), n.view().utilization())
-                })
-                .collect();
-            self.advance_nodes(boundary)?;
-            for (id, util) in utilizations {
-                let node = &self.nodes[id];
-                let server = node.server();
-                let (frames, violations) =
-                    server.sessions().iter().fold((0u64, 0u64), |(f, v), s| {
-                        (f + s.qos().frames(), v + s.qos().violations())
-                    });
-                self.aggregate.record_node_epoch(
-                    id,
-                    frames,
-                    violations,
-                    server.sensor().total_energy_j(),
-                    server.sensor().total_time_s(),
-                    util,
-                );
-            }
-            self.harvest_knowledge();
-            self.rebalance()?;
-            self.epoch += 1;
-            let drained = self.pending.is_empty() && self.queued.is_empty();
-            if drained && self.nodes.iter().all(FleetNode::all_finished) {
-                break;
-            }
-            if self.epoch >= self.config.max_epochs {
-                return Err(FleetError::EpochBudgetExhausted { epochs: self.epoch });
-            }
+        self.dormant.clear();
+        self.seeds_at_start = self.seeds_served();
+        Ok(())
+    }
+
+    /// Simulates one epoch: autoscale, dispatch, advance, record,
+    /// harvest, rebalance — the exact op order the monolithic loop used,
+    /// so a run driven step-by-step is byte-identical to `run`.
+    pub(crate) fn step_epoch(&mut self) -> Result<(), FleetError> {
+        let epoch_start = self.epoch as f64 * self.config.epoch_s;
+        let boundary = (self.epoch + 1) as f64 * self.config.epoch_s;
+        if self.config.idle_fast_path {
+            self.update_dormant();
         }
+        self.autoscale(epoch_start)?;
         self.aggregate
-            .set_warm_starts(self.seeds_served() - seeds_at_start);
+            .record_pool_size(self.epoch, self.active_node_count());
+        self.dispatch_due(epoch_start)?;
+        // Utilization is sampled after placement, before advancement:
+        // it describes the demand each node carries *through* the
+        // epoch being simulated. Only active nodes burn a node-epoch;
+        // dormant nodes' samples are replayed at wake time.
+        let utilizations: Vec<(usize, f64)> = self
+            .nodes
+            .iter_mut()
+            .filter(|n| n.is_active() && !self.dormant.contains_key(&n.id()))
+            .map(|n| {
+                n.refresh();
+                (n.id(), n.view().utilization())
+            })
+            .collect();
+        self.advance_nodes(boundary)?;
+        for (id, util) in utilizations {
+            let node = &self.nodes[id];
+            let server = node.server();
+            let (frames, violations) = Self::qos_totals(node);
+            self.aggregate.record_node_epoch(
+                id,
+                frames,
+                violations,
+                server.sensor().total_energy_j(),
+                server.sensor().total_time_s(),
+                util,
+            );
+        }
+        self.harvest_knowledge();
+        self.rebalance()?;
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Whether the workload is fully served: no arrivals left to place
+    /// and every admitted session transcoded to the end.
+    pub(crate) fn is_drained(&self) -> bool {
+        self.pending.is_empty()
+            && self.queued.is_empty()
+            && self.nodes.iter().all(FleetNode::all_finished)
+    }
+
+    /// Settles dormant nodes and assembles the run report.
+    pub(crate) fn finish_run(&mut self) -> Result<FleetSummary, FleetError> {
+        self.settle_dormant()?;
+        self.aggregate
+            .set_warm_starts(self.seeds_served() - self.seeds_at_start);
         let facts: Vec<NodeFacts> = self
             .nodes
             .iter()
@@ -337,6 +500,77 @@ impl FleetSim {
             self.phase_marks.clone(),
             self.nodes.iter().map(FleetNode::summary).collect(),
         ))
+    }
+
+    /// Epochs simulated so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The fleet configuration in force.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The attached knowledge store, if any (the sharded coordinator
+    /// syncs shard stores through this).
+    pub(crate) fn knowledge_ref(&self) -> Option<&SharedKnowledgeStore> {
+        self.knowledge.as_ref()
+    }
+
+    /// Mean thread-demand utilization over the active pool (0.0 when
+    /// empty) — the load signal the sharded coordinator's overflow
+    /// router compares across shards.
+    pub(crate) fn mean_active_utilization(&mut self) -> f64 {
+        let views = self.active_views();
+        if views.is_empty() {
+            0.0
+        } else {
+            views.iter().map(NodeView::utilization).sum::<f64>() / views.len() as f64
+        }
+    }
+
+    /// Detaches one live session for cross-shard overflow: the busiest
+    /// active node's migration candidate (most frames remaining). `None`
+    /// when no node holds a live session.
+    pub(crate) fn overflow_detach(&mut self) -> Result<Option<MigratedSession>, FleetError> {
+        let mut views = self.active_views();
+        views.sort_by(|a, b| {
+            b.utilization()
+                .partial_cmp(&a.utilization())
+                .expect("utilization is finite")
+                .then(a.node_id.cmp(&b.node_id))
+        });
+        for view in views {
+            if let Some(sid) = self.nodes[view.node_id].migration_candidate() {
+                let migrated = self.nodes[view.node_id].detach_session(sid)?;
+                return Ok(Some(migrated));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Attaches an overflow session from a peer shard onto the
+    /// least-utilized active node (lowest id on ties), waking it first
+    /// if the fast path had parked it. Called between epochs, after
+    /// every shard has stepped, so clocks are aligned at the boundary.
+    pub(crate) fn overflow_attach(
+        &mut self,
+        migrated: MigratedSession,
+    ) -> Result<usize, FleetError> {
+        let views = self.active_views();
+        let target = views
+            .iter()
+            .min_by(|a, b| {
+                a.utilization()
+                    .partial_cmp(&b.utilization())
+                    .expect("utilization is finite")
+                    .then(a.node_id.cmp(&b.node_id))
+            })
+            .expect("pool never drains below one active node")
+            .node_id;
+        self.wake_node(target, self.epoch)?;
+        Ok(self.nodes[target].attach_session(migrated))
     }
 
     /// Consults the autoscaler (if installed) and executes its decision:
@@ -433,6 +667,9 @@ impl FleetSim {
     /// peer takes each, recomputed per session so consecutive placements
     /// see each other's load), then powers the node down.
     fn drain_and_retire(&mut self, victim: usize) -> Result<(), FleetError> {
+        // A dormant victim must account its skipped idle epochs before
+        // its clock stops for good (retired nodes are never settled).
+        self.wake_node(victim, self.epoch)?;
         let drained = self.nodes[victim].drain()?;
         for migrated in drained {
             let target = self
@@ -450,6 +687,7 @@ impl FleetSim {
                 })
                 .map(|(id, _)| id)
                 .expect("pool never drains below one active node");
+            self.wake_node(target, self.epoch)?;
             self.nodes[target].attach_session(migrated);
             self.aggregate.record_drained_session();
         }
@@ -493,6 +731,11 @@ impl FleetSim {
         };
         let mut store = store.lock().expect("knowledge store poisoned");
         for node in &mut self.nodes {
+            // A dormant node published everything before it was parked;
+            // scanning its sessions again would find nothing.
+            if self.dormant.contains_key(&node.id()) {
+                continue;
+            }
             node.harvest_finished(&mut store);
         }
     }
@@ -527,6 +770,11 @@ impl FleetSim {
             let Some(sid) = self.nodes[from].migration_candidate() else {
                 continue; // the donor drained during this epoch
             };
+            // Rebalance runs after this epoch's advance, so a dormant
+            // receiver replays through the *next* epoch's start to align
+            // clocks at the boundary. (A dormant donor never gets here:
+            // all its sessions finished, so it has no candidate.)
+            self.wake_node(to, self.epoch + 1)?;
             let migrated = self.nodes[from].detach_session(sid)?;
             // No mid-flight publish here: the session keeps learning and
             // publishes exactly once, at finish, from whichever node
@@ -544,20 +792,34 @@ impl FleetSim {
     /// late, never before it exists (placement must stay causal for the
     /// policy comparisons to mean anything).
     fn dispatch_due(&mut self, now: f64) -> Result<(), FleetError> {
+        if self.queued.is_empty() && !self.pending.front().is_some_and(|r| r.arrival_s <= now) {
+            return Ok(()); // quiet boundary: skip the view build entirely
+        }
         let mut due: Vec<SessionRequest> = self.queued.drain(..).collect();
         while self.pending.front().is_some_and(|r| r.arrival_s <= now) {
             due.push(self.pending.pop_front().expect("front checked"));
         }
+        // Views are built once per round and patched in place after each
+        // placement: an admit changes only the assigned node's state, so
+        // refreshing just that view keeps consecutive placements in one
+        // epoch exactly as informed as rebuilding everything (the
+        // decisions are byte-identical; the cost drops from O(pool) to
+        // O(1) per admit). Only active nodes are offered — a retired (or
+        // never-commissioned) node takes no work.
+        let mut views = self.active_views();
         for request in due {
-            // Fresh views per request so consecutive placements in one
-            // epoch see each other's load. Only active nodes are offered
-            // — a retired (or never-commissioned) node takes no work.
-            let views = self.active_views();
             match self.dispatcher.dispatch(&request, &views) {
                 DispatchDecision::Assign(id)
                     if id < self.nodes.len() && self.nodes[id].is_active() =>
                 {
+                    self.wake_node(id, self.epoch)?;
                     self.nodes[id].admit(&request);
+                    let pos = views
+                        .iter()
+                        .position(|v| v.node_id == id)
+                        .expect("active nodes all have views");
+                    self.nodes[id].refresh();
+                    views[pos] = self.nodes[id].view();
                 }
                 DispatchDecision::Assign(id) => {
                     // A policy bug, not a capacity rejection — surface it.
@@ -585,8 +847,12 @@ impl FleetSim {
     /// share nothing within an epoch, the partition affects wall-clock
     /// time only.
     fn advance_nodes(&mut self, boundary: f64) -> Result<(), FleetError> {
-        let mut active: Vec<&mut FleetNode> =
-            self.nodes.iter_mut().filter(|n| n.is_active()).collect();
+        let dormant = &self.dormant;
+        let mut active: Vec<&mut FleetNode> = self
+            .nodes
+            .iter_mut()
+            .filter(|n| n.is_active() && !dormant.contains_key(&n.id()))
+            .collect();
         if active.is_empty() {
             return Ok(());
         }
@@ -1066,6 +1332,40 @@ mod tests {
             "commissioned nodes must seed from the store: {summary}"
         );
         assert_eq!(store.lock().unwrap().publishes(), summary.total_sessions);
+    }
+
+    #[test]
+    fn idle_fast_path_is_byte_identical_to_the_slow_path() {
+        // The elastic fleet exercises every wake point: dispatch admits
+        // onto parked nodes, the rebalancer attaches to them, shrink
+        // drains through them, and settle replays the stragglers.
+        let run = |fast: bool| {
+            let mut sim = elastic_fleet(2);
+            sim.config.idle_fast_path = fast;
+            sim.run().unwrap().to_string()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn step_driven_run_parks_idle_nodes_and_matches_run() {
+        // Four round-robin nodes, staggered finishes: early finishers
+        // must end up in the dormant set mid-run, and the step-by-step
+        // drive must reproduce `run()` exactly.
+        let mut sim = fleet(4, 1, Box::new(RoundRobin::new()));
+        sim.begin_run().unwrap();
+        let mut ever_dormant = 0usize;
+        loop {
+            sim.step_epoch().unwrap();
+            ever_dormant = ever_dormant.max(sim.dormant.len());
+            if sim.is_drained() {
+                break;
+            }
+        }
+        let stepped = sim.finish_run().unwrap();
+        assert!(ever_dormant > 0, "early finishers were never parked");
+        let whole = fleet(4, 1, Box::new(RoundRobin::new())).run().unwrap();
+        assert_eq!(stepped, whole);
     }
 
     #[test]

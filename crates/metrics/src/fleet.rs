@@ -58,6 +58,14 @@ impl UtilizationHistogram {
         &self.counts
     }
 
+    /// Folds another histogram's samples into this one, bucket by bucket
+    /// — used to roll per-shard utilization up into a cluster-wide view.
+    pub fn merge(&mut self, other: &UtilizationHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+    }
+
     /// Total samples recorded.
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
@@ -349,6 +357,24 @@ mod tests {
         assert_eq!(h.counts()[1], 1); // 0.1
         assert_eq!(h.counts()[9], 3); // 0.99, 1.0, clamped 2.5
         assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn histogram_merge_adds_bucket_counts() {
+        let mut a = UtilizationHistogram::new();
+        a.record(0.05);
+        a.record(0.95);
+        let mut b = UtilizationHistogram::new();
+        b.record(0.08);
+        b.record(0.55);
+        a.merge(&b);
+        assert_eq!(a.counts()[0], 2);
+        assert_eq!(a.counts()[5], 1);
+        assert_eq!(a.counts()[9], 1);
+        assert_eq!(a.total(), 4);
+        // Merging an empty histogram is a no-op.
+        a.merge(&UtilizationHistogram::new());
+        assert_eq!(a.total(), 4);
     }
 
     #[test]

@@ -254,6 +254,29 @@ impl RealizedScenario {
         self.arrivals.is_empty()
     }
 
+    /// Splits the realized arrivals into `regions` per-shard workloads
+    /// for a sharded fleet: each arrival is assigned a region by a
+    /// seeded draw (one `StdRng` stream derived from the scenario seed
+    /// and the region count, consumed in arrival order), so the split
+    /// is deterministic, every arrival lands in exactly one region, and
+    /// re-splitting the same realization always produces the same
+    /// partition. Arrival times and session parameters are untouched —
+    /// a region's workload is simply the subsequence routed to it.
+    ///
+    /// `regions == 0` is treated as 1 (the degenerate single-shard
+    /// split, which returns the full workload).
+    pub fn regional_workloads(&self, regions: usize) -> Vec<Workload> {
+        let regions = regions.max(1);
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (regions as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut buckets: Vec<Vec<SessionRequest>> = vec![Vec::new(); regions];
+        for request in &self.arrivals {
+            let region = rng.gen_range(0..regions);
+            buckets[region].push(request.clone());
+        }
+        buckets.into_iter().map(Workload::replay).collect()
+    }
+
     /// Phase marks quantized to a fleet's epoch grid, for
     /// `FleetSim::set_phase_marks`: a phase starting mid-epoch is
     /// attributed to the next boundary, matching how the fleet admits
@@ -388,6 +411,49 @@ mod tests {
         assert_eq!(
             r.phase_marks(4.0),
             vec![(0, "steady".to_owned()), (8, "flash-crowd".to_owned())]
+        );
+    }
+
+    #[test]
+    fn regional_split_partitions_every_arrival_deterministically() {
+        let r = two_phase().realize().unwrap();
+        let regions = r.regional_workloads(3);
+        assert_eq!(regions.len(), 3);
+        // A partition: every arrival lands in exactly one region.
+        let total: usize = regions.iter().map(Workload::len).sum();
+        assert_eq!(total, r.len());
+        let mut ids: Vec<u64> = regions
+            .iter()
+            .flat_map(|w| w.arrivals().iter().map(|a| a.id))
+            .collect();
+        ids.sort_unstable();
+        let mut expected: Vec<u64> = r.arrivals.iter().map(|a| a.id).collect();
+        expected.sort_unstable();
+        assert_eq!(ids, expected);
+        // Within a region, arrival order (and times) are preserved.
+        for w in &regions {
+            assert!(w
+                .arrivals()
+                .windows(2)
+                .all(|p| p[0].arrival_s <= p[1].arrival_s));
+        }
+        // Deterministic: the same realization splits identically.
+        let again = r.regional_workloads(3);
+        for (a, b) in regions.iter().zip(&again) {
+            assert_eq!(a.arrivals(), b.arrivals());
+        }
+        // Different region counts draw from distinct streams but still
+        // partition; 0 degrades to the single-shard split.
+        assert_eq!(
+            r.regional_workloads(1)[0].arrivals(),
+            &r.arrivals[..],
+            "single region is the whole trace"
+        );
+        assert_eq!(r.regional_workloads(0).len(), 1);
+        // With enough arrivals the draw actually spreads load.
+        assert!(
+            regions.iter().filter(|w| !w.is_empty()).count() > 1,
+            "split never used more than one region"
         );
     }
 

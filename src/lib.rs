@@ -89,8 +89,8 @@ pub mod prelude {
         AdmissionGated, Autoscaler, Dispatcher, FleetConfig, FleetSim, FleetSummary,
         ForecastScaler, Forecaster, GateMode, HoltWinters, KnowledgeStore, LeastLoaded,
         MergePolicy, NodeView, PowerAware, PowerQosBalance, PredictiveScaler, Rebalancer,
-        RoundRobin, SeasonalNaive, SessionClass, ThresholdScaler, UtilizationBalance, Workload,
-        WorkloadConfig, WorkloadError,
+        RoundRobin, SeasonalNaive, SessionClass, ShardConfig, ShardedFleetSim, ShardedFleetSummary,
+        ThresholdScaler, UtilizationBalance, Workload, WorkloadConfig, WorkloadError,
     };
     pub use mamut_fleetrl::{FleetPolicy, RlDispatch, RlScaler, TrainConfig, Trainer};
     pub use mamut_platform::Platform;

@@ -1,0 +1,151 @@
+//! Sharded-coordinator edge cases exercised through the public facade:
+//! cross-shard session overflow landing in a shard that is itself
+//! draining a node, the single-shard degenerate configuration, and the
+//! idle-node fast path all have to compose without changing the physics.
+
+use mamut::fleet::{Autoscaler, ScaleDecision, ScaleSignals, SessionRequest};
+use mamut::prelude::*;
+
+fn factory() -> mamut::fleet::ControllerFactory {
+    Box::new(|req| {
+        let threads = if req.hr { 10 } else { 4 };
+        Box::new(FixedController::new(KnobSettings::new(32, threads, 2.9)))
+    })
+}
+
+fn request(id: u64, arrival_s: f64, hr: bool, frames: u64) -> SessionRequest {
+    SessionRequest {
+        id,
+        arrival_s,
+        hr,
+        live: false,
+        frames,
+        seed: id,
+    }
+}
+
+/// Retires one node at a fixed epoch — the smallest policy that puts a
+/// shard mid-drain at a chosen moment.
+struct ShrinkOnce {
+    at_epoch: u64,
+    done: bool,
+}
+
+impl Autoscaler for ShrinkOnce {
+    fn name(&self) -> &'static str {
+        "shrink-once"
+    }
+
+    fn plan(&mut self, signals: &ScaleSignals) -> ScaleDecision {
+        if !self.done && signals.epoch == self.at_epoch {
+            self.done = true;
+            ScaleDecision::Shrink(1)
+        } else {
+            ScaleDecision::Hold
+        }
+    }
+}
+
+/// Hot shard: one node buried under long HR sessions, utilization far
+/// above the overflow high watermark for many epochs.
+fn hot_shard(workers: usize, idle_fast_path: bool) -> FleetSim {
+    let arrivals = (0..8).map(|i| request(i, 0.0, true, 600)).collect();
+    let mut sim = FleetSim::new(
+        FleetConfig::default()
+            .with_worker_threads(workers)
+            .with_idle_fast_path(idle_fast_path),
+        Box::new(LeastLoaded::new()),
+        Workload::replay(arrivals),
+    );
+    sim.add_node(factory());
+    sim
+}
+
+/// Cold shard: three lightly loaded nodes, with one retired mid-run
+/// while it still holds a live session — overflow from the hot shard
+/// keeps arriving during and after the drain.
+fn cold_shard(workers: usize, idle_fast_path: bool) -> FleetSim {
+    let arrivals = (100..103).map(|i| request(i, 0.0, false, 400)).collect();
+    let mut sim = FleetSim::new(
+        FleetConfig::default()
+            .with_worker_threads(workers)
+            .with_idle_fast_path(idle_fast_path),
+        Box::new(LeastLoaded::new()),
+        Workload::replay(arrivals),
+    );
+    for _ in 0..3 {
+        sim.add_node(factory());
+    }
+    sim.set_autoscaler(
+        Box::new(ShrinkOnce {
+            at_epoch: 2,
+            done: false,
+        }),
+        Box::new(|| (Platform::xeon_e5_2667_v4(), factory())),
+    );
+    sim
+}
+
+fn run(workers: usize, idle_fast_path: bool) -> ShardedFleetSummary {
+    let mut sharded =
+        ShardedFleetSim::new(ShardConfig::default().with_overflow_watermarks(0.5, 0.9));
+    sharded.add_shard("hot", hot_shard(workers, idle_fast_path));
+    sharded.add_shard("cold", cold_shard(workers, idle_fast_path));
+    sharded.run().expect("sharded run completes")
+}
+
+#[test]
+fn overflow_lands_in_a_draining_shard_without_losing_work() {
+    let summary = run(2, true);
+    let (_, hot) = &summary.shards[0];
+    let (_, cold) = &summary.shards[1];
+
+    // The hot/cold imbalance overflowed sessions into the cold shard...
+    assert!(
+        summary.inter_shard_migrations > 0,
+        "no overflow happened:\n{summary}"
+    );
+    let cold_in: u64 = cold.nodes.iter().map(|n| n.migrated_in).sum();
+    assert!(
+        cold_in >= summary.inter_shard_migrations,
+        "cold shard saw {cold_in} inbound migrations, expected at least {}",
+        summary.inter_shard_migrations
+    );
+
+    // ...while the cold shard was retiring a node that held a session.
+    assert_eq!(cold.scale_downs, 1, "the shrink never happened:\n{cold}");
+    assert!(
+        cold.drained_sessions >= 1,
+        "the retired node was empty — the drain path went unexercised:\n{cold}"
+    );
+    assert!(cold.nodes.iter().any(|n| n.retired));
+
+    // Conservation: every frame of every arrival ran exactly once.
+    let expected_frames = 8 * 600 + 3 * 400;
+    assert_eq!(summary.total_frames(), expected_frames);
+    assert_eq!(summary.total_sessions(), 11);
+    assert_eq!(hot.total_sessions + cold.total_sessions, 11);
+}
+
+#[test]
+fn overflow_into_draining_shard_is_deterministic() {
+    let reference = run(1, true).to_string();
+    for workers in [2, 8] {
+        assert_eq!(reference, run(workers, true).to_string());
+    }
+    // The idle-node fast path is an execution detail: skipping dormant
+    // nodes must not change a single byte, even with overflow waking
+    // parked nodes mid-run.
+    assert_eq!(reference, run(2, false).to_string());
+}
+
+#[test]
+fn single_shard_config_matches_the_unsharded_fleet() {
+    let mut sharded = ShardedFleetSim::new(ShardConfig::default());
+    sharded.add_shard("only", hot_shard(2, true));
+    let sharded_summary = sharded.run().expect("single-shard run completes");
+    let plain = hot_shard(2, true).run().expect("plain run completes");
+    assert_eq!(sharded_summary.shards[0].1.to_string(), plain.to_string());
+    assert_eq!(sharded_summary.inter_shard_migrations, 0);
+    assert_eq!(sharded_summary.knowledge_syncs, 0);
+}
