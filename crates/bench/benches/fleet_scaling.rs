@@ -56,7 +56,7 @@ fn workload(nodes: usize) -> Workload {
     // Session lengths stay full-sized even in quick mode: the gated
     // throughput figure needs enough wall time per run that scheduler
     // noise on a shared CI runner averages out.
-    Workload::generate(&WorkloadConfig {
+    Workload::try_generate(&WorkloadConfig {
         seed: 5,
         sessions: sessions_per_node() * nodes,
         // Same offered load per node regardless of fleet size.
@@ -66,6 +66,7 @@ fn workload(nodes: usize) -> Workload {
         vod_frames: (240, 720),
         live_frames: (960, 2_400),
     })
+    .expect("valid workload config")
 }
 
 fn run(nodes: usize, workers: usize) -> (FleetSummary, f64) {

@@ -35,6 +35,16 @@ pub enum FleetError {
         /// The missing session id.
         session: usize,
     },
+    /// `retire` was called on a node still holding live sessions. Drain
+    /// them to peers first (`drain` + `attach_session`); only a scripted
+    /// crash may take sessions down with a node, and that goes through
+    /// the explicit crash-kill path, never through `retire`.
+    RetireWithLiveSessions {
+        /// The node that refused to retire.
+        node: usize,
+        /// Live sessions still resident.
+        live: usize,
+    },
     /// The rebalance policy produced an unusable directive (out-of-range
     /// node id, or source and target identical).
     InvalidMigration {
@@ -65,6 +75,10 @@ impl std::fmt::Display for FleetError {
             FleetError::UnknownSession { node, session } => {
                 write!(f, "node {node} holds no live session {session}")
             }
+            FleetError::RetireWithLiveSessions { node, live } => write!(
+                f,
+                "node {node} cannot retire with {live} live session(s); drain first"
+            ),
             FleetError::InvalidMigration { from, to, nodes } => write!(
                 f,
                 "rebalancer directed {from} -> {to} in a fleet of {nodes} nodes"

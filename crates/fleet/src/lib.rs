@@ -35,7 +35,15 @@
 //!   `FleetSim` with its own autoscaler, rebalancer and knowledge-store
 //!   shard, driven in lockstep with periodic inter-shard knowledge sync
 //!   and cross-shard session overflow — the 1k–10k-node scale-out
-//!   topology (see `docs/ARCHITECTURE.md`).
+//!   topology (see `docs/ARCHITECTURE.md`);
+//! * [`FaultPlan`] / [`CheckpointPolicy`] — deterministic fault
+//!   injection (crashes, thermal throttles, sync loss, shard
+//!   partitions) with periodic bit-exact session checkpoints: a crashed
+//!   node's sessions are recovered onto survivors from the last
+//!   [`CheckpointBundle`], re-done work is accounted (never silently
+//!   lost), replacements warm-start from the knowledge store, and the
+//!   summary reports availability and MTTR. Chaos runs stay
+//!   byte-identical across worker counts.
 //!
 //! # Example
 //!
@@ -45,12 +53,13 @@
 //!     FleetConfig, FleetSim, LeastLoaded, Workload, WorkloadConfig,
 //! };
 //!
-//! let workload = Workload::generate(&WorkloadConfig {
+//! let workload = Workload::try_generate(&WorkloadConfig {
 //!     sessions: 6,
 //!     vod_frames: (24, 48),
 //!     live_frames: (48, 96),
 //!     ..WorkloadConfig::default()
-//! });
+//! })
+//! .expect("valid workload config");
 //! let mut fleet = FleetSim::new(
 //!     FleetConfig::default(),
 //!     Box::new(LeastLoaded::new()),
@@ -73,6 +82,7 @@
 mod autoscale;
 mod dispatch;
 mod error;
+mod fault;
 mod forecast;
 mod knowledge;
 mod node;
@@ -91,6 +101,10 @@ pub use dispatch::{
     RoundRobin,
 };
 pub use error::FleetError;
+pub use fault::{
+    CheckpointBundle, CheckpointPolicy, FaultEvent, FaultPlan, NodeCheckpoint, SessionCheckpoint,
+    CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
 pub use forecast::{Forecaster, HoltWinters, SeasonalNaive, FORECAST_STATE_VERSION};
 pub use knowledge::{
     warm_start_factory, ClassKnowledge, KnowledgeStore, MergePolicy, PublishOutcome, SessionClass,

@@ -9,14 +9,18 @@ use mamut_transcode::{RunSummary, ServerSim, StreamShape, TranscodeError, Transc
 
 use crate::dispatch::NodeView;
 use crate::error::FleetError;
+use crate::fault::SessionCheckpoint;
 use crate::knowledge::{KnowledgeStore, SessionClass};
 use crate::workload::SessionRequest;
 
 /// A live session in transit between two nodes: the transcoding state
-/// (controller included) plus the planning shape the dispatcher tracks.
+/// (controller included) plus the planning shape the dispatcher tracks
+/// and the originating request (so a later crash of the new host can
+/// still rebuild the session's controller through a factory).
 pub struct MigratedSession {
     pub(crate) session: TranscodeSession,
     pub(crate) shape: StreamShape,
+    pub(crate) request: SessionRequest,
 }
 
 impl MigratedSession {
@@ -78,6 +82,11 @@ pub struct FleetNode {
     /// life (a stream that suffered through a burst long ago must not
     /// read as distressed forever).
     qos_marks: std::collections::BTreeMap<usize, (u64, u64)>,
+    /// The arrival that created each resident live session, keyed by
+    /// session id — what checkpoint capture and crash recovery need to
+    /// rebuild a session's config and controller elsewhere. Pruned with
+    /// `shapes` on [`FleetNode::refresh`].
+    requests: std::collections::BTreeMap<usize, SessionRequest>,
 }
 
 impl std::fmt::Debug for FleetNode {
@@ -110,6 +119,7 @@ impl FleetNode {
             sessions_migrated_out: 0,
             published: std::collections::BTreeSet::new(),
             qos_marks: std::collections::BTreeMap::new(),
+            requests: std::collections::BTreeMap::new(),
         }
     }
 
@@ -130,9 +140,52 @@ impl FleetNode {
 
     /// Powers the node off. Call only after [`FleetNode::drain`] — a
     /// retired node never advances again, so a live session left behind
-    /// would be frozen forever.
-    pub(crate) fn retire(&mut self) {
+    /// would be frozen forever. That invariant is enforced here: a node
+    /// still holding live sessions refuses to retire.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::RetireWithLiveSessions`] when live sessions are
+    /// still resident. The deliberate live-session teardown — a scripted
+    /// crash — goes through [`FleetNode::crash_kill`] instead, which is
+    /// an explicit, separately audited path, never a default.
+    pub(crate) fn retire(&mut self) -> Result<(), FleetError> {
+        self.refresh();
+        if !self.shapes.is_empty() {
+            return Err(FleetError::RetireWithLiveSessions {
+                node: self.id,
+                live: self.shapes.len(),
+            });
+        }
         self.state = NodeState::Retired;
+        Ok(())
+    }
+
+    /// Fail-stop crash: every live session is torn down *with its
+    /// in-progress state* and the node is force-retired (the one path
+    /// allowed to bypass the [`FleetNode::retire`] guard). Returns the
+    /// lost sessions' requests with their frame counts at the moment of
+    /// death, in session-id order — the coordinator re-creates them on
+    /// survivors and accounts the re-done work. Finished sessions stay:
+    /// their history and published policies belong to this node.
+    pub(crate) fn crash_kill(&mut self) -> Vec<(SessionRequest, u64)> {
+        self.refresh();
+        let live: Vec<usize> = self.shapes.iter().map(|(sid, _)| *sid).collect();
+        let mut lost = Vec::with_capacity(live.len());
+        for sid in live {
+            if let Ok(session) = self.server.detach_session(sid) {
+                let request = self
+                    .requests
+                    .remove(&sid)
+                    .expect("every live session was admitted or attached with a request");
+                lost.push((request, session.frames_completed()));
+                // The detached session is dropped here: that is the
+                // crash. Its work since the last checkpoint is gone.
+            }
+        }
+        self.shapes.clear();
+        self.state = NodeState::Retired;
+        lost
     }
 
     /// Aligns a freshly commissioned node's clock with the fleet (see
@@ -170,6 +223,7 @@ impl FleetNode {
             .add_session(request.session_config(), controller);
         self.shapes
             .push((sid, StreamShape::for_spec(&request.spec())));
+        self.requests.insert(sid, request.clone());
         self.sessions_admitted += 1;
         sid
     }
@@ -185,6 +239,9 @@ impl FleetNode {
                 .map(|s| !s.is_finished())
                 .unwrap_or(false)
         });
+        let live: std::collections::BTreeSet<usize> =
+            self.shapes.iter().map(|(sid, _)| *sid).collect();
+        self.requests.retain(|sid, _| live.contains(sid));
     }
 
     /// The dispatcher's read-only view of this node right now. Pair with
@@ -264,8 +321,16 @@ impl FleetNode {
                 session: sid,
             })?;
         let (_, shape) = self.shapes.remove(pos);
+        let request = self
+            .requests
+            .remove(&sid)
+            .expect("every live session was admitted or attached with a request");
         self.sessions_migrated_out += 1;
-        Ok(MigratedSession { session, shape })
+        Ok(MigratedSession {
+            session,
+            shape,
+            request,
+        })
     }
 
     /// Detaches every live (unfinished) session for migration to peers —
@@ -284,11 +349,85 @@ impl FleetNode {
     /// Counts as a migration, not an admission — cluster-wide session
     /// totals are unaffected by moves.
     pub fn attach_session(&mut self, migrated: MigratedSession) -> usize {
-        let MigratedSession { session, shape } = migrated;
+        let MigratedSession {
+            session,
+            shape,
+            request,
+        } = migrated;
         let sid = self.server.attach_session(session);
         self.shapes.push((sid, shape));
+        self.requests.insert(sid, request);
         self.sessions_migrated_in += 1;
         sid
+    }
+
+    /// Captures every resident live session for a fleet checkpoint, in
+    /// session-id order. Pure observation — the node's state, clocks and
+    /// fp sequences are untouched, so a checkpointed run stays
+    /// byte-identical to an uncheckpointed one.
+    pub(crate) fn checkpoint_sessions(&mut self) -> Vec<SessionCheckpoint> {
+        self.refresh();
+        self.shapes
+            .iter()
+            .map(|(sid, _)| {
+                let session = self
+                    .server
+                    .session(*sid)
+                    .expect("refresh keeps only resident sessions");
+                SessionCheckpoint {
+                    request: self.requests[sid].clone(),
+                    frames_completed: session.frames_completed(),
+                    bytes: self
+                        .server
+                        .checkpoint_session(*sid)
+                        .expect("refresh keeps only live sessions"),
+                }
+            })
+            .collect()
+    }
+
+    /// Adopts a session lost in a peer's crash: restored bit-exactly
+    /// from checkpoint bytes when provided and decodable, otherwise
+    /// restarted from scratch off its original request. Returns whether
+    /// the checkpoint was used. Either way this is a recovery, not an
+    /// admission — cluster-wide session totals already counted the
+    /// original arrival.
+    pub(crate) fn adopt_recovered(
+        &mut self,
+        request: &SessionRequest,
+        checkpoint: Option<&[u8]>,
+    ) -> bool {
+        if let Some(bytes) = checkpoint {
+            let controller = (self.factory)(request);
+            match TranscodeSession::restore_checkpoint(request.session_config(), controller, bytes)
+            {
+                Ok(session) => {
+                    let sid = self.server.attach_session(session);
+                    self.shapes
+                        .push((sid, StreamShape::for_spec(&request.spec())));
+                    self.requests.insert(sid, request.clone());
+                    return true;
+                }
+                Err(_) => {
+                    // A corrupt entry degrades to a cold restart below:
+                    // the session is re-done in full, never dropped.
+                }
+            }
+        }
+        let controller = (self.factory)(request);
+        let sid = self
+            .server
+            .add_session(request.session_config(), controller);
+        self.shapes
+            .push((sid, StreamShape::for_spec(&request.spec())));
+        self.requests.insert(sid, request.clone());
+        false
+    }
+
+    /// Applies (or lifts, with `None`) a thermal-throttle frequency cap
+    /// on the node's server.
+    pub(crate) fn set_freq_cap(&mut self, cap_ghz: Option<f64>) {
+        self.server.set_freq_cap(cap_ghz);
     }
 
     /// Publishes the learned policy of every session that has finished
@@ -426,9 +565,70 @@ mod tests {
         let mut n = node();
         assert_eq!(n.state(), NodeState::Active);
         assert!(n.is_active());
-        n.retire();
+        n.retire().unwrap();
         assert_eq!(n.state(), NodeState::Retired);
         assert!(!n.is_active());
+    }
+
+    #[test]
+    fn retire_refuses_live_sessions_but_crash_kill_takes_them() {
+        let mut n = node();
+        n.admit(&request(1, false, 5_000));
+        n.admit(&request(2, true, 5_000));
+        n.run_epoch(2.0, 1_000_000).unwrap();
+        assert_eq!(
+            n.retire(),
+            Err(FleetError::RetireWithLiveSessions { node: 0, live: 2 })
+        );
+        assert!(n.is_active(), "a refused retire leaves the node running");
+        let lost = n.crash_kill();
+        assert_eq!(lost.len(), 2);
+        assert!(lost.iter().all(|(_, frames)| *frames > 0));
+        assert_eq!(lost[0].0.id, 1);
+        assert_eq!(lost[1].0.id, 2);
+        assert!(!n.is_active());
+        assert!(n.crash_kill().is_empty(), "crashing a corpse finds nothing");
+    }
+
+    #[test]
+    fn checkpoint_then_adopt_restores_a_session_bit_exactly() {
+        let mut origin = node();
+        origin.admit(&request(1, false, 4_000));
+        origin.run_epoch(2.0, 1_000_000).unwrap();
+        let cks = origin.checkpoint_sessions();
+        assert_eq!(cks.len(), 1);
+        assert_eq!(cks[0].request.id, 1);
+        assert!(cks[0].frames_completed > 0);
+
+        // An undisturbed twin runs straight through...
+        let mut twin = node();
+        twin.admit(&request(1, false, 4_000));
+        twin.run_epoch(2.0, 1_000_000).unwrap();
+        twin.run_epoch(4.0, 1_000_000).unwrap();
+
+        // ...while a fresh node adopts the checkpoint and continues.
+        let mut adopter = node();
+        adopter.align_clock(2.0).unwrap();
+        assert!(adopter.adopt_recovered(&cks[0].request, Some(&cks[0].bytes)));
+        adopter.run_epoch(4.0, 1_000_000).unwrap();
+
+        let a = adopter.summary();
+        let b = twin.summary();
+        // Session-level results continue bit-exactly (server-level energy
+        // differs: the adopter joined at t = 2 s and skipped an epoch).
+        assert_eq!(a.sessions[0].frames, b.sessions[0].frames);
+        assert_eq!(a.sessions[0].mean_fps, b.sessions[0].mean_fps);
+        assert_eq!(a.sessions[0].mean_psnr_db, b.sessions[0].mean_psnr_db);
+        assert_eq!(
+            a.sessions[0].mean_bitrate_mbps,
+            b.sessions[0].mean_bitrate_mbps
+        );
+
+        // Garbage bytes degrade to a cold restart, never a loss.
+        let mut cold = node();
+        assert!(!cold.adopt_recovered(&cks[0].request, Some(b"nonsense")));
+        assert_eq!(cold.view().active_sessions, 1);
+        assert_eq!(cold.sessions_admitted(), 0, "recovery is not an admission");
     }
 
     #[test]

@@ -32,6 +32,7 @@ use std::sync::Arc;
 use mamut_metrics::UtilizationHistogram;
 
 use crate::error::FleetError;
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::knowledge::KnowledgeStore;
 use crate::sim::FleetSim;
 use crate::summary::FleetSummary;
@@ -92,6 +93,20 @@ pub struct ShardedFleetSim {
     shards: Vec<(String, FleetSim)>,
     inter_shard_migrations: u64,
     knowledge_syncs: u64,
+    /// Coordinator copy of the fault plan: sync-loss and partition
+    /// events execute here; node-level events run inside the shards.
+    fault_plan: Option<FaultPlan>,
+    /// Cursor into the plan's (epoch-sorted) event list.
+    next_fault: usize,
+    /// Upcoming sync rounds to suppress (injected sync loss).
+    sync_loss_rounds: u64,
+    /// Sync rounds that were due but suppressed by injected sync loss.
+    sync_rounds_lost: u64,
+    /// Partitioned shards as `(shard, until_epoch)`: cut off from
+    /// overflow routing and knowledge sync (their nodes keep serving).
+    partitions: Vec<(usize, u64)>,
+    /// Shard-epochs spent partitioned from the coordinator.
+    partition_epochs: u64,
 }
 
 impl std::fmt::Debug for ShardedFleetSim {
@@ -113,7 +128,30 @@ impl ShardedFleetSim {
             shards: Vec::new(),
             inter_shard_migrations: 0,
             knowledge_syncs: 0,
+            fault_plan: None,
+            next_fault: 0,
+            sync_loss_rounds: 0,
+            sync_rounds_lost: 0,
+            partitions: Vec::new(),
+            partition_epochs: 0,
         }
+    }
+
+    /// Installs a fault plan across the sharded deployment — call after
+    /// every shard has been added. Node-level events (crashes, thermal
+    /// throttles) are executed by the shard their `(shard, node)`
+    /// address names; coordinator-level events run here: a
+    /// [`FaultEvent::SyncLoss`] suppresses the next due knowledge-sync
+    /// rounds, and a [`FaultEvent::ShardPartition`] cuts a shard off
+    /// from overflow routing and knowledge sync for its duration (the
+    /// shard's nodes keep serving — the partition severs coordination,
+    /// not the shard).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        for (index, (_, sim)) in self.shards.iter_mut().enumerate() {
+            sim.set_shard_index(index);
+            sim.set_fault_plan(plan.clone());
+        }
+        self.fault_plan = Some(plan);
     }
 
     /// Adds a shard: a fully configured [`FleetSim`] (nodes, dispatcher,
@@ -173,11 +211,17 @@ impl ShardedFleetSim {
                 sim.step_epoch()?;
             }
             if self.shards.len() > 1 {
-                self.route_overflow()?;
                 let epoch = self.shards[0].1.epoch();
+                self.apply_coordinator_faults(epoch);
+                self.route_overflow()?;
                 if self.config.sync_interval > 0 && epoch.is_multiple_of(self.config.sync_interval)
                 {
-                    self.sync_knowledge();
+                    if self.sync_loss_rounds > 0 {
+                        self.sync_loss_rounds -= 1;
+                        self.sync_rounds_lost += 1;
+                    } else {
+                        self.sync_knowledge();
+                    }
                 }
             }
             if self.shards.iter().all(|(_, sim)| sim.is_drained()) {
@@ -205,7 +249,47 @@ impl ShardedFleetSim {
             shards,
             inter_shard_migrations: self.inter_shard_migrations,
             knowledge_syncs: self.knowledge_syncs,
+            sync_rounds_lost: self.sync_rounds_lost,
+            partition_epochs: self.partition_epochs,
         })
+    }
+
+    /// Executes coordinator-level fault events due by `epoch` (sync loss
+    /// and shard partitions) and advances the partition bookkeeping.
+    /// Node-level events in the same plan are skipped here — each shard
+    /// executes its own through its plan copy.
+    fn apply_coordinator_faults(&mut self, epoch: u64) {
+        self.partitions.retain(|&(_, until)| until > epoch);
+        let mut due = Vec::new();
+        if let Some(plan) = &self.fault_plan {
+            let events = plan.events();
+            while self.next_fault < events.len() && events[self.next_fault].epoch() <= epoch {
+                due.push(events[self.next_fault].clone());
+                self.next_fault += 1;
+            }
+        }
+        for event in due {
+            match event {
+                FaultEvent::SyncLoss { rounds, .. } => {
+                    self.sync_loss_rounds += rounds;
+                }
+                FaultEvent::ShardPartition {
+                    shard,
+                    duration_epochs,
+                    ..
+                } if shard < self.shards.len() => {
+                    self.partitions
+                        .push((shard, epoch + duration_epochs.max(1)));
+                }
+                _ => {} // node-level events belong to their shard
+            }
+        }
+        self.partition_epochs += self.partitions.len() as u64;
+    }
+
+    /// Shard indices currently cut off from coordination.
+    fn partitioned(&self) -> std::collections::BTreeSet<usize> {
+        self.partitions.iter().map(|&(shard, _)| shard).collect()
     }
 
     /// Moves up to the per-epoch budget of sessions from the shard above
@@ -214,30 +298,42 @@ impl ShardedFleetSim {
     /// so routing is deterministic.
     fn route_overflow(&mut self) -> Result<(), FleetError> {
         for _ in 0..self.config.max_overflow_per_epoch {
-            let utils: Vec<f64> = self
-                .shards
-                .iter_mut()
-                .map(|(_, sim)| sim.mean_active_utilization())
+            // A partitioned shard is unreachable: it neither sheds nor
+            // accepts overflow until the partition heals.
+            let cut = self.partitioned();
+            let eligible: Vec<usize> = (0..self.shards.len())
+                .filter(|i| !cut.contains(i))
                 .collect();
-            let source = (0..utils.len())
+            if eligible.len() < 2 {
+                return Ok(());
+            }
+            let utils: std::collections::BTreeMap<usize, f64> = eligible
+                .iter()
+                .map(|&i| (i, self.shards[i].1.mean_active_utilization()))
+                .collect();
+            let source = eligible
+                .iter()
+                .copied()
                 .max_by(|&a, &b| {
-                    utils[a]
-                        .partial_cmp(&utils[b])
+                    utils[&a]
+                        .partial_cmp(&utils[&b])
                         .expect("utilization is finite")
                         .then(b.cmp(&a))
                 })
-                .expect("at least two shards");
-            let target = (0..utils.len())
+                .expect("at least two eligible shards");
+            let target = eligible
+                .iter()
+                .copied()
                 .min_by(|&a, &b| {
-                    utils[a]
-                        .partial_cmp(&utils[b])
+                    utils[&a]
+                        .partial_cmp(&utils[&b])
                         .expect("utilization is finite")
                         .then(a.cmp(&b))
                 })
-                .expect("at least two shards");
+                .expect("at least two eligible shards");
             if source == target
-                || utils[source] <= self.config.overflow_high
-                || utils[target] >= self.config.overflow_low
+                || utils[&source] <= self.config.overflow_high
+                || utils[&target] >= self.config.overflow_low
             {
                 return Ok(());
             }
@@ -256,8 +352,14 @@ impl ShardedFleetSim {
     /// are skipped. Publish and seed counters stay local — syncing moves
     /// knowledge, it is not a session finishing.
     fn sync_knowledge(&mut self) {
+        let cut = self.partitioned();
         let mut stores = Vec::new();
-        for (_, sim) in &self.shards {
+        for (index, (_, sim)) in self.shards.iter().enumerate() {
+            // A partitioned shard's store neither contributes to nor
+            // adopts the fold this round.
+            if cut.contains(&index) {
+                continue;
+            }
             if let Some(store) = sim.knowledge_ref() {
                 if !stores.iter().any(|s| Arc::ptr_eq(s, store)) {
                     stores.push(Arc::clone(store));
@@ -299,6 +401,10 @@ pub struct ShardedFleetSummary {
     pub inter_shard_migrations: u64,
     /// Knowledge-sync rounds performed.
     pub knowledge_syncs: u64,
+    /// Sync rounds that were due but suppressed by injected sync loss.
+    pub sync_rounds_lost: u64,
+    /// Shard-epochs spent partitioned from the coordinator.
+    pub partition_epochs: u64,
 }
 
 impl ShardedFleetSummary {
@@ -358,6 +464,15 @@ impl std::fmt::Display for ShardedFleetSummary {
             self.inter_shard_migrations,
             self.knowledge_syncs
         )?;
+        // Only chaos runs render the coordinator-fault line, so
+        // fault-free sharded runs keep their historical output.
+        if self.sync_rounds_lost + self.partition_epochs > 0 {
+            writeln!(
+                f,
+                "coordinator faults: {} sync rounds lost | {} partitioned shard-epochs",
+                self.sync_rounds_lost, self.partition_epochs
+            )?;
+        }
         for (name, s) in &self.shards {
             writeln!(
                 f,
@@ -373,6 +488,19 @@ impl std::fmt::Display for ShardedFleetSummary {
                 s.scale_ups,
                 s.scale_downs
             )?;
+            if s.crashes + s.throttles + s.shed_sessions > 0 {
+                writeln!(
+                    f,
+                    "shard={name} faults: {} crashes | {} throttled | {} recovered ({} frames redone) | {} shed | {:.2}% availability | MTTR {:.1} epochs",
+                    s.crashes,
+                    s.throttles,
+                    s.sessions_recovered,
+                    s.frames_redone,
+                    s.shed_sessions,
+                    s.availability_percent,
+                    s.mean_mttr_epochs
+                )?;
+            }
             if s.pool_timeline.len() > 1 || !s.phase_marks.is_empty() {
                 writeln!(
                     f,
@@ -613,6 +741,118 @@ mod tests {
                 assert_eq!(a.snapshot.to_bytes(), b.snapshot.to_bytes());
             }
         }
+    }
+
+    #[test]
+    fn node_faults_execute_only_in_their_addressed_shard() {
+        let mut sharded = ShardedFleetSim::new(ShardConfig::default());
+        sharded.add_shard("east", shard_sim(21, 6, 2));
+        sharded.add_shard("west", shard_sim(22, 10, 2));
+        sharded.set_fault_plan(crate::fault::FaultPlan::new().with_crash_in(2, 1, 0));
+        let summary = sharded.run().unwrap();
+        assert_eq!(summary.shards[0].1.crashes, 0, "east was never addressed");
+        assert_eq!(summary.shards[1].1.crashes, 1);
+        assert_eq!(summary.total_sessions(), 16, "no arrival was lost");
+        let text = summary.to_string();
+        assert!(text.contains("shard=west faults: 1 crashes"), "{text}");
+        assert!(!text.contains("shard=east faults:"), "{text}");
+    }
+
+    #[test]
+    fn sync_loss_suppresses_due_rounds_then_recovers() {
+        use mamut_core::{MamutConfig, MamutController};
+        let learner_factory = || -> ControllerFactory {
+            Box::new(|req| {
+                let cfg = if req.hr {
+                    MamutConfig::paper_hr()
+                } else {
+                    MamutConfig::paper_lr()
+                };
+                Box::new(MamutController::new(cfg.with_seed(req.seed)).unwrap())
+            })
+        };
+        let build = |plan: Option<crate::fault::FaultPlan>| {
+            let mut sharded = ShardedFleetSim::new(ShardConfig::default().with_sync_interval(2));
+            for (i, name) in ["east", "west"].iter().enumerate() {
+                let store = KnowledgeStore::new(MergePolicy::VisitWeighted).into_shared();
+                let mut sim = FleetSim::new(
+                    FleetConfig::default(),
+                    Box::new(LeastLoaded::new()),
+                    workload(31 + i as u64, 6),
+                );
+                sim.add_node(learner_factory());
+                sim.add_node(learner_factory());
+                sim.set_knowledge_store(Arc::clone(&store));
+                sharded.add_shard(*name, sim);
+            }
+            if let Some(plan) = plan {
+                sharded.set_fault_plan(plan);
+            }
+            sharded.run().unwrap()
+        };
+        let quiet = build(None);
+        let lossy = build(Some(crate::fault::FaultPlan::new().with_sync_loss(1, 2)));
+        assert_eq!(lossy.sync_rounds_lost, 2, "{lossy}");
+        assert_eq!(
+            lossy.knowledge_syncs + lossy.sync_rounds_lost,
+            quiet.knowledge_syncs,
+            "a lost round is a sync that would otherwise have happened"
+        );
+        let text = lossy.to_string();
+        assert!(
+            text.contains("coordinator faults: 2 sync rounds lost"),
+            "{text}"
+        );
+        assert!(!quiet.to_string().contains("coordinator faults:"));
+    }
+
+    #[test]
+    fn partitioned_shards_are_cut_off_from_overflow() {
+        let build = |plan: Option<crate::fault::FaultPlan>| {
+            let hot_arrivals: Vec<SessionRequest> = (0..6)
+                .map(|i| SessionRequest {
+                    id: i,
+                    arrival_s: 0.1 * i as f64,
+                    hr: true,
+                    live: false,
+                    frames: 600,
+                    seed: i,
+                })
+                .collect();
+            let mut hot = FleetSim::new(
+                FleetConfig::default(),
+                Box::new(LeastLoaded::new()),
+                Workload::replay(hot_arrivals),
+            );
+            hot.add_node(fixed_factory());
+            let mut cold = FleetSim::new(
+                FleetConfig::default(),
+                Box::new(LeastLoaded::new()),
+                Workload::replay(Vec::new()),
+            );
+            cold.add_node(fixed_factory());
+            cold.add_node(fixed_factory());
+            let mut sharded =
+                ShardedFleetSim::new(ShardConfig::default().with_overflow_watermarks(0.5, 0.9));
+            sharded.add_shard("hot", hot);
+            sharded.add_shard("cold", cold);
+            if let Some(plan) = plan {
+                sharded.set_fault_plan(plan);
+            }
+            sharded.run().unwrap()
+        };
+        let open = build(None);
+        assert!(open.inter_shard_migrations > 0, "precondition: {open}");
+        // Partition the cold shard for the whole run: with fewer than
+        // two reachable shards the router has nowhere to move sessions.
+        let cut = build(Some(
+            crate::fault::FaultPlan::new().with_partition(1, 1, 10_000),
+        ));
+        assert_eq!(cut.inter_shard_migrations, 0, "{cut}");
+        assert!(cut.partition_epochs > 0);
+        assert_eq!(cut.total_frames(), open.total_frames(), "nothing lost");
+        let text = cut.to_string();
+        assert!(text.contains("partitioned shard-epochs"), "{text}");
     }
 
     #[test]

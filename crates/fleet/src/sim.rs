@@ -38,6 +38,7 @@ use mamut_platform::Platform;
 use crate::autoscale::{Autoscaler, ScaleDecision, ScaleSignals};
 use crate::dispatch::{DispatchDecision, Dispatcher, NodeView};
 use crate::error::FleetError;
+use crate::fault::{CheckpointBundle, CheckpointPolicy, FaultEvent, FaultPlan, NodeCheckpoint};
 use crate::knowledge::{warm_start_factory, SharedKnowledgeStore};
 use crate::node::{ControllerFactory, FleetNode, MigratedSession};
 use crate::rebalance::Rebalancer;
@@ -153,6 +154,27 @@ pub struct FleetSim {
     /// Warm starts already served when the run began (finish subtracts
     /// it so the summary counts this run's seeds only).
     seeds_at_start: u64,
+    /// Scripted faults to inject between epochs (none by default).
+    fault_plan: Option<FaultPlan>,
+    /// Periodic checkpoint capture (off by default).
+    checkpoint_policy: Option<CheckpointPolicy>,
+    /// Latest encoded checkpoint bundle — what a crash recovers from.
+    checkpoint: Option<Vec<u8>>,
+    /// Crashed nodes awaiting replacement as `(ready_epoch,
+    /// crash_epoch)`; each pending entry accrues one down-node-epoch per
+    /// epoch until its replacement enters service.
+    pending_replacements: Vec<(u64, u64)>,
+    /// Live thermal throttles as `(node, until_epoch)`.
+    throttles: Vec<(usize, u64)>,
+    /// Cursor into the fault plan's (epoch-sorted) event list.
+    next_fault: usize,
+    /// Crash/throttle/recovery marks emitted as faults fire; merged with
+    /// the scenario's phase marks into the summary timeline.
+    fault_marks: Vec<(u64, String)>,
+    /// This fleet's index in a sharded deployment (0 standalone): fault
+    /// events name a `(shard, node)` pair and only the owning shard
+    /// executes node-level events.
+    shard_index: usize,
 }
 
 impl std::fmt::Debug for FleetSim {
@@ -185,7 +207,50 @@ impl FleetSim {
             phase_marks: Vec::new(),
             dormant: std::collections::BTreeMap::new(),
             seeds_at_start: 0,
+            fault_plan: None,
+            checkpoint_policy: None,
+            checkpoint: None,
+            pending_replacements: Vec::new(),
+            throttles: Vec::new(),
+            next_fault: 0,
+            fault_marks: Vec::new(),
+            shard_index: 0,
         }
+    }
+
+    /// Installs a scripted fault plan: its events fire on the
+    /// coordinator between epochs (in epoch order), so chaos runs stay
+    /// byte-identical across worker counts. Crashed nodes' sessions are
+    /// recovered onto survivors from the last checkpoint (or restarted
+    /// from scratch without one — re-done, never silently lost), and a
+    /// replacement node is commissioned
+    /// [`FaultPlan::replacement_delay_epochs`] later when a provisioner
+    /// is installed (via [`FleetSim::set_autoscaler`]). While the active
+    /// pool sits below the plan's degrade watermark × the peak pool
+    /// size, new arrivals are shed instead of queued.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Installs periodic checkpointing: every
+    /// [`CheckpointPolicy::interval_epochs`] epochs the coordinator
+    /// captures every live session (bit-exact, non-destructive) plus the
+    /// knowledge store into an in-memory [`CheckpointBundle`]. Capture
+    /// never perturbs the simulation — a checkpointed run without faults
+    /// is byte-identical to an uncheckpointed one.
+    pub fn set_checkpoint_policy(&mut self, policy: CheckpointPolicy) {
+        self.checkpoint_policy = Some(policy);
+    }
+
+    /// Tells the fleet which shard it is in a sharded deployment, so it
+    /// executes exactly the fault events addressed to it.
+    pub(crate) fn set_shard_index(&mut self, index: usize) {
+        self.shard_index = index;
+    }
+
+    /// The latest encoded checkpoint bundle, if one has been captured.
+    pub fn latest_checkpoint(&self) -> Option<&[u8]> {
+        self.checkpoint.as_deref()
     }
 
     /// Annotates the run with workload phase boundaries (`(epoch,
@@ -419,6 +484,11 @@ impl FleetSim {
         self.aggregate = FleetAggregate::new(self.nodes.len());
         self.dormant.clear();
         self.seeds_at_start = self.seeds_served();
+        self.checkpoint = None;
+        self.pending_replacements.clear();
+        self.throttles.clear();
+        self.next_fault = 0;
+        self.fault_marks.clear();
         Ok(())
     }
 
@@ -431,6 +501,8 @@ impl FleetSim {
         if self.config.idle_fast_path {
             self.update_dormant();
         }
+        self.capture_checkpoint();
+        self.inject_faults(epoch_start)?;
         self.autoscale(epoch_start)?;
         self.aggregate
             .record_pool_size(self.epoch, self.active_node_count());
@@ -491,13 +563,18 @@ impl FleetSim {
                 retired: !n.is_active(),
             })
             .collect();
+        // Crash/recovery marks were pushed as they happened; interleave
+        // them with the scenario's pre-sorted phase marks by epoch.
+        let mut marks = self.phase_marks.clone();
+        marks.extend(self.fault_marks.iter().cloned());
+        marks.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
         Ok(FleetSummary::assemble(
             self.dispatcher.name().to_owned(),
             self.epoch,
             self.epoch as f64 * self.config.epoch_s,
             &facts,
             &self.aggregate,
-            self.phase_marks.clone(),
+            marks,
             self.nodes.iter().map(FleetNode::summary).collect(),
         ))
     }
@@ -705,9 +782,234 @@ impl FleetSim {
             server.sensor().total_energy_j(),
             server.sensor().total_time_s(),
         );
-        self.nodes[victim].retire();
+        self.nodes[victim].retire()?;
         self.aggregate.record_scale_down();
         Ok(())
+    }
+
+    /// Captures a fleet checkpoint when the policy's interval comes due:
+    /// every live session on every awake node, bit-exact, plus the
+    /// knowledge store. Pure observation — session clocks, rngs and fp
+    /// sequences are untouched, so capture never changes results.
+    fn capture_checkpoint(&mut self) {
+        let Some(policy) = self.checkpoint_policy else {
+            return;
+        };
+        if policy.interval_epochs == 0
+            || self.epoch == 0
+            || !self.epoch.is_multiple_of(policy.interval_epochs)
+        {
+            return;
+        }
+        let mut nodes = Vec::new();
+        for i in 0..self.nodes.len() {
+            // Dormant nodes hold no live sessions: nothing to capture,
+            // and skipping them keeps their parked state untouched.
+            if !self.nodes[i].is_active() || self.dormant.contains_key(&self.nodes[i].id()) {
+                continue;
+            }
+            let sessions = self.nodes[i].checkpoint_sessions();
+            if !sessions.is_empty() {
+                nodes.push(NodeCheckpoint { node: i, sessions });
+            }
+        }
+        let knowledge = self
+            .knowledge
+            .as_ref()
+            .map(|store| store.lock().expect("knowledge store poisoned").snapshot());
+        let bundle = CheckpointBundle {
+            epoch: self.epoch,
+            nodes,
+            knowledge,
+        };
+        self.checkpoint = Some(bundle.encode());
+        self.aggregate.record_checkpoint();
+    }
+
+    /// Executes the fault plan's events due this epoch plus the ongoing
+    /// fault bookkeeping: replacements that come due are commissioned,
+    /// expired throttles are lifted, new crashes and throttles land, and
+    /// every still-missing node accrues one down-node-epoch. All of it
+    /// runs on the coordinator between epochs, in a fixed order, so
+    /// chaos runs are deterministic across worker counts.
+    fn inject_faults(&mut self, epoch_start: f64) -> Result<(), FleetError> {
+        if self.fault_plan.is_none()
+            && self.pending_replacements.is_empty()
+            && self.throttles.is_empty()
+        {
+            return Ok(());
+        }
+        // 1. Replacements whose delay has elapsed enter service first, so
+        //    a node commissioned this boundary can take this boundary's
+        //    arrivals (same rule as autoscale grow).
+        let due: Vec<(u64, u64)> = self
+            .pending_replacements
+            .iter()
+            .copied()
+            .filter(|&(ready, _)| ready <= self.epoch)
+            .collect();
+        self.pending_replacements
+            .retain(|&(ready, _)| ready > self.epoch);
+        for (_, crashed_at) in due {
+            let before = self.nodes.len();
+            self.commission_nodes(1, epoch_start)?;
+            if self.nodes.len() > before {
+                self.fault_marks
+                    .push((self.epoch, format!("recovered:n{before}")));
+                self.aggregate.record_recovery(self.epoch - crashed_at);
+            }
+        }
+        // 2. Expired throttles are lifted.
+        let expired: Vec<usize> = self
+            .throttles
+            .iter()
+            .filter(|&&(_, until)| until <= self.epoch)
+            .map(|&(node, _)| node)
+            .collect();
+        self.throttles.retain(|&(_, until)| until > self.epoch);
+        for node in expired {
+            if self.nodes[node].is_active() {
+                self.wake_node(node, self.epoch)?;
+                self.nodes[node].set_freq_cap(None);
+            }
+        }
+        // 3. New events due this epoch fire in plan order.
+        let mut due_events = Vec::new();
+        if let Some(plan) = &self.fault_plan {
+            let events = plan.events();
+            while self.next_fault < events.len() && events[self.next_fault].epoch() <= self.epoch {
+                due_events.push(events[self.next_fault].clone());
+                self.next_fault += 1;
+            }
+        }
+        for event in due_events {
+            match event {
+                FaultEvent::NodeCrash { shard, node, .. } if shard == self.shard_index => {
+                    self.crash_node(node)?;
+                }
+                FaultEvent::ThermalThrottle {
+                    shard,
+                    node,
+                    freq_cap_ghz,
+                    duration_epochs,
+                    ..
+                } if shard == self.shard_index
+                    && node < self.nodes.len()
+                    && self.nodes[node].is_active() =>
+                {
+                    self.wake_node(node, self.epoch)?;
+                    self.nodes[node].set_freq_cap(Some(freq_cap_ghz));
+                    self.throttles
+                        .push((node, self.epoch + duration_epochs.max(1)));
+                    self.fault_marks
+                        .push((self.epoch, format!("throttle:n{node}")));
+                    self.aggregate.record_throttle();
+                }
+                // Coordinator-level events (and events addressed to other
+                // shards) are not this fleet's to execute.
+                _ => {}
+            }
+        }
+        // 4. Availability accounting: each crashed node still awaiting
+        //    its replacement is one demanded-but-unserved node-epoch.
+        for _ in 0..self.pending_replacements.len() {
+            self.aggregate.record_down_node_epoch();
+        }
+        Ok(())
+    }
+
+    /// Fail-stop crash of `node`: its live sessions die with it and are
+    /// recovered onto the least-utilized survivors — bit-exact from the
+    /// last checkpoint when one covers them (work since the checkpoint
+    /// is re-done and counted), from scratch otherwise (the whole
+    /// session is re-done). Either way no frame is silently lost. The
+    /// last active node never crashes (mirroring the decommission
+    /// floor): a plan that targets it is a no-op.
+    fn crash_node(&mut self, victim: usize) -> Result<(), FleetError> {
+        if victim >= self.nodes.len()
+            || !self.nodes[victim].is_active()
+            || self.active_node_count() <= 1
+        {
+            return Ok(());
+        }
+        // A dormant victim settles its idle history before dying.
+        self.wake_node(victim, self.epoch)?;
+        let lost = self.nodes[victim].crash_kill();
+        self.throttles.retain(|&(node, _)| node != victim);
+        self.fault_marks
+            .push((self.epoch, format!("crash:n{victim}")));
+        self.aggregate.record_crash();
+        let bundle = self
+            .checkpoint
+            .as_ref()
+            .and_then(|bytes| CheckpointBundle::decode(bytes).ok());
+        let covered = bundle
+            .as_ref()
+            .map(|b| b.sessions_of(victim))
+            .unwrap_or_default();
+        for (request, frames_at_crash) in lost {
+            // Least-utilized active survivor, recomputed per session so
+            // consecutive recoveries see each other's load — the same
+            // rule drain-and-retire uses.
+            let target = self
+                .nodes
+                .iter_mut()
+                .filter(|n| n.is_active())
+                .map(|n| {
+                    n.refresh();
+                    (n.id(), n.view().utilization())
+                })
+                .min_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .expect("utilization is finite")
+                        .then(a.0.cmp(&b.0))
+                })
+                .map(|(id, _)| id)
+                .expect("crash guard keeps at least one active node");
+            self.wake_node(target, self.epoch)?;
+            let ck = covered.get(&request.id);
+            let restored =
+                self.nodes[target].adopt_recovered(&request, ck.map(|c| c.bytes.as_slice()));
+            let redone = if restored {
+                let ck = ck.expect("restored implies a checkpoint entry");
+                frames_at_crash.saturating_sub(ck.frames_completed)
+            } else {
+                frames_at_crash
+            };
+            self.aggregate.record_recovered_session(redone);
+        }
+        // The victim's row keeps only what stayed: finished sessions'
+        // history. Its dead sessions' QoS moved (or restarted) elsewhere.
+        let (frames, violations) = Self::qos_totals(&self.nodes[victim]);
+        let server = self.nodes[victim].server();
+        self.aggregate.resample_node_totals(
+            victim,
+            frames,
+            violations,
+            server.sensor().total_energy_j(),
+            server.sensor().total_time_s(),
+        );
+        if self.provisioner.is_some() {
+            let delay = self
+                .fault_plan
+                .as_ref()
+                .map(|p| p.replacement_delay_epochs.max(1))
+                .unwrap_or(1);
+            self.pending_replacements
+                .push((self.epoch + delay, self.epoch));
+        }
+        Ok(())
+    }
+
+    /// Whether the fleet is running degraded: the fault plan set a
+    /// degrade watermark and the active pool has fallen below that
+    /// fraction of the peak pool size. While degraded, new arrivals are
+    /// shed so the survivors' existing sessions keep their QoS.
+    fn degraded(&self) -> bool {
+        let Some(watermark) = self.fault_plan.as_ref().and_then(|p| p.degrade_watermark) else {
+            return false;
+        };
+        (self.active_node_count() as f64) < watermark * self.aggregate.peak_nodes() as f64
     }
 
     /// Warm starts served by the attached store so far (0 without one).
@@ -798,6 +1100,17 @@ impl FleetSim {
         let mut due: Vec<SessionRequest> = self.queued.drain(..).collect();
         while self.pending.front().is_some_and(|r| r.arrival_s <= now) {
             due.push(self.pending.pop_front().expect("front checked"));
+        }
+        if self.degraded() {
+            // Graceful degradation: below the watermark the survivors
+            // protect the sessions they already carry; new work is shed
+            // (visible in the summary), not queued into a backlog the
+            // diminished pool cannot serve.
+            for _ in &due {
+                self.aggregate.record_shed_session();
+                self.aggregate.record_rejection();
+            }
+            return Ok(());
         }
         // Views are built once per round and patched in place after each
         // placement: an admit changes only the assigned node's state, so
@@ -1366,6 +1679,223 @@ mod tests {
         assert!(ever_dormant > 0, "early finishers were never parked");
         let whole = fleet(4, 1, Box::new(RoundRobin::new())).run().unwrap();
         assert_eq!(stepped, whole);
+    }
+
+    use crate::fault::{CheckpointPolicy, FaultPlan};
+
+    /// An autoscaler that never scales — installed in chaos tests only
+    /// to provide the provisioner that crash replacement draws from.
+    struct HoldScaler;
+    impl crate::autoscale::Autoscaler for HoldScaler {
+        fn name(&self) -> &'static str {
+            "hold"
+        }
+        fn plan(
+            &mut self,
+            _signals: &crate::autoscale::ScaleSignals,
+        ) -> crate::autoscale::ScaleDecision {
+            crate::autoscale::ScaleDecision::Hold
+        }
+    }
+
+    fn chaos_fleet(workers: usize) -> FleetSim {
+        let mut sim = FleetSim::new(
+            FleetConfig::default().with_worker_threads(workers),
+            Box::new(LeastLoaded::new()),
+            bursty_workload(),
+        );
+        for _ in 0..3 {
+            sim.add_node(fixed_factory());
+        }
+        sim
+    }
+
+    #[test]
+    fn checkpointed_fault_free_run_is_byte_identical() {
+        let plain = chaos_fleet(2).run().unwrap();
+        let mut sim = chaos_fleet(2);
+        sim.set_checkpoint_policy(CheckpointPolicy::every(2));
+        let checkpointed = sim.run().unwrap();
+        assert!(checkpointed.checkpoints > 0, "the cadence never fired");
+        assert!(sim.latest_checkpoint().is_some());
+        // Capture is pure observation: same results, same rendering.
+        assert_eq!(checkpointed.to_string(), plain.to_string());
+        assert_eq!(checkpointed.total_frames, plain.total_frames);
+    }
+
+    #[test]
+    fn crash_recovery_conserves_every_frame() {
+        let expected_frames: u64 = bursty_workload().arrivals().iter().map(|r| r.frames).sum();
+        let mut sim = chaos_fleet(2);
+        sim.set_checkpoint_policy(CheckpointPolicy::every(2));
+        sim.set_fault_plan(FaultPlan::new().with_crash(3, 0));
+        let summary = sim.run().unwrap();
+        assert_eq!(summary.crashes, 1);
+        assert!(
+            summary.sessions_recovered > 0,
+            "the crashed node held live sessions: {summary}"
+        );
+        assert_eq!(summary.frames_lost, 0);
+        assert_eq!(
+            summary.total_frames, expected_frames,
+            "recovery re-does work, it never loses frames: {summary}"
+        );
+        assert!(
+            summary.phase_marks.iter().any(|(_, l)| l == "crash:n0"),
+            "crash mark missing: {:?}",
+            summary.phase_marks
+        );
+        let text = summary.to_string();
+        assert!(text.contains("faults: 1 crashes"), "{text}");
+        assert!(text.contains("[crash:n0@e3]"), "{text}");
+    }
+
+    #[test]
+    fn cold_restart_without_checkpoints_redoes_whole_sessions() {
+        let expected_frames: u64 = bursty_workload().arrivals().iter().map(|r| r.frames).sum();
+        let mut sim = chaos_fleet(2);
+        sim.set_fault_plan(FaultPlan::new().with_crash(3, 0));
+        let summary = sim.run().unwrap();
+        assert_eq!(summary.crashes, 1);
+        assert!(summary.sessions_recovered > 0);
+        assert_eq!(summary.total_frames, expected_frames);
+        // Without a checkpoint every lost frame is re-done from scratch.
+        assert!(
+            summary.frames_redone > 0,
+            "a crash at epoch 3 lost in-progress work: {summary}"
+        );
+    }
+
+    #[test]
+    fn checkpoints_bound_the_redone_work() {
+        let run = |checkpointed: bool| {
+            let mut sim = chaos_fleet(2);
+            if checkpointed {
+                sim.set_checkpoint_policy(CheckpointPolicy::every(2));
+            }
+            sim.set_fault_plan(FaultPlan::new().with_crash(5, 0));
+            sim.run().unwrap()
+        };
+        let cold = run(false);
+        let warm = run(true);
+        assert!(
+            warm.frames_redone < cold.frames_redone,
+            "a checkpoint 1 epoch before the crash must beat restart-from-zero: \
+             {} redone vs {} cold",
+            warm.frames_redone,
+            cold.frames_redone
+        );
+        assert_eq!(warm.total_frames, cold.total_frames);
+    }
+
+    #[test]
+    fn thermal_throttle_caps_a_node_then_lifts() {
+        let expected_frames: u64 = bursty_workload().arrivals().iter().map(|r| r.frames).sum();
+        let quiet = chaos_fleet(2).run().unwrap();
+        let mut sim = chaos_fleet(2);
+        sim.set_fault_plan(FaultPlan::new().with_throttle(2, 0, 1.8, 3));
+        let summary = sim.run().unwrap();
+        assert_eq!(summary.throttles, 1);
+        assert_eq!(summary.crashes, 0);
+        assert_eq!(
+            summary.total_frames, expected_frames,
+            "throttling loses nothing"
+        );
+        assert!(
+            summary.total_energy_j != quiet.total_energy_j || summary.epochs != quiet.epochs,
+            "a 1.8 GHz cap on a 2.9 GHz node must be visible somewhere"
+        );
+        let text = summary.to_string();
+        assert!(text.contains("[throttle:n0@e2]"), "{text}");
+    }
+
+    #[test]
+    fn crashed_nodes_are_replaced_after_the_delay() {
+        let mut sim = chaos_fleet(2);
+        sim.set_autoscaler(Box::new(HoldScaler), provisioner());
+        sim.set_checkpoint_policy(CheckpointPolicy::every(2));
+        sim.set_fault_plan(FaultPlan::new().with_crash(3, 0).with_replacement_delay(2));
+        let summary = sim.run().unwrap();
+        assert_eq!(summary.crashes, 1);
+        assert_eq!(summary.recoveries, 1);
+        assert!((summary.mean_mttr_epochs - 2.0).abs() < 1e-12, "{summary}");
+        assert_eq!(summary.down_node_epochs, 2, "missing for exactly the delay");
+        assert!(summary.availability_percent < 100.0);
+        assert_eq!(summary.nodes.len(), 4, "a replacement joined the pool");
+        assert!(
+            summary.phase_marks.iter().any(|(_, l)| l == "recovered:n3"),
+            "{:?}",
+            summary.phase_marks
+        );
+        let text = summary.to_string();
+        assert!(text.contains("[recovered:n3@e5]"), "{text}");
+        assert!(text.contains("resilience:"), "{text}");
+    }
+
+    #[test]
+    fn degraded_pool_sheds_new_arrivals() {
+        let arrivals = vec![
+            burst_request(0, 0.0, false, 800),
+            burst_request(1, 0.2, false, 800),
+            burst_request(2, 5.0, false, 100),
+            burst_request(3, 6.0, false, 100),
+        ];
+        let mut sim = FleetSim::new(
+            FleetConfig::default().with_worker_threads(2),
+            Box::new(LeastLoaded::new()),
+            Workload::replay(arrivals),
+        );
+        for _ in 0..2 {
+            sim.add_node(fixed_factory());
+        }
+        // No provisioner: the crashed node is never replaced, so the
+        // pool sits at 1 < 0.9 × 2 until the end — the late arrivals
+        // must be shed, not queued into a backlog.
+        sim.set_fault_plan(
+            FaultPlan::new()
+                .with_crash(2, 0)
+                .with_degrade_watermark(0.9),
+        );
+        let summary = sim.run().unwrap();
+        assert_eq!(summary.crashes, 1);
+        assert_eq!(summary.shed_sessions, 2, "{summary}");
+        assert_eq!(summary.rejected_sessions, 2);
+        assert_eq!(summary.total_sessions, 2, "recovery is not an admission");
+        assert_eq!(
+            summary.total_frames, 1_600,
+            "the early sessions finish in full"
+        );
+        let text = summary.to_string();
+        assert!(text.contains("2 shed"), "{text}");
+    }
+
+    #[test]
+    fn the_last_active_node_never_crashes() {
+        let mut sim = fleet(1, 1, Box::new(LeastLoaded::new()));
+        sim.set_fault_plan(FaultPlan::new().with_crash(1, 0));
+        let summary = sim.run().unwrap();
+        assert_eq!(summary.crashes, 0, "the floor holds: {summary}");
+        assert_eq!(summary.frames_lost, 0);
+        assert_eq!(summary.total_sessions, 8);
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_across_worker_counts() {
+        let run = |workers: usize| {
+            let mut sim = chaos_fleet(workers);
+            sim.set_autoscaler(Box::new(HoldScaler), provisioner());
+            sim.set_checkpoint_policy(CheckpointPolicy::every(2));
+            sim.set_fault_plan(
+                FaultPlan::new()
+                    .with_crash(3, 0)
+                    .with_throttle(4, 2, 1.8, 3)
+                    .with_crash(6, 1),
+            );
+            sim.run().unwrap().to_string()
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
     }
 
     #[test]

@@ -109,6 +109,32 @@ pub struct FleetSummary {
     pub learned_scale_events: u64,
     /// Scale events decided by a heuristic policy.
     pub heuristic_scale_events: u64,
+    /// Injected fail-stop node crashes.
+    pub crashes: u64,
+    /// Thermal-throttle events applied to nodes.
+    pub throttles: u64,
+    /// Sessions re-created on survivors after crashes.
+    pub sessions_recovered: u64,
+    /// Frames re-transcoded because a crash discarded post-checkpoint
+    /// work (a cold restart re-does the whole session). Lost work is
+    /// accounted here, never silently dropped.
+    pub frames_redone: u64,
+    /// Frames lost with no survivor to re-do them on (zero in any
+    /// healthy configuration).
+    pub frames_lost: u64,
+    /// Arrivals shed while the fleet ran degraded below its capacity
+    /// watermark.
+    pub shed_sessions: u64,
+    /// Node-epochs spent waiting on crashed nodes' replacements.
+    pub down_node_epochs: u64,
+    /// Crashes whose replacement node entered service.
+    pub recoveries: u64,
+    /// Fleet checkpoints captured.
+    pub checkpoints: u64,
+    /// Availability: percentage of demanded node-epochs actually served.
+    pub availability_percent: f64,
+    /// Mean time to recovery in epochs (0.0 without a recovery).
+    pub mean_mttr_epochs: f64,
     /// Full per-node run summaries (not rendered; for drill-down).
     pub node_runs: Vec<RunSummary>,
 }
@@ -171,6 +197,17 @@ impl FleetSummary {
             heuristic_decisions: aggregate.heuristic_decisions,
             learned_scale_events: aggregate.learned_scale_events,
             heuristic_scale_events: aggregate.heuristic_scale_events,
+            crashes: aggregate.crashes,
+            throttles: aggregate.throttles,
+            sessions_recovered: aggregate.sessions_recovered,
+            frames_redone: aggregate.frames_redone,
+            frames_lost: aggregate.frames_lost,
+            shed_sessions: aggregate.shed_sessions,
+            down_node_epochs: aggregate.down_node_epochs,
+            recoveries: aggregate.recoveries,
+            checkpoints: aggregate.checkpoints,
+            availability_percent: aggregate.availability_percent(),
+            mean_mttr_epochs: aggregate.mean_mttr_epochs(),
             node_runs,
         }
     }
@@ -289,6 +326,31 @@ impl std::fmt::Display for FleetSummary {
                 self.exploratory_actions,
                 self.learned_scale_events,
                 self.heuristic_scale_events
+            )?;
+        }
+        // Fault block: only chaos runs render it, so fault-free runs keep
+        // their historical byte-for-byte output (the checkpoint count
+        // rides inside the block rather than gating it — a checkpointed
+        // but fault-free run also stays untouched).
+        if self.crashes + self.throttles + self.shed_sessions > 0 {
+            writeln!(
+                f,
+                "faults: {} crashes | {} throttled | {} recovered ({} frames redone, {} lost) | {} shed | {} checkpoints",
+                self.crashes,
+                self.throttles,
+                self.sessions_recovered,
+                self.frames_redone,
+                self.frames_lost,
+                self.shed_sessions,
+                self.checkpoints
+            )?;
+            writeln!(
+                f,
+                "resilience: {:.2}% availability | {} down node-epochs | MTTR {:.1} epochs over {} recoveries",
+                self.availability_percent,
+                self.down_node_epochs,
+                self.mean_mttr_epochs,
+                self.recoveries
             )?;
         }
         if self.pool_timeline.len() > 1 || !self.phase_marks.is_empty() {
@@ -468,6 +530,63 @@ mod tests {
         );
         assert!(
             text.contains("scale events: 1 learned, 1 heuristic"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn fault_block_renders_only_for_chaos_runs() {
+        // A fault-free run (even a checkpointed one) keeps its
+        // historical rendering…
+        let mut agg = FleetAggregate::new(2);
+        agg.record_node_epoch(0, 400, 40, 800.0, 10.0, 0.5);
+        agg.record_node_epoch(1, 100, 0, 600.0, 10.0, 0.25);
+        agg.record_checkpoint();
+        let quiet = FleetSummary::assemble(
+            "least-loaded".into(),
+            10,
+            10.0,
+            &[facts(3), facts(2)],
+            &agg,
+            Vec::new(),
+            Vec::new(),
+        );
+        assert_eq!(quiet.checkpoints, 1);
+        let text = quiet.to_string();
+        assert!(!text.contains("faults:"), "{text}");
+        assert!(!text.contains("resilience:"), "{text}");
+        // …while a chaos run renders every fault counter.
+        agg.record_crash();
+        agg.record_throttle();
+        agg.record_recovered_session(37);
+        agg.record_shed_session();
+        agg.record_down_node_epoch();
+        agg.record_down_node_epoch();
+        agg.record_recovery(2);
+        let chaos = FleetSummary::assemble(
+            "least-loaded".into(),
+            10,
+            10.0,
+            &[facts(3), facts(2)],
+            &agg,
+            Vec::new(),
+            Vec::new(),
+        );
+        assert_eq!(chaos.crashes, 1);
+        assert_eq!(chaos.frames_redone, 37);
+        assert!((chaos.availability_percent - 50.0).abs() < 1e-12);
+        assert!((chaos.mean_mttr_epochs - 2.0).abs() < 1e-12);
+        let text = chaos.to_string();
+        assert!(
+            text.contains(
+                "faults: 1 crashes | 1 throttled | 1 recovered (37 frames redone, 0 lost) | 1 shed | 1 checkpoints"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "resilience: 50.00% availability | 2 down node-epochs | MTTR 2.0 epochs over 1 recoveries"
+            ),
             "{text}"
         );
     }

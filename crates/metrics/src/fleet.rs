@@ -167,6 +167,33 @@ pub struct FleetAggregate {
     pub learned_scale_events: u64,
     /// Scale events decided by a heuristic policy.
     pub heuristic_scale_events: u64,
+    /// Nodes lost to injected fail-stop crashes.
+    pub crashes: u64,
+    /// Thermal-throttle events applied to nodes (frequency caps).
+    pub throttles: u64,
+    /// Sessions re-created on survivors after a crash (from checkpoint
+    /// or, failing that, from scratch).
+    pub sessions_recovered: u64,
+    /// Frames that must be transcoded again because they were completed
+    /// after the last checkpoint on a node that then crashed. Lost work
+    /// is never silently dropped — it lands here.
+    pub frames_redone: u64,
+    /// Frames lost with no surviving node to re-do them on (a crash with
+    /// zero surviving capacity). Zero in any healthy configuration.
+    pub frames_lost: u64,
+    /// Arrivals shed (rejected instead of queued) while the fleet was
+    /// running degraded below its capacity watermark.
+    pub shed_sessions: u64,
+    /// Node-epochs spent waiting for a crashed node's replacement: the
+    /// denominator complement of availability.
+    pub down_node_epochs: u64,
+    /// Sum of per-crash recovery times in epochs (crash to replacement
+    /// in service); divide by [`FleetAggregate::recoveries`] for MTTR.
+    pub mttr_epochs_total: u64,
+    /// Crashes whose replacement node has entered service.
+    pub recoveries: u64,
+    /// Fleet checkpoints captured over the run.
+    pub checkpoints: u64,
 }
 
 impl FleetAggregate {
@@ -279,6 +306,74 @@ impl FleetAggregate {
     /// fleet reads the final figure off its knowledge store).
     pub fn set_warm_starts(&mut self, warm_starts: u64) {
         self.warm_starts = warm_starts;
+    }
+
+    /// Counts one injected fail-stop node crash.
+    pub fn record_crash(&mut self) {
+        self.crashes += 1;
+    }
+
+    /// Counts one thermal-throttle event.
+    pub fn record_throttle(&mut self) {
+        self.throttles += 1;
+    }
+
+    /// Counts one session re-created on a survivor after a crash, with
+    /// the frames it must transcode again (everything past its last
+    /// checkpoint, or its whole history on a cold restart).
+    pub fn record_recovered_session(&mut self, frames_redone: u64) {
+        self.sessions_recovered += 1;
+        self.frames_redone += frames_redone;
+    }
+
+    /// Counts frames lost outright because no survivor could host the
+    /// session (should stay zero; a nonzero value is a red flag).
+    pub fn record_lost_frames(&mut self, frames: u64) {
+        self.frames_lost += frames;
+    }
+
+    /// Counts one arrival shed during degraded operation.
+    pub fn record_shed_session(&mut self) {
+        self.shed_sessions += 1;
+    }
+
+    /// Counts one epoch during which a crashed node's replacement was
+    /// still pending (one per missing node per epoch).
+    pub fn record_down_node_epoch(&mut self) {
+        self.down_node_epochs += 1;
+    }
+
+    /// Counts one completed recovery: a replacement in service
+    /// `mttr_epochs` after its predecessor crashed.
+    pub fn record_recovery(&mut self, mttr_epochs: u64) {
+        self.recoveries += 1;
+        self.mttr_epochs_total += mttr_epochs;
+    }
+
+    /// Counts one fleet checkpoint capture.
+    pub fn record_checkpoint(&mut self) {
+        self.checkpoints += 1;
+    }
+
+    /// Availability as a percentage of demanded node-epochs actually
+    /// served: `100 · up / (up + down)`. 100.0 when nothing ran.
+    pub fn availability_percent(&self) -> f64 {
+        let total = self.node_epochs + self.down_node_epochs;
+        if total == 0 {
+            100.0
+        } else {
+            100.0 * self.node_epochs as f64 / total as f64
+        }
+    }
+
+    /// Mean time to recovery in epochs over completed recoveries (0.0
+    /// before any recovery).
+    pub fn mean_mttr_epochs(&self) -> f64 {
+        if self.recoveries == 0 {
+            0.0
+        } else {
+            self.mttr_epochs_total as f64 / self.recoveries as f64
+        }
     }
 
     /// Folds one node epoch into the aggregate. `frames`/`violations`/
@@ -471,6 +566,34 @@ mod tests {
         assert_eq!(f.heuristic_decisions, 2);
         assert_eq!(f.learned_scale_events, 1);
         assert_eq!(f.heuristic_scale_events, 1);
+    }
+
+    #[test]
+    fn fault_counters_and_resilience_ratios() {
+        let mut f = FleetAggregate::new(2);
+        assert_eq!(f.availability_percent(), 100.0, "no samples means no loss");
+        assert_eq!(f.mean_mttr_epochs(), 0.0);
+        f.record_node_epoch(0, 10, 0, 50.0, 1.0, 0.5);
+        f.record_node_epoch(1, 10, 0, 50.0, 1.0, 0.5);
+        f.record_crash();
+        f.record_throttle();
+        f.record_recovered_session(30);
+        f.record_recovered_session(0);
+        f.record_shed_session();
+        f.record_down_node_epoch();
+        f.record_down_node_epoch();
+        f.record_recovery(2);
+        f.record_recovery(4);
+        f.record_checkpoint();
+        assert_eq!(f.crashes, 1);
+        assert_eq!(f.throttles, 1);
+        assert_eq!(f.sessions_recovered, 2);
+        assert_eq!(f.frames_redone, 30);
+        assert_eq!(f.frames_lost, 0);
+        assert_eq!(f.shed_sessions, 1);
+        assert_eq!(f.checkpoints, 1);
+        assert!((f.availability_percent() - 50.0).abs() < 1e-12);
+        assert!((f.mean_mttr_epochs() - 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -150,6 +150,46 @@ impl QosTracker {
         self.buffer_credit_s
     }
 
+    /// The tracker's complete internal state, in field order: `(target,
+    /// frames, violations, raw, delivery, buffer_credit_s,
+    /// buffer_cap_s)` — what [`QosTracker::from_raw_parts`] rebuilds
+    /// from, so a checkpointed tracker continues bit-identically.
+    #[allow(clippy::type_complexity)]
+    pub fn raw_parts(&self) -> (f64, u64, u64, u64, u64, f64, f64) {
+        (
+            self.target_fps,
+            self.frames,
+            self.violations,
+            self.raw_violations,
+            self.delivery_violations,
+            self.buffer_credit_s,
+            self.buffer_cap_s,
+        )
+    }
+
+    /// Rebuilds a tracker from the words [`QosTracker::raw_parts`]
+    /// captured (including live buffer credit — unlike
+    /// [`QosTracker::merge_counts`], this is full-state restoration).
+    pub fn from_raw_parts(
+        target_fps: f64,
+        frames: u64,
+        violations: u64,
+        raw_violations: u64,
+        delivery_violations: u64,
+        buffer_credit_s: f64,
+        buffer_cap_s: f64,
+    ) -> Self {
+        QosTracker {
+            target_fps,
+            frames,
+            violations,
+            raw_violations,
+            delivery_violations,
+            buffer_credit_s,
+            buffer_cap_s,
+        }
+    }
+
     /// Merges another tracker's counts (buffer state is not transferable).
     pub fn merge_counts(&mut self, other: &QosTracker) {
         self.frames += other.frames;
@@ -275,6 +315,22 @@ mod tests {
         assert_eq!(q.violation_percent(), 0.0);
         assert_eq!(q.raw_violation_percent(), 0.0);
         assert_eq!(q.delivery_violation_percent(), 0.0);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_keeps_buffer_state() {
+        let mut original = QosTracker::with_buffer(24.0, 0.3);
+        for _ in 0..10 {
+            original.record_frame(1.0 / 48.0, 48.0);
+        }
+        original.record_frame(2.0 / 24.0, 23.0);
+        let (target, frames, violations, raw, delivery, credit, cap) = original.raw_parts();
+        let mut restored =
+            QosTracker::from_raw_parts(target, frames, violations, raw, delivery, credit, cap);
+        assert_eq!(restored, original);
+        original.record_frame(1.0 / 12.0, 12.0);
+        restored.record_frame(1.0 / 12.0, 12.0);
+        assert_eq!(restored, original, "buffer credit must survive the trip");
     }
 
     #[test]

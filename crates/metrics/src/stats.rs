@@ -109,6 +109,26 @@ impl RunningStats {
         self.max
     }
 
+    /// The accumulator's raw internal state `(count, mean, m2, min,
+    /// max)` — the exact words [`RunningStats::from_raw_parts`] rebuilds
+    /// from, so checkpointed statistics resume bit-identically.
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from the words [`RunningStats::raw_parts`]
+    /// captured. No re-derivation happens: subsequent pushes continue
+    /// bit-identically to the original accumulator.
+    pub fn from_raw_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        RunningStats {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merges another accumulator into this one (Chan's parallel update).
     pub fn merge(&mut self, other: &RunningStats) {
         if other.count == 0 {
@@ -207,6 +227,19 @@ mod tests {
         let mut e = RunningStats::new();
         e.merge(&before);
         assert_eq!(e, before);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_continues_bit_identically() {
+        let mut original = RunningStats::from_samples([1.5, 2.25, -3.0, 0.125]);
+        let (count, mean, m2, min, max) = original.raw_parts();
+        let mut restored = RunningStats::from_raw_parts(count, mean, m2, min, max);
+        assert_eq!(restored, original);
+        for x in [7.75, -0.5, 4.125] {
+            original.push(x);
+            restored.push(x);
+        }
+        assert_eq!(restored, original);
     }
 
     #[test]

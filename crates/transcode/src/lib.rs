@@ -65,5 +65,5 @@ pub use admission::{AdmissionPlanner, AdmissionVerdict, StreamShape};
 pub use error::TranscodeError;
 pub use scenario::{homogeneous_sessions, scenario_ii_sessions, MixSpec};
 pub use server::{ServerLoad, ServerSim};
-pub use session::{SessionConfig, TranscodeSession};
+pub use session::{SessionConfig, TranscodeSession, SESSION_CHECKPOINT_VERSION};
 pub use summary::{RunSummary, SessionSummary};

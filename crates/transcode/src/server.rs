@@ -309,6 +309,11 @@ pub struct ServerSim {
     /// use the linear earliest-completion scan. Only settable with the
     /// `oracle` feature; the engine must match it bit for bit.
     naive: bool,
+    /// Thermal-throttle ceiling: when set, every session's effective
+    /// frequency is clamped to this before the DVFS snap, without
+    /// touching the controllers' announced knobs (they keep steering
+    /// toward their targets and regain them when the cap lifts).
+    freq_cap_ghz: Option<f64>,
 }
 
 impl std::fmt::Debug for ServerSim {
@@ -339,6 +344,7 @@ impl ServerSim {
             milestone_frames: u64::MAX,
             milestone_pending: 0,
             naive: false,
+            freq_cap_ghz: None,
         }
     }
 
@@ -521,6 +527,45 @@ impl ServerSim {
         self.hot.dirty = true;
     }
 
+    /// Sets (or clears, with `None`) a thermal-throttle frequency ceiling
+    /// in GHz. While capped, every session's effective clock is
+    /// `min(knob, cap)` before the DVFS snap — power and throughput drop
+    /// accordingly — but the controllers' announced knobs are untouched,
+    /// so the server recovers its full rates the instant the cap lifts.
+    pub fn set_freq_cap(&mut self, cap_ghz: Option<f64>) {
+        if self.freq_cap_ghz != cap_ghz {
+            self.freq_cap_ghz = cap_ghz;
+            self.hot.dirty = true;
+        }
+    }
+
+    /// The active thermal-throttle frequency ceiling, if any.
+    pub fn freq_cap_ghz(&self) -> Option<f64> {
+        self.freq_cap_ghz
+    }
+
+    /// A knob frequency clamped to the thermal ceiling (identity when
+    /// no cap is in force).
+    fn effective_freq(&self, freq_ghz: f64) -> f64 {
+        match self.freq_cap_ghz {
+            Some(cap) => freq_ghz.min(cap),
+            None => freq_ghz,
+        }
+    }
+
+    /// Serializes one session's complete dynamic state without
+    /// disturbing it: the in-flight frame's remaining work is
+    /// materialized at the current clock inside the byte stream (the
+    /// same arithmetic [`ServerSim::detach_session`] applies), while the
+    /// live session keeps its lazy anchor. Returns `None` for a bad or
+    /// vacated id. Feed the bytes to
+    /// [`TranscodeSession::restore_checkpoint`] to rebuild the session.
+    pub fn checkpoint_session(&self, id: usize) -> Option<Vec<u8>> {
+        let session = self.sessions.get(id).and_then(SessionSlot::get)?;
+        let rate = self.hot.rate.get(id).copied().unwrap_or(0.0);
+        Some(session.checkpoint_bytes(rate, self.time))
+    }
+
     /// The platform model.
     pub fn platform(&self) -> &Platform {
         &self.platform
@@ -620,6 +665,11 @@ impl ServerSim {
     /// epoch bump perturbs nothing it does not have to.
     fn rebuild_epoch(&mut self) {
         let now = self.time;
+        let cap = self.freq_cap_ghz;
+        let eff = |freq_ghz: f64| match cap {
+            Some(c) => freq_ghz.min(c),
+            None => freq_ghz,
+        };
         self.hot.rate_epochs += 1;
 
         // 1. Every unfinished session gets a frame in flight.
@@ -666,7 +716,7 @@ impl ServerSim {
                     .get()
                     .expect("active slot is occupied")
                     .knobs();
-                SessionLoad::new(k.threads, k.freq_ghz)
+                SessionLoad::new(k.threads, eff(k.freq_ghz))
             }));
 
         // 3. Per-session rates; re-anchor only on a real change.
@@ -677,7 +727,7 @@ impl ServerSim {
                 .expect("active slot is occupied");
             let k = s.knobs();
             let rows = s.resolution().ctu_rows();
-            let level = self.platform.dvfs().nearest(k.freq_ghz);
+            let level = self.platform.dvfs().nearest(eff(k.freq_ghz));
             let r_new = level.freq_ghz * 1e9 * s.wpp_speedup() * self.hot.scale;
             self.hot.threads[id] = k.threads;
             self.hot.freq[id] = k.freq_ghz;
@@ -838,7 +888,7 @@ impl ServerSim {
             .filter(|s| !s.is_finished())
             .map(|s| {
                 let k = s.knobs();
-                SessionLoad::new(k.threads, k.freq_ghz)
+                SessionLoad::new(k.threads, self.effective_freq(k.freq_ghz))
             })
             .collect();
         ServerLoad {
@@ -1266,6 +1316,62 @@ mod tests {
         assert!(fly.work_remaining > 0.0, "boundary lands mid-frame");
         assert!(fly.work_remaining < fly.work_total);
         assert_eq!(fly.anchor_time, 0.333, "anchor moves to the detach instant");
+    }
+
+    #[test]
+    fn freq_cap_slows_throughput_and_lifts_cleanly() {
+        let run = |cap: Option<f64>| {
+            let mut srv = ServerSim::with_default_platform();
+            srv.add_session(SessionConfig::single_video(hr_spec(400), 5), fixed(8, 3.2));
+            srv.set_freq_cap(cap);
+            srv.run_epoch(2.0, 100_000).unwrap();
+            srv
+        };
+        let free = run(None);
+        let capped = run(Some(1.2));
+        let f_free = free.session(0).unwrap().frames_completed();
+        let f_capped = capped.session(0).unwrap().frames_completed();
+        assert!(
+            f_capped < f_free,
+            "throttle must cost frames: {f_capped} vs {f_free}"
+        );
+        assert!(capped.sensor().total_energy_j() < free.sensor().total_energy_j());
+        // A cap above every knob is a no-op, bit for bit.
+        let loose = run(Some(10.0));
+        assert_eq!(
+            loose.session(0).unwrap().frames_completed(),
+            f_free,
+            "a non-binding cap must not perturb the run"
+        );
+        assert_eq!(
+            loose.sensor().total_energy_j().to_bits(),
+            free.sensor().total_energy_j().to_bits()
+        );
+    }
+
+    #[test]
+    fn checkpoint_session_is_non_destructive() {
+        let mut srv = ServerSim::with_default_platform();
+        srv.add_session(SessionConfig::single_video(hr_spec(300), 11), fixed(8, 2.9));
+        srv.run_epoch(0.7, 100_000).unwrap();
+        let bytes = srv.checkpoint_session(0).expect("live slot");
+        assert!(!bytes.is_empty());
+        assert!(srv.checkpoint_session(5).is_none());
+        // The capture must not perturb the ongoing run: a twin that never
+        // checkpointed finishes bit-identically.
+        let mut twin = ServerSim::with_default_platform();
+        twin.add_session(SessionConfig::single_video(hr_spec(300), 11), fixed(8, 2.9));
+        twin.run_epoch(0.7, 100_000).unwrap();
+        srv.run_epoch(1_000.0, 1_000_000).unwrap();
+        twin.run_epoch(1_000.0, 1_000_000).unwrap();
+        assert_eq!(
+            srv.sensor().total_energy_j().to_bits(),
+            twin.sensor().total_energy_j().to_bits()
+        );
+        assert_eq!(
+            srv.session(0).unwrap().frames_completed(),
+            twin.session(0).unwrap().frames_completed()
+        );
     }
 
     #[test]

@@ -1,9 +1,15 @@
 use std::collections::VecDeque;
 
-use mamut_core::{Constraints, Controller, KnobSettings, Observation};
+use mamut_core::snapshot::{SnapshotReader, SnapshotWriter};
+use mamut_core::{
+    Constraints, Controller, KnobSettings, Observation, PolicySnapshot, SnapshotError,
+};
 use mamut_encoder::{wpp, EncodeOutcome, HevcDecoder, HevcEncoder, Preset};
 use mamut_metrics::{QosTracker, RunningStats, Trace, TraceRow};
-use mamut_video::{Playlist, Resolution, SequenceSpec, VideoSource};
+use mamut_video::{ContentState, Playlist, Resolution, SequenceSpec, SourceState, VideoSource};
+
+/// Current session-checkpoint codec version. Decoders reject newer.
+pub const SESSION_CHECKPOINT_VERSION: u16 = 1;
 
 /// Static configuration of one transcoding session (one user).
 #[derive(Debug, Clone)]
@@ -401,6 +407,246 @@ impl TranscodeSession {
 
         self.frame_counter += 1;
     }
+
+    /// Serializes the session's complete dynamic state — controller,
+    /// content process, in-flight frame, observation window, QoS and
+    /// statistics accumulators, trace — so the session can later be
+    /// rebuilt mid-frame, bit-exactly, by
+    /// [`TranscodeSession::restore_checkpoint`].
+    ///
+    /// `rate` and `now` materialize the lazily accounted in-flight work
+    /// exactly as a detach would (`work_remaining -= rate · (now −
+    /// anchor)`), but without mutating the live session: the capture is
+    /// an observer, not a migration.
+    pub(crate) fn checkpoint_bytes(&self, rate: f64, now: f64) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.put_u16(SESSION_CHECKPOINT_VERSION);
+        w.put_u32(self.playlist_pos as u32);
+        w.put_bool(self.finished);
+        w.put_u64(self.frame_counter);
+        w.put_u8(self.knobs.qp);
+        w.put_u32(self.knobs.threads);
+        w.put_f64(self.knobs.freq_ghz);
+        let c = &self.config.constraints;
+        w.put_f64(c.target_fps);
+        w.put_f64(c.bandwidth_mbps);
+        w.put_f64(c.power_cap_w);
+        let source = self.source.state();
+        for word in source.content.rng {
+            w.put_u64(word);
+        }
+        w.put_f64(source.content.level);
+        w.put_f64(source.content.current);
+        w.put_u64(source.content.next_index);
+        w.put_u64(source.remaining);
+        w.put_bytes(&self.controller.snapshot().to_bytes());
+        match &self.in_flight {
+            None => w.put_bool(false),
+            Some(fly) => {
+                w.put_bool(true);
+                let drained = if rate != 0.0 {
+                    rate * (now - fly.anchor_time)
+                } else {
+                    0.0
+                };
+                w.put_f64(fly.work_remaining - drained);
+                w.put_f64(fly.work_total);
+                w.put_f64(fly.outcome.cycles);
+                w.put_f64(fly.outcome.psnr_db);
+                w.put_f64(fly.outcome.bitrate_mbps);
+                w.put_f64(fly.started_at);
+                w.put_f64(now);
+            }
+        }
+        w.put_u32(self.completions.len() as u32);
+        for &t in &self.completions {
+            w.put_f64(t);
+        }
+        w.put_f64(self.last_obs.fps);
+        w.put_f64(self.last_obs.psnr_db);
+        w.put_f64(self.last_obs.bitrate_mbps);
+        w.put_f64(self.last_obs.power_w);
+        let (target, frames, violations, raw, delivery, credit, cap) = self.qos.raw_parts();
+        w.put_f64(target);
+        w.put_u64(frames);
+        w.put_u64(violations);
+        w.put_u64(raw);
+        w.put_u64(delivery);
+        w.put_f64(credit);
+        w.put_f64(cap);
+        for stats in [
+            &self.fps_stats,
+            &self.psnr_stats,
+            &self.bitrate_stats,
+            &self.thread_stats,
+            &self.freq_stats,
+        ] {
+            let (count, mean, m2, min, max) = stats.raw_parts();
+            w.put_u64(count);
+            w.put_f64(mean);
+            w.put_f64(m2);
+            w.put_f64(min);
+            w.put_f64(max);
+        }
+        w.put_u32(self.trace.len() as u32);
+        for row in self.trace.iter() {
+            w.put_f64(row.time_s);
+            w.put_u64(row.frame);
+            w.put_f64(row.fps);
+            w.put_f64(row.psnr_db);
+            w.put_f64(row.bitrate_mbps);
+            w.put_u8(row.qp);
+            w.put_u32(row.threads);
+            w.put_f64(row.freq_ghz);
+            w.put_f64(row.power_w);
+        }
+        w.into_bytes()
+    }
+
+    /// Rebuilds a session from `config`, a freshly constructed
+    /// `controller` of the same kind, and checkpoint `bytes` captured by
+    /// the server's checkpoint pass. The restored session resumes its
+    /// frame stream, in-flight work, observation window and statistics
+    /// bit-exactly from the capture point; the controller adopts the
+    /// checkpointed snapshot (full execution state, not knowledge-only),
+    /// so its decision sequence replays identically.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when the bytes are not a session checkpoint,
+    /// were written by a newer codec, or the embedded policy snapshot
+    /// does not fit the provided controller.
+    pub fn restore_checkpoint(
+        config: SessionConfig,
+        controller: Box<dyn Controller>,
+        bytes: &[u8],
+    ) -> Result<TranscodeSession, SnapshotError> {
+        let mut r = SnapshotReader::new(bytes);
+        let version = r.get_u16()?;
+        if version > SESSION_CHECKPOINT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let playlist_pos = r.get_u32()? as usize;
+        let finished = r.get_bool()?;
+        let frame_counter = r.get_u64()?;
+        let knobs = KnobSettings::new(r.get_u8()?, r.get_u32()?, r.get_f64()?);
+        let constraints = Constraints {
+            target_fps: r.get_f64()?,
+            bandwidth_mbps: r.get_f64()?,
+            power_cap_w: r.get_f64()?,
+        };
+        let source_state = SourceState {
+            content: ContentState {
+                rng: [r.get_u64()?, r.get_u64()?, r.get_u64()?, r.get_u64()?],
+                level: r.get_f64()?,
+                current: r.get_f64()?,
+                next_index: r.get_u64()?,
+            },
+            remaining: r.get_u64()?,
+        };
+        let policy = PolicySnapshot::from_bytes(&r.get_bytes()?)?;
+        let in_flight = if r.get_bool()? {
+            Some(InFlight {
+                work_remaining: r.get_f64()?,
+                work_total: r.get_f64()?,
+                outcome: EncodeOutcome {
+                    cycles: r.get_f64()?,
+                    psnr_db: r.get_f64()?,
+                    bitrate_mbps: r.get_f64()?,
+                },
+                started_at: r.get_f64()?,
+                anchor_time: r.get_f64()?,
+            })
+        } else {
+            None
+        };
+        let n_completions = r.get_u32()?;
+        let mut completions = VecDeque::with_capacity(config.fps_window + 1);
+        for _ in 0..n_completions {
+            completions.push_back(r.get_f64()?);
+        }
+        let last_obs = Observation {
+            fps: r.get_f64()?,
+            psnr_db: r.get_f64()?,
+            bitrate_mbps: r.get_f64()?,
+            power_w: r.get_f64()?,
+        };
+        let qos = {
+            let target = r.get_f64()?;
+            let frames = r.get_u64()?;
+            let violations = r.get_u64()?;
+            let raw = r.get_u64()?;
+            let delivery = r.get_u64()?;
+            let credit = r.get_f64()?;
+            let cap = r.get_f64()?;
+            QosTracker::from_raw_parts(target, frames, violations, raw, delivery, credit, cap)
+        };
+        let mut stats = [RunningStats::new(); 5];
+        for slot in &mut stats {
+            let count = r.get_u64()?;
+            let mean = r.get_f64()?;
+            let m2 = r.get_f64()?;
+            let min = r.get_f64()?;
+            let max = r.get_f64()?;
+            *slot = RunningStats::from_raw_parts(count, mean, m2, min, max);
+        }
+        let n_rows = r.get_u32()?;
+        let mut trace = Trace::new();
+        for _ in 0..n_rows {
+            trace.push(TraceRow {
+                time_s: r.get_f64()?,
+                frame: r.get_u64()?,
+                fps: r.get_f64()?,
+                psnr_db: r.get_f64()?,
+                bitrate_mbps: r.get_f64()?,
+                qp: r.get_u8()?,
+                threads: r.get_u32()?,
+                freq_ghz: r.get_f64()?,
+                power_w: r.get_f64()?,
+            });
+        }
+        r.expect_end()?;
+
+        let mut session = TranscodeSession::new(0, config, controller);
+        session.controller.restore(&policy)?;
+        // Rebuild the playlist-position artifacts exactly as the
+        // playlist-advance loop in start_next_frame would have: name,
+        // encoder, decoder and source derive from the spec at the
+        // (clamped) position, with the per-position content seed.
+        let last = session.config.playlist.len().saturating_sub(1);
+        let pos = playlist_pos.min(last);
+        if pos > 0 {
+            let spec = session
+                .config
+                .playlist
+                .get(pos)
+                .expect("clamped position is in range")
+                .clone();
+            session.name = spec.name().to_owned();
+            session.encoder = HevcEncoder::new(spec.resolution(), session.config.preset);
+            session.decoder = HevcDecoder::new(spec.resolution());
+            session.source = VideoSource::new(&spec, session.config.seed.wrapping_add(pos as u64));
+        }
+        session.playlist_pos = playlist_pos;
+        session.source.restore_state(&source_state);
+        session.config.constraints = constraints;
+        session.knobs = knobs;
+        session.frame_counter = frame_counter;
+        session.in_flight = in_flight;
+        session.completions = completions;
+        session.last_obs = last_obs;
+        session.qos = qos;
+        [
+            session.fps_stats,
+            session.psnr_stats,
+            session.bitrate_stats,
+            session.thread_stats,
+            session.freq_stats,
+        ] = stats;
+        session.trace = trace;
+        session.finished = finished;
+        Ok(session)
+    }
 }
 
 /// Clamps controller output into physically meaningful ranges.
@@ -541,6 +787,98 @@ mod tests {
         assert!(s.mean_psnr_db() > 25.0);
         assert!(s.mean_bitrate_mbps() > 0.5);
         assert!((s.mean_fps() - 20.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_continues_bit_identically() {
+        let spec = catalog::by_name("Kimono")
+            .unwrap()
+            .with_frame_count(40)
+            .unwrap();
+        let config = SessionConfig::single_video(spec, 9).with_trace();
+        let mut original = TranscodeSession::new(
+            0,
+            config.clone(),
+            Box::new(FixedController::new(KnobSettings::new(30, 6, 3.2))),
+        );
+        let mut t = 0.0;
+        for _ in 0..17 {
+            original.start_next_frame(t);
+            t += 0.05;
+            original.complete_frame(t, 72.0);
+        }
+        // Capture mid-frame: a frame is in flight with some work drained.
+        original.start_next_frame(t);
+        let bytes = original.checkpoint_bytes(2.0e9, t + 0.01);
+        let mut restored = TranscodeSession::restore_checkpoint(
+            config,
+            Box::new(FixedController::new(KnobSettings::new(30, 6, 3.2))),
+            &bytes,
+        )
+        .expect("checkpoint decodes");
+        let drained = 2.0e9 * 0.01;
+        let fly = original.in_flight.as_ref().unwrap();
+        let fly_r = restored.in_flight.as_ref().unwrap();
+        assert_eq!(fly_r.work_remaining, fly.work_remaining - drained);
+        assert_eq!(fly_r.work_total, fly.work_total);
+        // Drive both to completion on the same schedule (account the
+        // restored session's already-drained work as a head start).
+        original.complete_frame(t + 0.08, 70.0);
+        restored.complete_frame(t + 0.08, 70.0);
+        while original.start_next_frame(t) {
+            assert!(restored.start_next_frame(t));
+            t += 0.05;
+            original.complete_frame(t, 70.0);
+            restored.complete_frame(t, 70.0);
+        }
+        assert!(!restored.start_next_frame(t));
+        assert_eq!(restored.frames_completed(), original.frames_completed());
+        assert_eq!(restored.qos(), original.qos());
+        assert_eq!(restored.name(), original.name());
+        assert_eq!(
+            restored.trace().to_csv(),
+            original.trace().to_csv(),
+            "traces must match row for row"
+        );
+        assert_eq!(restored.knobs(), original.knobs());
+        assert_eq!(
+            restored.checkpoint_bytes(0.0, t),
+            original.checkpoint_bytes(0.0, t),
+            "full dynamic state must re-encode identically"
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_rejects_mangled_streams() {
+        let mut s = session(10);
+        s.start_next_frame(0.0);
+        s.complete_frame(0.04, 70.0);
+        let bytes = s.checkpoint_bytes(0.0, 0.04);
+        let rebuild = || {
+            let spec = catalog::by_name("Kimono")
+                .unwrap()
+                .with_frame_count(10)
+                .unwrap();
+            (
+                SessionConfig::single_video(spec, 1).with_trace(),
+                Box::new(FixedController::new(KnobSettings::new(32, 8, 2.9)))
+                    as Box<dyn Controller>,
+            )
+        };
+        let mut newer = bytes.clone();
+        newer[0] = 0xFF;
+        let (cfg, ctl) = rebuild();
+        assert!(matches!(
+            TranscodeSession::restore_checkpoint(cfg, ctl, &newer),
+            Err(SnapshotError::UnsupportedVersion(_))
+        ));
+        for cut in [0, 8, bytes.len() / 2, bytes.len() - 1] {
+            let (cfg, ctl) = rebuild();
+            assert!(
+                TranscodeSession::restore_checkpoint(cfg, ctl, &bytes[..cut]).is_err(),
+                "cut at {cut} slipped through"
+            );
+        }
     }
 
     #[test]

@@ -167,6 +167,31 @@ impl ContentModel {
         &self.params
     }
 
+    /// The model's dynamic state: RNG words, scene level, instantaneous
+    /// complexity and the next frame index. Together with the
+    /// construction parameters this is everything [`ContentModel::new`]
+    /// plus N calls to [`ContentModel::next_frame`] accumulate, so a
+    /// checkpointed model can be rebuilt mid-stream bit-exactly.
+    pub fn state(&self) -> ContentState {
+        ContentState {
+            rng: self.rng.state(),
+            level: self.level,
+            current: self.current,
+            next_index: self.next_index,
+        }
+    }
+
+    /// Overwrites the model's dynamic state with a previously captured
+    /// [`ContentState`]. The frame stream continues bit-exactly from the
+    /// capture point (same params assumed — they are construction-time
+    /// data, not state).
+    pub fn restore_state(&mut self, state: &ContentState) {
+        self.rng = StdRng::from_state(state.rng);
+        self.level = state.level;
+        self.current = state.current;
+        self.next_index = state.next_index;
+    }
+
     /// Generates the next frame of the content process.
     pub fn next_frame(&mut self) -> FrameInfo {
         let index = self.next_index;
@@ -203,6 +228,21 @@ impl ContentModel {
 
 fn clamp_complexity(c: f64) -> f64 {
     c.clamp(MIN_COMPLEXITY, MAX_COMPLEXITY)
+}
+
+/// Snapshot of a [`ContentModel`]'s dynamic state, as captured by
+/// [`ContentModel::state`] — the substrate for mid-stream session
+/// checkpoints (the fleet's crash-recovery path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContentState {
+    /// The xoshiro256** RNG state words.
+    pub rng: [u64; 4],
+    /// Current mean-reverting scene level.
+    pub level: f64,
+    /// Current instantaneous complexity.
+    pub current: f64,
+    /// Index the next generated frame will carry.
+    pub next_index: u64,
 }
 
 #[cfg(test)]
@@ -285,6 +325,20 @@ mod tests {
         assert!(ContentParams::new(1.0, 0.9, 0.05, 1.5, 1.3).is_err());
         assert!(ContentParams::new(1.0, 0.9, 0.05, 0.01, 0.5).is_err());
         assert!(ContentParams::new(1.0, 0.9, f64::NAN, 0.01, 1.3).is_err());
+    }
+
+    #[test]
+    fn state_round_trip_resumes_bit_exactly() {
+        let mut m = ContentModel::new(ContentParams::busy(), 42);
+        for _ in 0..137 {
+            m.next_frame();
+        }
+        let state = m.state();
+        let reference: Vec<FrameInfo> = (0..300).map(|_| m.next_frame()).collect();
+        let mut resumed = ContentModel::new(ContentParams::busy(), 9999);
+        resumed.restore_state(&state);
+        let replayed: Vec<FrameInfo> = (0..300).map(|_| resumed.next_frame()).collect();
+        assert_eq!(reference, replayed);
     }
 
     #[test]

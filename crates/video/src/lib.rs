@@ -37,8 +37,10 @@ mod sequence;
 
 pub mod catalog;
 
-pub use content::{ContentModel, ContentParams, FrameInfo, MAX_COMPLEXITY, MIN_COMPLEXITY};
+pub use content::{
+    ContentModel, ContentParams, ContentState, FrameInfo, MAX_COMPLEXITY, MIN_COMPLEXITY,
+};
 pub use error::VideoError;
 pub use playlist::Playlist;
 pub use resolution::Resolution;
-pub use sequence::{SequenceSpec, VideoSource};
+pub use sequence::{SequenceSpec, SourceState, VideoSource};

@@ -1,4 +1,4 @@
-use crate::{ContentModel, ContentParams, FrameInfo, Resolution, VideoError};
+use crate::{ContentModel, ContentParams, ContentState, FrameInfo, Resolution, VideoError};
 
 /// Static description of one video sequence (a catalog entry).
 ///
@@ -135,6 +135,24 @@ impl VideoSource {
         self.remaining
     }
 
+    /// The source's dynamic state — the content process plus the frame
+    /// budget left. Rebuilding the source from its spec and restoring
+    /// this state resumes the stream bit-exactly (the checkpoint path).
+    pub fn state(&self) -> SourceState {
+        SourceState {
+            content: self.model.state(),
+            remaining: self.remaining,
+        }
+    }
+
+    /// Overwrites the source's dynamic state with a captured
+    /// [`SourceState`]. Resolution and name are construction-time data
+    /// and stay as built from the spec.
+    pub fn restore_state(&mut self, state: &SourceState) {
+        self.model.restore_state(&state.content);
+        self.remaining = state.remaining;
+    }
+
     /// Produces the next frame, or `None` when the sequence is exhausted.
     pub fn next_frame(&mut self) -> Option<FrameInfo> {
         if self.remaining == 0 {
@@ -143,6 +161,16 @@ impl VideoSource {
         self.remaining -= 1;
         Some(self.model.next_frame())
     }
+}
+
+/// Snapshot of a [`VideoSource`]'s dynamic state, as captured by
+/// [`VideoSource::state`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceState {
+    /// The content process state.
+    pub content: ContentState,
+    /// Frames left to produce.
+    pub remaining: u64,
 }
 
 impl Iterator for VideoSource {
@@ -232,6 +260,22 @@ mod tests {
         let s = spec(200);
         let a: Vec<_> = VideoSource::new(&s, 7).collect();
         let b: Vec<_> = VideoSource::new(&s, 7).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn source_state_round_trip_resumes_bit_exactly() {
+        let s = spec(400);
+        let mut original = VideoSource::new(&s, 7);
+        for _ in 0..150 {
+            original.next_frame();
+        }
+        let state = original.state();
+        let mut resumed = VideoSource::new(&s, 7);
+        resumed.restore_state(&state);
+        assert_eq!(resumed.frames_remaining(), original.frames_remaining());
+        let a: Vec<_> = original.collect();
+        let b: Vec<_> = resumed.collect();
         assert_eq!(a, b);
     }
 

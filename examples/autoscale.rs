@@ -93,7 +93,7 @@ fn bursty_workload() -> Workload {
         mean_interarrival_s: f64,
         offset_s: f64,
     ) -> Vec<SessionRequest> {
-        let generated = Workload::generate(&WorkloadConfig {
+        let generated = Workload::try_generate(&WorkloadConfig {
             seed,
             sessions,
             mean_interarrival_s,
@@ -101,7 +101,8 @@ fn bursty_workload() -> Workload {
             live_ratio: 0.3,
             vod_frames: (120, 300),
             live_frames: (400, 900),
-        });
+        })
+        .expect("valid workload config");
         generated
             .arrivals()
             .iter()

@@ -1,0 +1,167 @@
+//! Chaos engineering for the elastic fleet: a viral flash mob with the
+//! machines failing underneath it.
+//!
+//! The `flash_mob` catalog scenario is the worst case for reactive
+//! scaling — near-zero warning, a 7.5× arrival surge, fast decay. This
+//! demo makes it worse: while the autoscaler is absorbing the surge, a
+//! deterministic [`FaultPlan`] crashes two nodes mid-ramp and thermally
+//! throttles a third, with a [`CheckpointPolicy`] snapshotting every
+//! live session a few epochs apart. The run shows the full recovery
+//! loop:
+//!
+//! * crashed nodes take their live sessions down; the coordinator
+//!   restores each from the last checkpoint onto the least-loaded
+//!   survivor and re-does only the work since that checkpoint
+//!   (`frames redone` in the summary — never silently lost);
+//! * replacements are commissioned after a provisioning delay and the
+//!   summary prices the outage as availability and MTTR;
+//! * crash, recovery and throttle marks land on the pool timeline next
+//!   to the scenario's phase marks.
+//!
+//! Two invariants are asserted, not just printed: every frame of every
+//! admitted session is delivered despite the crashes (conservation),
+//! and the whole chaos run is byte-identical across 1, 2 and 8 worker
+//! threads — fault injection and recovery happen on the coordinator
+//! between epochs, so parallelism stays an execution detail.
+//!
+//! Run with: `cargo run --release --example chaos_fleet`
+
+use mamut::fleet::{ControllerFactory, SessionRequest};
+use mamut::prelude::*;
+use mamut::scenario::catalog;
+
+/// Epoch length: long enough that the surge spans a handful of epochs,
+/// short enough that the fault timeline reads naturally.
+const EPOCH_S: f64 = 2.0;
+
+fn factory() -> ControllerFactory {
+    Box::new(|req| {
+        let threads = if req.hr { 10 } else { 4 };
+        Box::new(FixedController::new(KnobSettings::new(32, threads, 2.9)))
+    })
+}
+
+fn provisioner() -> mamut::fleet::NodeProvisioner {
+    Box::new(|| {
+        (
+            Platform::xeon_e5_2667_v4(),
+            Box::new(|req: &SessionRequest| {
+                let threads = if req.hr { 10 } else { 4 };
+                Box::new(FixedController::new(KnobSettings::new(32, threads, 2.9)))
+                    as Box<dyn Controller>
+            }) as ControllerFactory,
+        )
+    })
+}
+
+/// The flash mob surges at t = 32 s (epoch 16): crash two of the
+/// original nodes mid-ramp, throttle a third at the peak, and take two
+/// epochs to provision each replacement.
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::new()
+        .with_crash(17, 0)
+        .with_throttle(18, 2, 1.8, 4)
+        .with_crash(19, 1)
+        .with_replacement_delay(2)
+}
+
+fn run(workers: usize, chaos: bool) -> FleetSummary {
+    let realized = catalog::flash_mob()
+        .realize()
+        .expect("catalog preset realizes");
+    let mut fleet = FleetSim::new(
+        FleetConfig::default()
+            .with_epoch_s(EPOCH_S)
+            .with_worker_threads(workers),
+        Box::new(LeastLoaded::new()),
+        realized.workload(),
+    );
+    for _ in 0..3 {
+        fleet.add_node(factory());
+    }
+    fleet.set_autoscaler(
+        Box::new(
+            ThresholdScaler::new()
+                .with_limits(3, 12)
+                // Scale-down only when nearly idle: the original three
+                // nodes must still be alive when the fault plan's
+                // mid-ramp crashes come for them.
+                .with_watermarks(0.1, 0.8)
+                .with_cooldown(2),
+        ),
+        provisioner(),
+    );
+    fleet.set_phase_marks(realized.phase_marks(EPOCH_S));
+    if chaos {
+        fleet.set_checkpoint_policy(CheckpointPolicy::every(3));
+        fleet.set_fault_plan(chaos_plan());
+    }
+    fleet.run().expect("fleet run completes")
+}
+
+fn main() {
+    let realized = catalog::flash_mob()
+        .realize()
+        .expect("catalog preset realizes");
+    let offered_frames: u64 = realized
+        .workload()
+        .arrivals()
+        .iter()
+        .map(|r| r.frames)
+        .sum();
+
+    println!("== flash mob, fair weather ==\n");
+    let quiet = run(2, false);
+    println!("{quiet}");
+
+    println!("== flash mob, two crashes mid-ramp + a thermal throttle ==\n");
+    let summary = run(2, true);
+    println!("{summary}");
+
+    // Conservation: the crashes re-did work, they did not lose any.
+    assert_eq!(summary.crashes, 2, "both planned crashes fired");
+    assert!(
+        summary.sessions_recovered > 0,
+        "crashed nodes held live work"
+    );
+    assert_eq!(summary.frames_lost, 0, "no frame may vanish");
+    assert_eq!(
+        summary.total_frames, offered_frames,
+        "every admitted frame was delivered despite the chaos"
+    );
+    assert_eq!(quiet.total_frames, offered_frames);
+
+    // The whole chaos run — faults, checkpoints, recovery, autoscaling
+    // — is byte-identical for any worker thread count.
+    let reference = run(1, true).to_string();
+    for workers in [2usize, 8] {
+        assert_eq!(
+            reference,
+            run(workers, true).to_string(),
+            "chaos run diverged at {workers} workers"
+        );
+    }
+
+    println!("== damage report ==\n");
+    println!(
+        "offered frames      {:>10}  (delivered in full, {} redone after crashes)",
+        offered_frames, summary.frames_redone
+    );
+    println!(
+        "sessions recovered  {:>10}  from {} checkpoints",
+        summary.sessions_recovered, summary.checkpoints
+    );
+    println!(
+        "availability        {:>9.2}%  ({} down node-epochs)",
+        summary.availability_percent, summary.down_node_epochs
+    );
+    println!(
+        "MTTR                {:>6.1} epochs over {} recoveries",
+        summary.mean_mttr_epochs, summary.recoveries
+    );
+    println!(
+        "peak pool           {:>10}  nodes vs {} in fair weather",
+        summary.peak_nodes, quiet.peak_nodes
+    );
+    println!("\nchaos run byte-identical across 1/2/8 workers ✓");
+}

@@ -28,7 +28,7 @@ fn heuristic_factory() -> ControllerFactory {
 }
 
 fn churn_workload() -> Workload {
-    Workload::generate(&WorkloadConfig {
+    Workload::try_generate(&WorkloadConfig {
         seed: 42,
         sessions: 28,
         mean_interarrival_s: 1.0,
@@ -37,6 +37,7 @@ fn churn_workload() -> Workload {
         vod_frames: (120, 360),
         live_frames: (720, 1_800),
     })
+    .expect("valid workload config")
 }
 
 fn run_policy(dispatcher: Box<dyn Dispatcher>) -> FleetSummary {

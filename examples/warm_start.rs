@@ -76,7 +76,7 @@ fn train_store() -> SharedKnowledgeStore {
 
 /// The churn both fleets face: 16 mixed sessions over ~half a minute.
 fn churn() -> Workload {
-    Workload::generate(&WorkloadConfig {
+    Workload::try_generate(&WorkloadConfig {
         seed: 77,
         sessions: 16,
         mean_interarrival_s: 1.5,
@@ -85,6 +85,7 @@ fn churn() -> Workload {
         vod_frames: (120, 300),
         live_frames: (400, 900),
     })
+    .expect("valid workload config")
 }
 
 struct FleetResult {
