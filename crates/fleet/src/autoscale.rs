@@ -126,6 +126,16 @@ pub trait Autoscaler: Send {
     fn decision_source(&self) -> PolicySource {
         PolicySource::Heuristic
     }
+
+    /// Optional provenance for the most recent [`Autoscaler::plan`]
+    /// decision, recorded into the telemetry event stream when tracing
+    /// is enabled (the fleet never calls this otherwise, so policies
+    /// can format freely without taxing the hot path). Learned policies
+    /// report which joint action they took and why; heuristics can name
+    /// the watermark that fired.
+    fn decision_detail(&self) -> Option<String> {
+        None
+    }
 }
 
 /// Reactive scaling on utilization and QoS watermarks.

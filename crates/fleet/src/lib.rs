@@ -43,7 +43,12 @@
 //!   [`CheckpointBundle`], re-done work is accounted (never silently
 //!   lost), replacements warm-start from the knowledge store, and the
 //!   summary reports availability and MTTR. Chaos runs stay
-//!   byte-identical across worker counts.
+//!   byte-identical across worker counts;
+//! * [`TelemetryMode`] / [`FleetTrace`] — deterministic structured
+//!   event tracing: typed simulated-time events from dispatch decisions
+//!   to crash recovery, a bounded flight-recorder mode that dumps
+//!   automatically on typed errors, a canonical `MAMUTTL` binary codec,
+//!   and Chrome `trace_event` / CSV exporters.
 //!
 //! # Example
 //!
@@ -90,6 +95,7 @@ mod rebalance;
 mod shard;
 mod sim;
 mod summary;
+mod telemetry;
 mod workload;
 
 pub use autoscale::{
@@ -115,4 +121,8 @@ pub use rebalance::{MigrationDirective, PowerQosBalance, Rebalancer, Utilization
 pub use shard::{ShardConfig, ShardedFleetSim, ShardedFleetSummary};
 pub use sim::{FleetConfig, FleetSim, NodeProvisioner};
 pub use summary::{FleetSummary, NodeFacts, NodeReport};
+pub use telemetry::{
+    FleetTrace, TelemetryEvent, TelemetryMode, TracedEvent, COORDINATOR_LANE, TRACE_MAGIC,
+    TRACE_VERSION,
+};
 pub use workload::{SessionRequest, Workload, WorkloadConfig, WorkloadError};

@@ -87,6 +87,14 @@ pub struct FleetNode {
     /// rebuild a session's config and controller elsewhere. Pruned with
     /// `shapes` on [`FleetNode::refresh`].
     requests: std::collections::BTreeMap<usize, SessionRequest>,
+    /// Whether [`FleetNode::run_epoch`] should note sessions that finish
+    /// (telemetry hook; off by default so untraced runs pay one branch).
+    record_session_events: bool,
+    /// `(request id, lifetime frames)` of sessions that finished during
+    /// an advance, buffered here — on the node, off the shared path — so
+    /// the coordinator can drain them in node-id order afterwards and
+    /// the trace stays independent of the worker count.
+    pending_session_events: Vec<(u64, u64)>,
 }
 
 impl std::fmt::Debug for FleetNode {
@@ -120,7 +128,23 @@ impl FleetNode {
             published: std::collections::BTreeSet::new(),
             qos_marks: std::collections::BTreeMap::new(),
             requests: std::collections::BTreeMap::new(),
+            record_session_events: false,
+            pending_session_events: Vec::new(),
         }
+    }
+
+    /// Turns session-completion buffering on or off (telemetry hook).
+    pub(crate) fn set_session_event_recording(&mut self, on: bool) {
+        self.record_session_events = on;
+        if !on {
+            self.pending_session_events.clear();
+        }
+    }
+
+    /// Drains the sessions that finished since the last call as
+    /// `(request id, lifetime frames)` pairs, in session-id order.
+    pub(crate) fn take_session_events(&mut self) -> Vec<(u64, u64)> {
+        std::mem::take(&mut self.pending_session_events)
     }
 
     /// Node id (index in the fleet).
@@ -461,7 +485,37 @@ impl FleetNode {
             .iter()
             .map(|s| (s.id(), (s.qos().frames(), s.qos().violations())))
             .collect();
-        self.server.run_epoch(until, max_events)
+        // Sessions still unfinished going in: the candidates for a
+        // completion event coming out. Only collected when telemetry
+        // asked for it — the flag is the whole cost of an untraced run.
+        let unfinished: Vec<usize> = if self.record_session_events {
+            let mut ids: Vec<usize> = self
+                .server
+                .sessions()
+                .iter()
+                .filter(|s| !s.is_finished())
+                .map(|s| s.id())
+                .collect();
+            ids.sort_unstable();
+            ids
+        } else {
+            Vec::new()
+        };
+        let result = self.server.run_epoch(until, max_events);
+        for sid in unfinished {
+            let Ok(session) = self.server.session(sid) else {
+                continue;
+            };
+            if session.is_finished() {
+                let request = self
+                    .requests
+                    .get(&sid)
+                    .expect("every live session was admitted or attached with a request");
+                self.pending_session_events
+                    .push((request.id, session.frames_completed()));
+            }
+        }
+        result
     }
 
     /// Whether every admitted session has finished.

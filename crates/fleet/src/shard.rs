@@ -36,6 +36,9 @@ use crate::fault::{FaultEvent, FaultPlan};
 use crate::knowledge::KnowledgeStore;
 use crate::sim::FleetSim;
 use crate::summary::FleetSummary;
+use crate::telemetry::{
+    FleetTrace, TelemetryCollector, TelemetryEvent, TelemetryMode, COORDINATOR_LANE,
+};
 
 /// Coordination parameters for a sharded fleet.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +110,9 @@ pub struct ShardedFleetSim {
     partitions: Vec<(usize, u64)>,
     /// Shard-epochs spent partitioned from the coordinator.
     partition_epochs: u64,
+    /// Coordinator-lane event recording (sync rounds, overflow routing);
+    /// the per-shard timelines live inside the shards themselves.
+    telemetry: TelemetryCollector,
 }
 
 impl std::fmt::Debug for ShardedFleetSim {
@@ -134,7 +140,53 @@ impl ShardedFleetSim {
             sync_rounds_lost: 0,
             partitions: Vec::new(),
             partition_epochs: 0,
+            telemetry: TelemetryCollector::default(),
         }
+    }
+
+    /// Switches structured event tracing on or off for the whole sharded
+    /// deployment: every shard records its own timeline and the
+    /// coordinator records sync/overflow events on the
+    /// [`COORDINATOR_LANE`]. Call after every shard has been added.
+    pub fn set_telemetry(&mut self, mode: TelemetryMode) {
+        self.telemetry.set_mode(mode);
+        for (_, sim) in &mut self.shards {
+            sim.set_telemetry(mode);
+        }
+    }
+
+    /// The merged deployment-wide trace: per-shard timelines on their
+    /// shard-index lanes plus coordinator events, grouped by epoch (the
+    /// coordinator's events sort after the shard work of the epoch they
+    /// followed — mirroring the lockstep loop).
+    pub fn trace(&self) -> FleetTrace {
+        let epoch_s = self
+            .shards
+            .first()
+            .map(|(_, sim)| sim.config().epoch_s)
+            .unwrap_or(1.0);
+        let mut parts: Vec<(u32, FleetTrace)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(index, (_, sim))| (index as u32, sim.trace()))
+            .collect();
+        parts.push((COORDINATOR_LANE, self.telemetry.trace(epoch_s)));
+        FleetTrace::merge_sharded(epoch_s, parts)
+    }
+
+    /// Records one coordinator-lane event, stamped with the lockstep
+    /// epoch the shards just completed (the coordinator runs between
+    /// epochs, at the boundary instant).
+    fn record_coordinator(&mut self, event: TelemetryEvent) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let completed = self.shards[0].1.epoch();
+        let at_us =
+            (completed as f64 * self.shards[0].1.config().epoch_s * 1_000_000.0).round() as u64;
+        self.telemetry
+            .record(completed.saturating_sub(1), at_us, event);
     }
 
     /// Installs a fault plan across the sharded deployment — call after
@@ -206,6 +258,7 @@ impl ShardedFleetSim {
         for (_, sim) in &mut self.shards {
             sim.begin_run()?;
         }
+        self.telemetry.reset();
         loop {
             for (_, sim) in &mut self.shards {
                 sim.step_epoch()?;
@@ -219,11 +272,18 @@ impl ShardedFleetSim {
                     if self.sync_loss_rounds > 0 {
                         self.sync_loss_rounds -= 1;
                         self.sync_rounds_lost += 1;
+                        self.record_coordinator(TelemetryEvent::SyncRoundLost);
                     } else {
-                        self.sync_knowledge();
+                        let stores = self.sync_knowledge();
+                        if stores > 0 {
+                            self.record_coordinator(TelemetryEvent::KnowledgeSync {
+                                stores: stores as u32,
+                            });
+                        }
                     }
                 }
             }
+            self.telemetry.end_epoch();
             if self.shards.iter().all(|(_, sim)| sim.is_drained()) {
                 break;
             }
@@ -340,8 +400,14 @@ impl ShardedFleetSim {
             let Some(migrated) = self.shards[source].1.overflow_detach()? else {
                 return Ok(()); // the hot shard holds no live session
             };
+            let session = migrated.request.id;
             self.shards[target].1.overflow_attach(migrated)?;
             self.inter_shard_migrations += 1;
+            self.record_coordinator(TelemetryEvent::OverflowMigration {
+                session,
+                from_shard: source as u32,
+                to_shard: target as u32,
+            });
         }
         Ok(())
     }
@@ -350,8 +416,9 @@ impl ShardedFleetSim {
     /// into a fleet-wide store, then every shard adopts the fold. Shards
     /// sharing one `Arc` store are folded once; shards without a store
     /// are skipped. Publish and seed counters stay local — syncing moves
-    /// knowledge, it is not a session finishing.
-    fn sync_knowledge(&mut self) {
+    /// knowledge, it is not a session finishing. Returns the number of
+    /// distinct stores that exchanged knowledge (0 when nothing synced).
+    fn sync_knowledge(&mut self) -> usize {
         let cut = self.partitioned();
         let mut stores = Vec::new();
         for (index, (_, sim)) in self.shards.iter().enumerate() {
@@ -367,7 +434,7 @@ impl ShardedFleetSim {
             }
         }
         if stores.len() < 2 {
-            return; // nothing to exchange
+            return 0; // nothing to exchange
         }
         let policy = stores[0].lock().expect("knowledge store poisoned").policy();
         let mut global = KnowledgeStore::new(policy);
@@ -381,6 +448,7 @@ impl ShardedFleetSim {
                 .adopt_knowledge(&global);
         }
         self.knowledge_syncs += 1;
+        stores.len()
     }
 }
 
@@ -499,6 +567,23 @@ impl std::fmt::Display for ShardedFleetSummary {
                     s.shed_sessions,
                     s.availability_percent,
                     s.mean_mttr_epochs
+                )?;
+            }
+            // Traced runs also surface the shard's tail ledgers; off
+            // runs keep their historical output byte-for-byte.
+            if s.trace_events > 0 {
+                let pct = |v: Option<f64>, digits: usize| {
+                    v.map(|x| format!("{x:.digits$}"))
+                        .unwrap_or_else(|| "-".to_owned())
+                };
+                writeln!(
+                    f,
+                    "shard={name} telemetry: {} events | qos-slack p95/p99 {}/{} | frame-lat p95/p99 {}/{} ms",
+                    s.trace_events,
+                    pct(s.qos_slack_p95, 3),
+                    pct(s.qos_slack_p99, 3),
+                    pct(s.frame_latency_p95_ms, 1),
+                    pct(s.frame_latency_p99_ms, 1)
                 )?;
             }
             if s.pool_timeline.len() > 1 || !s.phase_marks.is_empty() {

@@ -43,6 +43,7 @@ use crate::knowledge::{warm_start_factory, SharedKnowledgeStore};
 use crate::node::{ControllerFactory, FleetNode, MigratedSession};
 use crate::rebalance::Rebalancer;
 use crate::summary::{FleetSummary, NodeFacts};
+use crate::telemetry::{FleetTrace, TelemetryCollector, TelemetryEvent, TelemetryMode};
 use crate::workload::{SessionRequest, Workload};
 
 /// Builds the hardware and controller factory for a node the autoscaler
@@ -168,9 +169,14 @@ pub struct FleetSim {
     throttles: Vec<(usize, u64)>,
     /// Cursor into the fault plan's (epoch-sorted) event list.
     next_fault: usize,
-    /// Crash/throttle/recovery marks emitted as faults fire; merged with
-    /// the scenario's phase marks into the summary timeline.
-    fault_marks: Vec<(u64, String)>,
+    /// Structured event recording (off by default). Also owns the
+    /// crash/throttle/recovery marks faults emit — those are kept in
+    /// every mode and merged with the scenario's phase marks into the
+    /// summary timeline.
+    telemetry: TelemetryCollector,
+    /// Encoded flight-recorder dump captured automatically when a typed
+    /// error aborted the last `run` (None after a clean run).
+    flight_dump: Option<Vec<u8>>,
     /// This fleet's index in a sharded deployment (0 standalone): fault
     /// events name a `(shard, node)` pair and only the owning shard
     /// executes node-level events.
@@ -213,7 +219,8 @@ impl FleetSim {
             pending_replacements: Vec::new(),
             throttles: Vec::new(),
             next_fault: 0,
-            fault_marks: Vec::new(),
+            telemetry: TelemetryCollector::default(),
+            flight_dump: None,
             shard_index: 0,
         }
     }
@@ -251,6 +258,43 @@ impl FleetSim {
     /// The latest encoded checkpoint bundle, if one has been captured.
     pub fn latest_checkpoint(&self) -> Option<&[u8]> {
         self.checkpoint.as_deref()
+    }
+
+    /// Switches structured event tracing on or off (see
+    /// [`TelemetryMode`]). Recording never changes simulation results:
+    /// a traced run's summary is byte-identical to an untraced one, and
+    /// the trace itself is byte-identical across worker counts. With
+    /// tracing off every hook reduces to a single branch.
+    pub fn set_telemetry(&mut self, mode: TelemetryMode) {
+        self.telemetry.set_mode(mode);
+        let on = self.telemetry.enabled();
+        for node in &mut self.nodes {
+            node.set_session_event_recording(on);
+        }
+    }
+
+    /// The active telemetry recording mode.
+    pub fn telemetry_mode(&self) -> TelemetryMode {
+        self.telemetry.mode()
+    }
+
+    /// The events recorded so far (the retained window, in
+    /// flight-recorder mode), assembled into a [`FleetTrace`].
+    pub fn trace(&self) -> FleetTrace {
+        self.telemetry.trace(self.config.epoch_s)
+    }
+
+    /// The encoded (`MAMUTTL`) trace the flight recorder dumped when the
+    /// last [`FleetSim::run`] aborted with a typed error; `None` after a
+    /// clean run or with telemetry off.
+    pub fn flight_dump(&self) -> Option<&[u8]> {
+        self.flight_dump.as_deref()
+    }
+
+    /// Simulated time of an epoch boundary in integer microseconds —
+    /// the timestamp every event recorded at that boundary carries.
+    fn epoch_us(&self, epoch: u64) -> u64 {
+        (epoch as f64 * self.config.epoch_s * 1_000_000.0).round() as u64
     }
 
     /// Annotates the run with workload phase boundaries (`(epoch,
@@ -316,12 +360,9 @@ impl FleetSim {
     /// Adds a node on an explicit platform model.
     pub fn add_node_on(&mut self, platform: Platform, factory: ControllerFactory) -> usize {
         let id = self.nodes.len();
-        self.nodes.push(FleetNode::new(
-            id,
-            platform,
-            self.config.power_cap_w,
-            factory,
-        ));
+        let mut node = FleetNode::new(id, platform, self.config.power_cap_w, factory);
+        node.set_session_event_recording(self.telemetry.enabled());
+        self.nodes.push(node);
         id
     }
 
@@ -454,6 +495,17 @@ impl FleetSim {
     /// [`FleetError::EpochBudgetExhausted`] if the workload cannot drain
     /// (e.g. a gating policy queues a session no node can ever fit).
     pub fn run(&mut self) -> Result<FleetSummary, FleetError> {
+        let result = self.run_inner();
+        if result.is_err() && self.telemetry.enabled() {
+            // The flight recorder's whole point: when a typed error
+            // aborts the run, the retained event window survives the
+            // unwind as an encoded trace.
+            self.flight_dump = Some(self.trace().encode());
+        }
+        result
+    }
+
+    fn run_inner(&mut self) -> Result<FleetSummary, FleetError> {
         self.begin_run()?;
         loop {
             self.step_epoch()?;
@@ -488,7 +540,8 @@ impl FleetSim {
         self.pending_replacements.clear();
         self.throttles.clear();
         self.next_fault = 0;
-        self.fault_marks.clear();
+        self.telemetry.reset();
+        self.flight_dump = None;
         Ok(())
     }
 
@@ -500,6 +553,30 @@ impl FleetSim {
         let boundary = (self.epoch + 1) as f64 * self.config.epoch_s;
         if self.config.idle_fast_path {
             self.update_dormant();
+        }
+        if self.telemetry.enabled() {
+            let at_us = self.epoch_us(self.epoch);
+            self.telemetry.record(
+                self.epoch,
+                at_us,
+                TelemetryEvent::EpochBegin {
+                    active_nodes: self.active_node_count() as u32,
+                },
+            );
+            // Scenario phase boundaries land in the trace at their epoch
+            // (they stay a separate summary input — only fault marks go
+            // through `record_mark`).
+            for (epoch, label) in &self.phase_marks {
+                if *epoch == self.epoch {
+                    self.telemetry.record(
+                        self.epoch,
+                        at_us,
+                        TelemetryEvent::Mark {
+                            label: label.clone(),
+                        },
+                    );
+                }
+            }
         }
         self.capture_checkpoint();
         self.inject_faults(epoch_start)?;
@@ -534,8 +611,33 @@ impl FleetSim {
                 util,
             );
         }
+        if self.telemetry.enabled() {
+            // Sessions that completed during this epoch's advance were
+            // buffered on the node that owns them; draining in node-id
+            // order keeps the trace independent of the worker count.
+            let at_end_us = self.epoch_us(self.epoch + 1);
+            for i in 0..self.nodes.len() {
+                for (session, frames) in self.nodes[i].take_session_events() {
+                    self.telemetry.record(
+                        self.epoch,
+                        at_end_us,
+                        TelemetryEvent::SessionEnd {
+                            session,
+                            node: i as u32,
+                            frames,
+                        },
+                    );
+                }
+            }
+        }
         self.harvest_knowledge();
         self.rebalance()?;
+        self.telemetry.record(
+            self.epoch,
+            self.epoch_us(self.epoch + 1),
+            TelemetryEvent::EpochEnd,
+        );
+        self.telemetry.end_epoch();
         self.epoch += 1;
         Ok(())
     }
@@ -563,12 +665,13 @@ impl FleetSim {
                 retired: !n.is_active(),
             })
             .collect();
-        // Crash/recovery marks were pushed as they happened; interleave
-        // them with the scenario's pre-sorted phase marks by epoch.
+        // Crash/recovery marks were recorded as faults fired (kept in
+        // every telemetry mode); interleave them with the scenario's
+        // pre-sorted phase marks by epoch.
         let mut marks = self.phase_marks.clone();
-        marks.extend(self.fault_marks.iter().cloned());
+        marks.extend(self.telemetry.marks().iter().cloned());
         marks.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-        Ok(FleetSummary::assemble(
+        let mut summary = FleetSummary::assemble(
             self.dispatcher.name().to_owned(),
             self.epoch,
             self.epoch as f64 * self.config.epoch_s,
@@ -576,7 +679,9 @@ impl FleetSim {
             &self.aggregate,
             marks,
             self.nodes.iter().map(FleetNode::summary).collect(),
-        ))
+        );
+        summary.trace_events = self.telemetry.events_recorded();
+        Ok(summary)
     }
 
     /// Epochs simulated so far.
@@ -682,6 +787,31 @@ impl FleetSim {
             source == crate::autoscale::PolicySource::Exploratory,
             decision != ScaleDecision::Hold,
         );
+        if self.telemetry.enabled() {
+            let delta = match decision {
+                ScaleDecision::Hold => 0,
+                ScaleDecision::Grow(count) => count as i64,
+                ScaleDecision::Shrink(count) => -(count as i64),
+            };
+            // The detail string is policy provenance for the trace only;
+            // it is built exclusively here, so tracing-off runs never
+            // pay for its formatting.
+            let detail = self
+                .autoscaler
+                .as_ref()
+                .expect("presence checked above")
+                .decision_detail()
+                .unwrap_or_default();
+            self.telemetry.record(
+                self.epoch,
+                self.epoch_us(self.epoch),
+                TelemetryEvent::Autoscale {
+                    delta,
+                    source,
+                    detail,
+                },
+            );
+        }
         match decision {
             ScaleDecision::Hold => Ok(()),
             ScaleDecision::Grow(count) => self.commission_nodes(count, epoch_start),
@@ -708,11 +838,17 @@ impl FleetSim {
             };
             let id = self.nodes.len();
             let mut node = FleetNode::new(id, platform, self.config.power_cap_w, factory);
+            node.set_session_event_recording(self.telemetry.enabled());
             node.align_clock(epoch_start)
                 .map_err(|source| FleetError::Node { node: id, source })?;
             self.nodes.push(node);
             self.aggregate.ensure_nodes(self.nodes.len());
             self.aggregate.record_scale_up();
+            self.telemetry.record(
+                self.epoch,
+                self.epoch_us(self.epoch),
+                TelemetryEvent::NodeCommission { node: id as u32 },
+            );
         }
         Ok(())
     }
@@ -749,6 +885,7 @@ impl FleetSim {
         self.wake_node(victim, self.epoch)?;
         let drained = self.nodes[victim].drain()?;
         for migrated in drained {
+            let session = migrated.request.id;
             let target = self
                 .nodes
                 .iter_mut()
@@ -767,6 +904,25 @@ impl FleetSim {
             self.wake_node(target, self.epoch)?;
             self.nodes[target].attach_session(migrated);
             self.aggregate.record_drained_session();
+            if self.telemetry.enabled() {
+                let at_us = self.epoch_us(self.epoch);
+                self.telemetry.record(
+                    self.epoch,
+                    at_us,
+                    TelemetryEvent::SessionDetach {
+                        session,
+                        node: victim as u32,
+                    },
+                );
+                self.telemetry.record(
+                    self.epoch,
+                    at_us,
+                    TelemetryEvent::SessionAttach {
+                        session,
+                        node: target as u32,
+                    },
+                );
+            }
         }
         // Final resample of the retired node's row: its drained sessions
         // took their QoS history to their new homes, so without this the
@@ -784,6 +940,13 @@ impl FleetSim {
         );
         self.nodes[victim].retire()?;
         self.aggregate.record_scale_down();
+        self.telemetry.record(
+            self.epoch,
+            self.epoch_us(self.epoch),
+            TelemetryEvent::NodeRetire {
+                node: victim as u32,
+            },
+        );
         Ok(())
     }
 
@@ -817,12 +980,22 @@ impl FleetSim {
             .knowledge
             .as_ref()
             .map(|store| store.lock().expect("knowledge store poisoned").snapshot());
+        let sessions: u32 = nodes.iter().map(|n| n.sessions.len() as u32).sum();
         let bundle = CheckpointBundle {
             epoch: self.epoch,
             nodes,
             knowledge,
         };
-        self.checkpoint = Some(bundle.encode());
+        let encoded = bundle.encode();
+        self.telemetry.record(
+            self.epoch,
+            self.epoch_us(self.epoch),
+            TelemetryEvent::CheckpointCaptured {
+                sessions,
+                bytes: encoded.len() as u64,
+            },
+        );
+        self.checkpoint = Some(encoded);
         self.aggregate.record_checkpoint();
     }
 
@@ -854,8 +1027,11 @@ impl FleetSim {
             let before = self.nodes.len();
             self.commission_nodes(1, epoch_start)?;
             if self.nodes.len() > before {
-                self.fault_marks
-                    .push((self.epoch, format!("recovered:n{before}")));
+                self.telemetry.record_mark(
+                    self.epoch,
+                    self.epoch_us(self.epoch),
+                    format!("recovered:n{before}"),
+                );
                 self.aggregate.record_recovery(self.epoch - crashed_at);
             }
         }
@@ -871,6 +1047,11 @@ impl FleetSim {
             if self.nodes[node].is_active() {
                 self.wake_node(node, self.epoch)?;
                 self.nodes[node].set_freq_cap(None);
+                self.telemetry.record(
+                    self.epoch,
+                    self.epoch_us(self.epoch),
+                    TelemetryEvent::ThrottleEnd { node: node as u32 },
+                );
             }
         }
         // 3. New events due this epoch fire in plan order.
@@ -899,10 +1080,20 @@ impl FleetSim {
                 {
                     self.wake_node(node, self.epoch)?;
                     self.nodes[node].set_freq_cap(Some(freq_cap_ghz));
-                    self.throttles
-                        .push((node, self.epoch + duration_epochs.max(1)));
-                    self.fault_marks
-                        .push((self.epoch, format!("throttle:n{node}")));
+                    let until_epoch = self.epoch + duration_epochs.max(1);
+                    self.throttles.push((node, until_epoch));
+                    let at_us = self.epoch_us(self.epoch);
+                    self.telemetry
+                        .record_mark(self.epoch, at_us, format!("throttle:n{node}"));
+                    self.telemetry.record(
+                        self.epoch,
+                        at_us,
+                        TelemetryEvent::ThrottleStart {
+                            node: node as u32,
+                            freq_cap_ghz,
+                            until_epoch,
+                        },
+                    );
                     self.aggregate.record_throttle();
                 }
                 // Coordinator-level events (and events addressed to other
@@ -936,8 +1127,19 @@ impl FleetSim {
         self.wake_node(victim, self.epoch)?;
         let lost = self.nodes[victim].crash_kill();
         self.throttles.retain(|&(node, _)| node != victim);
-        self.fault_marks
-            .push((self.epoch, format!("crash:n{victim}")));
+        self.telemetry.record_mark(
+            self.epoch,
+            self.epoch_us(self.epoch),
+            format!("crash:n{victim}"),
+        );
+        self.telemetry.record(
+            self.epoch,
+            self.epoch_us(self.epoch),
+            TelemetryEvent::NodeCrash {
+                node: victim as u32,
+                sessions_lost: lost.len() as u32,
+            },
+        );
         self.aggregate.record_crash();
         let bundle = self
             .checkpoint
@@ -976,6 +1178,16 @@ impl FleetSim {
             } else {
                 frames_at_crash
             };
+            self.telemetry.record(
+                self.epoch,
+                self.epoch_us(self.epoch),
+                TelemetryEvent::SessionRecovered {
+                    session: request.id,
+                    node: target as u32,
+                    frames_redone: redone,
+                    from_checkpoint: restored,
+                },
+            );
             self.aggregate.record_recovered_session(redone);
         }
         // The victim's row keeps only what stayed: finished sessions'
@@ -1078,12 +1290,34 @@ impl FleetSim {
             // all its sessions finished, so it has no candidate.)
             self.wake_node(to, self.epoch + 1)?;
             let migrated = self.nodes[from].detach_session(sid)?;
+            let session = migrated.request.id;
             // No mid-flight publish here: the session keeps learning and
             // publishes exactly once, at finish, from whichever node
             // hosts it then — so visit-weighted merges never count a
             // trajectory twice.
             self.nodes[to].attach_session(migrated);
             self.aggregate.record_migration();
+            if self.telemetry.enabled() {
+                // Rebalance runs after this epoch's advance: the move
+                // happens at the *next* boundary.
+                let at_us = self.epoch_us(self.epoch + 1);
+                self.telemetry.record(
+                    self.epoch,
+                    at_us,
+                    TelemetryEvent::SessionDetach {
+                        session,
+                        node: from as u32,
+                    },
+                );
+                self.telemetry.record(
+                    self.epoch,
+                    at_us,
+                    TelemetryEvent::SessionAttach {
+                        session,
+                        node: to as u32,
+                    },
+                );
+            }
         }
         Ok(())
     }
@@ -1101,12 +1335,20 @@ impl FleetSim {
         while self.pending.front().is_some_and(|r| r.arrival_s <= now) {
             due.push(self.pending.pop_front().expect("front checked"));
         }
+        let at_us = self.epoch_us(self.epoch);
         if self.degraded() {
             // Graceful degradation: below the watermark the survivors
             // protect the sessions they already carry; new work is shed
             // (visible in the summary), not queued into a backlog the
             // diminished pool cannot serve.
-            for _ in &due {
+            for request in &due {
+                self.telemetry.record(
+                    self.epoch,
+                    at_us,
+                    TelemetryEvent::DispatchShed {
+                        session: request.id,
+                    },
+                );
                 self.aggregate.record_shed_session();
                 self.aggregate.record_rejection();
             }
@@ -1127,6 +1369,14 @@ impl FleetSim {
                 {
                     self.wake_node(id, self.epoch)?;
                     self.nodes[id].admit(&request);
+                    self.telemetry.record(
+                        self.epoch,
+                        at_us,
+                        TelemetryEvent::DispatchAssign {
+                            session: request.id,
+                            node: id as u32,
+                        },
+                    );
                     let pos = views
                         .iter()
                         .position(|v| v.node_id == id)
@@ -1142,9 +1392,23 @@ impl FleetSim {
                     });
                 }
                 DispatchDecision::Reject => {
+                    self.telemetry.record(
+                        self.epoch,
+                        at_us,
+                        TelemetryEvent::DispatchReject {
+                            session: request.id,
+                        },
+                    );
                     self.aggregate.record_rejection();
                 }
                 DispatchDecision::Queue => {
+                    self.telemetry.record(
+                        self.epoch,
+                        at_us,
+                        TelemetryEvent::DispatchQueue {
+                            session: request.id,
+                        },
+                    );
                     self.aggregate.record_queued_wait();
                     self.queued.push_back(request);
                 }

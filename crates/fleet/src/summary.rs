@@ -41,6 +41,13 @@ pub struct NodeReport {
     pub energy_j: f64,
     /// Mean thread-demand utilization over epochs.
     pub mean_utilization: f64,
+    /// p95 of the node's per-epoch QoS slack (1 − violation fraction;
+    /// higher is better), from its bounded tail ledger. `None` until the
+    /// node has processed a productive epoch.
+    pub qos_slack_p95: Option<f64>,
+    /// p99 of the node's per-epoch mean frame latency (ms), from its
+    /// bounded tail ledger. `None` without a productive epoch.
+    pub frame_latency_p99_ms: Option<f64>,
 }
 
 /// Whole-fleet results: what `examples/fleet_churn.rs` prints and the
@@ -135,6 +142,22 @@ pub struct FleetSummary {
     pub availability_percent: f64,
     /// Mean time to recovery in epochs (0.0 without a recovery).
     pub mean_mttr_epochs: f64,
+    /// Cluster-wide p50 of per-node-epoch QoS slack (1 − violation
+    /// fraction), from the bounded tail ledger. `None` before any
+    /// productive node-epoch.
+    pub qos_slack_p50: Option<f64>,
+    /// Cluster-wide p95 of per-node-epoch QoS slack.
+    pub qos_slack_p95: Option<f64>,
+    /// Cluster-wide p99 of per-node-epoch QoS slack.
+    pub qos_slack_p99: Option<f64>,
+    /// Cluster-wide p95 of per-node-epoch mean frame latency (ms).
+    pub frame_latency_p95_ms: Option<f64>,
+    /// Cluster-wide p99 of per-node-epoch mean frame latency (ms).
+    pub frame_latency_p99_ms: Option<f64>,
+    /// Telemetry events recorded over the run (0 with tracing off —
+    /// which also gates the summary's `telemetry:` line, keeping
+    /// untraced renderings byte-identical to historical output).
+    pub trace_events: u64,
     /// Full per-node run summaries (not rendered; for drill-down).
     pub node_runs: Vec<RunSummary>,
 }
@@ -167,9 +190,13 @@ impl FleetSummary {
                     mean_power_w: n.mean_power_w(),
                     energy_j: n.energy_j,
                     mean_utilization: n.utilization.mean(),
+                    qos_slack_p95: n.tail.qos_slack_percentiles(&[95.0])[0],
+                    frame_latency_p99_ms: n.tail.frame_latency_percentiles_ms(&[99.0])[0],
                 }
             })
             .collect();
+        let slack = aggregate.tail.qos_slack_percentiles(&[50.0, 95.0, 99.0]);
+        let latency = aggregate.tail.frame_latency_percentiles_ms(&[95.0, 99.0]);
         FleetSummary {
             policy,
             epochs,
@@ -208,6 +235,12 @@ impl FleetSummary {
             checkpoints: aggregate.checkpoints,
             availability_percent: aggregate.availability_percent(),
             mean_mttr_epochs: aggregate.mean_mttr_epochs(),
+            qos_slack_p50: slack[0],
+            qos_slack_p95: slack[1],
+            qos_slack_p99: slack[2],
+            frame_latency_p95_ms: latency[0],
+            frame_latency_p99_ms: latency[1],
+            trace_events: 0,
             node_runs,
         }
     }
@@ -215,7 +248,9 @@ impl FleetSummary {
     /// The per-node table rendered in [`std::fmt::Display`]. Retired
     /// nodes carry a `†` marker; the migration columns count sessions
     /// received from (`mig+`) and handed to (`mig-`) peers, whether by
-    /// rebalancing or by drain-before-decommission.
+    /// rebalancing or by drain-before-decommission. The tail columns
+    /// (`slack p95`, `lat p99 ms`) render `-` for a node that never had
+    /// a productive epoch.
     pub fn node_table(&self) -> Table {
         let mut t = Table::new(vec![
             "node".into(),
@@ -227,9 +262,13 @@ impl FleetSummary {
             "power W".into(),
             "energy J".into(),
             "util".into(),
+            "slack p95".into(),
+            "lat p99 ms".into(),
         ]);
         t.set_alignments(vec![
             Align::Left,
+            Align::Right,
+            Align::Right,
             Align::Right,
             Align::Right,
             Align::Right,
@@ -251,6 +290,12 @@ impl FleetSummary {
                 format!("{:.1}", n.mean_power_w),
                 format!("{:.0}", n.energy_j),
                 format!("{:.2}", n.mean_utilization),
+                n.qos_slack_p95
+                    .map(|v| format!("{v:.3}"))
+                    .unwrap_or_else(|| "-".to_owned()),
+                n.frame_latency_p99_ms
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "-".to_owned()),
             ]);
         }
         t
@@ -351,6 +396,24 @@ impl std::fmt::Display for FleetSummary {
                 self.down_node_epochs,
                 self.mean_mttr_epochs,
                 self.recoveries
+            )?;
+        }
+        // Telemetry block: only traced runs render it, so tracing-off
+        // runs keep their historical byte-for-byte output.
+        if self.trace_events > 0 {
+            let pct = |v: Option<f64>, digits: usize| {
+                v.map(|x| format!("{x:.digits$}"))
+                    .unwrap_or_else(|| "-".to_owned())
+            };
+            writeln!(
+                f,
+                "telemetry: {} events | qos-slack p50/p95/p99 {}/{}/{} | frame-lat p95/p99 {}/{} ms",
+                self.trace_events,
+                pct(self.qos_slack_p50, 3),
+                pct(self.qos_slack_p95, 3),
+                pct(self.qos_slack_p99, 3),
+                pct(self.frame_latency_p95_ms, 1),
+                pct(self.frame_latency_p99_ms, 1)
             )?;
         }
         if self.pool_timeline.len() > 1 || !self.phase_marks.is_empty() {

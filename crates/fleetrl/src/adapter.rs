@@ -413,6 +413,16 @@ impl Autoscaler for RlScaler {
     fn decision_source(&self) -> PolicySource {
         self.driver.lock().expect("driver lock").last_source
     }
+
+    fn decision_detail(&self) -> Option<String> {
+        let driver = self.driver.lock().expect("driver lock");
+        driver.prev.map(|(state, action)| {
+            format!(
+                "state={state} scale={:?} pref={:?}",
+                action.scale, action.pref
+            )
+        })
+    }
 }
 
 /// The learned placement half: a [`Dispatcher`] that follows the

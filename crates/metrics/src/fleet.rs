@@ -9,7 +9,7 @@
 //! cluster-wide it folds those into a frames-weighted ∆, dispatch
 //! outcome counts, and a histogram of node-epoch utilization samples.
 
-use crate::RunningStats;
+use crate::{RunningStats, TailLedger, CLUSTER_TAIL_CAPACITY, NODE_TAIL_CAPACITY};
 
 /// Number of buckets in a [`UtilizationHistogram`] (deciles).
 pub const UTILIZATION_BUCKETS: usize = 10;
@@ -101,6 +101,9 @@ pub struct NodeAggregate {
     pub duration_s: f64,
     /// Thread-demand utilization samples, one per epoch.
     pub utilization: RunningStats,
+    /// Per-epoch QoS-slack / frame-latency tail ledger (bounded reservoir
+    /// when built through [`FleetAggregate::new`]).
+    pub tail: TailLedger,
 }
 
 impl NodeAggregate {
@@ -194,13 +197,26 @@ pub struct FleetAggregate {
     pub recoveries: u64,
     /// Fleet checkpoints captured over the run.
     pub checkpoints: u64,
+    /// Cluster-wide per-epoch tail ledger (every node's productive epochs
+    /// fold in here as well as into their own node's ledger).
+    pub tail: TailLedger,
+}
+
+/// A per-node aggregate whose tail ledger is a bounded reservoir seeded
+/// from the node id — deterministic, and flat-memory at 10k nodes.
+fn node_aggregate(node: usize) -> NodeAggregate {
+    NodeAggregate {
+        tail: TailLedger::bounded(NODE_TAIL_CAPACITY, node as u64),
+        ..NodeAggregate::default()
+    }
 }
 
 impl FleetAggregate {
     /// Creates an aggregate for `nodes` nodes.
     pub fn new(nodes: usize) -> Self {
         FleetAggregate {
-            nodes: (0..nodes).map(|_| NodeAggregate::default()).collect(),
+            nodes: (0..nodes).map(node_aggregate).collect(),
+            tail: TailLedger::bounded(CLUSTER_TAIL_CAPACITY, u64::from(u32::MAX)),
             ..FleetAggregate::default()
         }
     }
@@ -224,7 +240,7 @@ impl FleetAggregate {
     /// autoscaler commissioned new nodes mid-run).
     pub fn ensure_nodes(&mut self, nodes: usize) {
         while self.nodes.len() < nodes {
-            self.nodes.push(NodeAggregate::default());
+            self.nodes.push(node_aggregate(self.nodes.len()));
         }
     }
 
@@ -391,11 +407,26 @@ impl FleetAggregate {
         utilization: f64,
     ) {
         let agg = &mut self.nodes[node];
+        // The tail ledgers want this epoch's increment, not the running
+        // total; the previous totals are still in the aggregate, so the
+        // delta falls out before the overwrite. A dormant node replayed by
+        // the idle fast path reports frozen totals (delta 0) exactly like
+        // a live idle node reports unchanged ones, so the ledgers stay
+        // byte-identical with the fast path on or off.
+        let frames_delta = frames.saturating_sub(agg.frames);
+        let violations_delta = violations.saturating_sub(agg.violations);
+        let busy_delta = (duration_s - agg.duration_s).max(0.0);
         agg.frames = frames;
         agg.violations = violations;
         agg.energy_j = energy_j;
         agg.duration_s = duration_s;
         agg.utilization.push(utilization);
+        if frames_delta > 0 {
+            agg.tail
+                .record_epoch(frames_delta, violations_delta, busy_delta);
+            self.tail
+                .record_epoch(frames_delta, violations_delta, busy_delta);
+        }
         self.utilization.record(utilization);
         self.node_epochs += 1;
     }
@@ -594,6 +625,24 @@ mod tests {
         assert_eq!(f.checkpoints, 1);
         assert!((f.availability_percent() - 50.0).abs() < 1e-12);
         assert!((f.mean_mttr_epochs() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_ledgers_sample_epoch_deltas_only() {
+        let mut f = FleetAggregate::new(1);
+        f.record_node_epoch(0, 10, 1, 100.0, 1.0, 0.5); // +10 frames, +1 late
+        f.record_node_epoch(0, 10, 1, 150.0, 2.0, 0.0); // idle epoch: no delta
+        f.record_node_epoch(0, 30, 6, 300.0, 3.0, 0.7); // +20 frames, +5 late
+        assert_eq!(f.nodes[0].tail.epochs_sampled(), 2);
+        assert_eq!(f.tail.epochs_sampled(), 2);
+        assert_eq!(
+            f.nodes[0].tail.qos_slack_percentiles(&[100.0]),
+            vec![Some(0.9)]
+        );
+        assert_eq!(
+            f.tail.frame_latency_percentiles_ms(&[100.0]),
+            vec![Some(100.0)]
+        );
     }
 
     #[test]

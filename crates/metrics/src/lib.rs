@@ -12,7 +12,9 @@
 //! * **tables** — Markdown/plain renderings of Table I/II-style results
 //!   ([`Table`]);
 //! * **fleet aggregation** — per-node and cluster-wide ∆, power and
-//!   utilization accounting for multi-server runs ([`fleet`]).
+//!   utilization accounting for multi-server runs ([`fleet`]);
+//! * **tail ledgers** — bounded-memory p50/p95/p99 QoS-slack and
+//!   frame-latency reservoirs for long fleet runs ([`TailLedger`]).
 //!
 //! # Example
 //!
@@ -34,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod fleet;
+mod ledger;
 mod percentile;
 mod qos;
 mod stats;
@@ -41,6 +44,7 @@ mod table;
 mod trace;
 
 pub use fleet::{FleetAggregate, NodeAggregate, UtilizationHistogram};
+pub use ledger::{TailLedger, CLUSTER_TAIL_CAPACITY, NODE_TAIL_CAPACITY};
 pub use percentile::PercentileTracker;
 pub use qos::QosTracker;
 pub use stats::RunningStats;
